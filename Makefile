@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench figures figures-short examples vet clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+# Regenerate every paper figure/table into experiments/.
+figures:
+	$(GO) run ./cmd/figures
+
+figures-short:
+	$(GO) run ./cmd/figures -short
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ringtoken
+	$(GO) run ./examples/matmul -m 2 -s 32
+	$(GO) run ./examples/mandelbrot -size 256 -grid 4 -workers 4 -o mandelbrot.pgm
+
+clean:
+	rm -f mandelbrot.pgm test_output.txt bench_output.txt

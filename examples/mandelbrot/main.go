@@ -1,0 +1,151 @@
+// Mandelbrot: the paper's §3.1 manager/worker computation as a real
+// MESSENGERS program (Figure 3), run on concurrent daemons on this machine.
+//
+// The entire distributed application is one eleven-line script: each
+// replica of the injected Messenger is a "smart worker" that shuttles
+// between the central task pool and its own work node — there is no manager
+// process. The compute kernel is an ordinary Go function registered as a
+// native; the assembled image is written to mandelbrot.pgm.
+//
+//	go run ./examples/mandelbrot [-size 512] [-grid 8] [-workers 4]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"messengers"
+)
+
+// managerWorker is the paper's Figure 3 program (with the result variable
+// cleared after depositing, so it is not carried back out).
+const managerWorker = `
+	create(ALL);
+	hop(ll = $last);
+	while ((task = next_task()) != nil) {
+		hop(ll = $last);
+		res = compute(task);
+		hop(ll = $last);
+		deposit(task, res);
+		res = nil;
+	}
+`
+
+func main() {
+	size := flag.Int("size", 512, "image edge in pixels")
+	grid := flag.Int("grid", 8, "grid*grid blocks")
+	workers := flag.Int("workers", 4, "worker daemons")
+	maxIter := flag.Int("iters", 256, "maximum iterations (colors)")
+	out := flag.String("o", "mandelbrot.pgm", "output image")
+	flag.Parse()
+
+	// The central node lives on daemon 0; create(ALL) puts one worker node
+	// on each spoke of the star.
+	sys, err := messengers.NewRealSystem(messengers.Config{
+		Daemons:  *workers + 1,
+		Topology: messengers.Star(*workers + 1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	const region = 2.4 // the paper's region: (-2.0, -1.2) to (0.4, 1.2)
+	blocks := *grid * *grid
+	rows := make([][]uint16, *grid) // row of blocks -> pixel data per block
+	for i := range rows {
+		rows[i] = make([]uint16, *size**size / *grid)
+	}
+	img := make([]uint16, *size**size)
+
+	sys.RegisterNative("next_task", func(ctx *messengers.NativeCtx, _ []messengers.Value) (messengers.Value, error) {
+		next := ctx.NodeVar("next").AsInt()
+		if next >= int64(blocks) {
+			return messengers.NilValue(), nil
+		}
+		ctx.SetNodeVar("next", messengers.IntValue(next+1))
+		return messengers.IntValue(next), nil
+	})
+
+	sys.RegisterNative("compute", func(_ *messengers.NativeCtx, args []messengers.Value) (messengers.Value, error) {
+		task := int(args[0].AsInt())
+		y0 := (task / *grid) * (*size / *grid)
+		x0 := (task % *grid) * (*size / *grid)
+		bw := *size / *grid
+		pix := make([]byte, 2*bw*bw)
+		i := 0
+		for y := y0; y < y0+bw; y++ {
+			ci := -1.2 + region*(float64(y)+0.5)/float64(*size)
+			for x := x0; x < x0+bw; x++ {
+				cr := -2.0 + region*(float64(x)+0.5)/float64(*size)
+				n := escape(cr, ci, *maxIter)
+				pix[i] = byte(n)
+				pix[i+1] = byte(n >> 8)
+				i += 2
+			}
+		}
+		return messengers.BytesValue(pix), nil
+	})
+
+	sys.RegisterNative("deposit", func(ctx *messengers.NativeCtx, args []messengers.Value) (messengers.Value, error) {
+		task := int(args[0].AsInt())
+		data := args[1].AsBytes()
+		bw := *size / *grid
+		y0 := (task / *grid) * bw
+		x0 := (task % *grid) * bw
+		i := 0
+		for y := y0; y < y0+bw; y++ {
+			for x := x0; x < x0+bw; x++ {
+				img[y**size+x] = uint16(data[i]) | uint16(data[i+1])<<8
+				i += 2
+			}
+		}
+		ctx.SetNodeVar("done", messengers.IntValue(ctx.NodeVar("done").AsInt()+1))
+		return messengers.NilValue(), nil
+	})
+
+	if err := sys.CompileAndRegister("manager_worker", managerWorker); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Inject(0, "manager_worker", nil); err != nil {
+		log.Fatal(err)
+	}
+	sys.Wait()
+	for _, err := range sys.Errors() {
+		log.Fatalf("messenger failed: %v", err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "P5\n%d %d\n%d\n", *size, *size, *maxIter)
+	for _, p := range img {
+		w.WriteByte(byte(p >> 8))
+		w.WriteByte(byte(p))
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	vars, _ := sys.ReadNodeVars(0, "init")
+	fmt.Printf("computed %v blocks with %d self-coordinating workers -> %s\n",
+		vars["done"].Format(), *workers, *out)
+}
+
+// escape is the z' = z^2 + c iteration count.
+func escape(cr, ci float64, maxIter int) int {
+	var zr, zi float64
+	for n := 0; n < maxIter; n++ {
+		zr2, zi2 := zr*zr, zi*zi
+		if zr2+zi2 > 4 {
+			return n
+		}
+		zr, zi = zr2-zi2+cr, 2*zr*zi+ci
+	}
+	return maxIter
+}

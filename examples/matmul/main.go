@@ -1,0 +1,211 @@
+// Matmul: the paper's §3.2 block matrix multiplication as a MESSENGERS
+// program (Figure 11), coordinated purely by global virtual time.
+//
+// The logical network is Figure 10: an m x m grid of nodes whose rows are
+// fully connected ("row" links) and whose columns are directed rings
+// ("column" links, pointing up). Two kinds of Messengers are injected into
+// every node: distribute_A replicates its node's A block along the row at
+// each full virtual-time tick, rotate_B carries its B block up the column
+// and multiplies at every half tick. No sends, no receives, no barriers —
+// the only synchronization is the global virtual clock.
+//
+//	go run ./examples/matmul [-m 3] [-s 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"messengers"
+)
+
+const distributeA = `
+	sched_abs((j - i + m) % m);
+	node.curr_A = copy_block(node.resid_A);
+	msgr.blk = copy_block(node.resid_A);
+	hop(ll = "row");
+	node.curr_A = msgr.blk;
+`
+
+const rotateB = `
+	msgr.blk = copy_block(node.resid_B);
+	for (k = 0; k < m; k++) {
+		sched_abs(k + 0.5);
+		node.C = block_multiply(node.curr_A, msgr.blk, node.C);
+		hop(ll = "column", ldir = +);
+	}
+`
+
+func main() {
+	m := flag.Int("m", 3, "processor grid dimension (m x m daemons)")
+	s := flag.Int("s", 64, "block size (matrices are m*s square)")
+	flag.Parse()
+	n := *m * *s
+
+	sys, err := messengers.NewRealSystem(messengers.Config{Daemons: *m * *m})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Figure 10's logical network via the net_builder service.
+	spec := messengers.NetSpec{}
+	name := func(i, j int) string { return fmt.Sprintf("n%d_%d", i, j) }
+	for i := 0; i < *m; i++ {
+		for j := 0; j < *m; j++ {
+			spec.Nodes = append(spec.Nodes, messengers.NetNode{Name: name(i, j), Daemon: i**m + j})
+		}
+	}
+	for i := 0; i < *m; i++ {
+		for j := 0; j < *m; j++ {
+			for j2 := j + 1; j2 < *m; j2++ {
+				spec.Links = append(spec.Links, messengers.NetLink{A: name(i, j), B: name(i, j2), Name: "row"})
+			}
+			if *m > 1 {
+				up := (i - 1 + *m) % *m
+				spec.Links = append(spec.Links, messengers.NetLink{A: name(i, j), B: name(up, j), Name: "column", Dir: 1})
+			}
+		}
+	}
+	if err := sys.BuildNetwork(spec); err != nil {
+		log.Fatal(err)
+	}
+
+	// Native block operations.
+	sys.RegisterNative("copy_block", func(_ *messengers.NativeCtx, args []messengers.Value) (messengers.Value, error) {
+		return args[0].Clone(), nil
+	})
+	sys.RegisterNative("block_multiply", func(_ *messengers.NativeCtx, args []messengers.Value) (messengers.Value, error) {
+		a, b, c := args[0].AsMat(), args[1].AsMat(), args[2].AsMat()
+		if a == nil || b == nil || c == nil {
+			return messengers.NilValue(), fmt.Errorf("block_multiply needs three matrices")
+		}
+		addMul(c, a, b)
+		return messengers.MatrixValue(c), nil
+	})
+
+	sys.RegisterNative("store", func(ctx *messengers.NativeCtx, args []messengers.Value) (messengers.Value, error) {
+		ctx.SetNodeVar(args[0].AsStr(), args[1])
+		return messengers.NilValue(), nil
+	})
+	if err := sys.CompileAndRegister("setup", `store(key, payload);`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Distribute the input blocks into node variables ("the matrices are
+	// already distributed over the network").
+	r := rand.New(rand.NewSource(1))
+	a, b := randomMat(n, r), randomMat(n, r)
+	for i := 0; i < *m; i++ {
+		for j := 0; j < *m; j++ {
+			d := i**m + j
+			writeNodeMat(sys, d, name(i, j), "resid_A", getBlock(a, n, i, j, *s))
+			writeNodeMat(sys, d, name(i, j), "resid_B", getBlock(b, n, i, j, *s))
+			writeNodeMat(sys, d, name(i, j), "C", messengers.NewMat(*s, *s))
+		}
+	}
+
+	// One distribute_A and one rotate_B Messenger per node.
+	if err := sys.CompileAndRegister("distribute_A", distributeA); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.CompileAndRegister("rotate_B", rotateB); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *m; i++ {
+		for j := 0; j < *m; j++ {
+			vars := map[string]messengers.Value{
+				"i": messengers.IntValue(int64(i)),
+				"j": messengers.IntValue(int64(j)),
+				"m": messengers.IntValue(int64(*m)),
+			}
+			d := i**m + j
+			if err := sys.InjectAt(d, "distribute_A", name(i, j), vars); err != nil {
+				log.Fatal(err)
+			}
+			if err := sys.InjectAt(d, "rotate_B", name(i, j), vars); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	sys.Wait()
+	for _, err := range sys.Errors() {
+		log.Fatalf("messenger failed: %v", err)
+	}
+
+	// Gather the distributed C and validate against a local multiply.
+	c := messengers.NewMat(n, n)
+	for i := 0; i < *m; i++ {
+		for j := 0; j < *m; j++ {
+			vars, ok := sys.ReadNodeVars(i**m+j, name(i, j))
+			if !ok {
+				log.Fatalf("node %s vanished", name(i, j))
+			}
+			setBlock(c, vars["C"].AsMat(), i, j, *s)
+		}
+	}
+	ref := messengers.NewMat(n, n)
+	addMul(ref, a, b)
+	var maxDiff float64
+	for i := range ref.Data {
+		if d := math.Abs(ref.Data[i] - c.Data[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("distributed %dx%d multiply on %d daemons: max error %.2e\n", n, n, *m**m, maxDiff)
+	if maxDiff > 1e-9 {
+		log.Fatal("result does not match the sequential multiply")
+	}
+}
+
+// writeNodeMat installs a block into a node variable with a tiny setup
+// Messenger (a native store keeps one script for all keys and nodes).
+func writeNodeMat(sys *messengers.System, daemon int, node, key string, m *messengers.Mat) {
+	err := sys.InjectAt(daemon, "setup", node, map[string]messengers.Value{
+		"key":     messengers.StrValue(key),
+		"payload": messengers.MatrixValue(m),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Wait() // setup Messengers finish before the computation starts
+}
+
+func randomMat(n int, r *rand.Rand) *messengers.Mat {
+	m := messengers.NewMat(n, n)
+	for i := range m.Data {
+		m.Data[i] = r.Float64()*2 - 1
+	}
+	return m
+}
+
+func getBlock(a *messengers.Mat, n, bi, bj, s int) *messengers.Mat {
+	out := messengers.NewMat(s, s)
+	for r := 0; r < s; r++ {
+		copy(out.Data[r*s:(r+1)*s], a.Data[(bi*s+r)*n+bj*s:][:s])
+	}
+	return out
+}
+
+func setBlock(c *messengers.Mat, blk *messengers.Mat, bi, bj, s int) {
+	for r := 0; r < s; r++ {
+		copy(c.Data[(bi*s+r)*c.Cols+bj*s:][:s], blk.Data[r*s:(r+1)*s])
+	}
+}
+
+func addMul(c, a, b *messengers.Mat) {
+	n, m, p := a.Rows, a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		ci := c.Data[i*p : (i+1)*p]
+		for k := 0; k < m; k++ {
+			aik := a.Data[i*m+k]
+			bk := b.Data[k*p : (k+1)*p]
+			for j := range bk {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Ringtoken: a token Messenger circulates a persistent logical ring,
+// demonstrating the three-level architecture end to end: the net_builder
+// service lays down a closed directed ring of logical nodes (one per
+// daemon), a token Messenger circulates it stamping every node, an auditor
+// Messenger — injected at runtime *by the token itself* — navigates the
+// same persistent network to tally the stamps, and finally tears the whole
+// ring down with delete (singleton nodes vanish automatically).
+//
+//	go run ./examples/ringtoken [-laps 3] [-daemons 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"messengers"
+)
+
+// token circulates the ring laps times, stamping every node.
+const token = `
+	for (k = 0; k < laps * $ndaemons; k++) {
+		node.stamps = node.stamps + 1;
+		hop(ll = "ring", ldir = +);
+	}
+	print("token retired at", $node, "after", laps, "laps");
+	inject("auditor", "r0");
+`
+
+// auditor — injected at runtime by the token itself via the built-in
+// inject native (the paper: "injected ... by another Messenger") — walks
+// one lap summing the stamps the token left in node variables, reports the
+// total, then deletes the ring behind itself. The
+// final delete removes the last link, which makes the node it arrives at a
+// singleton — so the ring, and the auditor with it, cease to exist.
+const auditor = `
+	total = 0;
+	for (k = 0; k < $ndaemons; k++) {
+		total = total + node.stamps;
+		if (k < $ndaemons - 1) { hop(ll = "ring", ldir = +); }
+	}
+	report(total);
+	print("dismantling the ring");
+	for (k = 0; k < $ndaemons; k++) {
+		delete(ll = "ring", ldir = +);
+	}
+`
+
+func main() {
+	laps := flag.Int("laps", 3, "token laps around the ring")
+	daemons := flag.Int("daemons", 5, "daemon count (ring length)")
+	flag.Parse()
+
+	sys, err := messengers.NewRealSystem(messengers.Config{
+		Daemons: *daemons,
+		Output:  os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// The net_builder service: a closed directed ring, one node per
+	// daemon. It persists independently of any Messenger.
+	spec := messengers.NetSpec{}
+	for i := 0; i < *daemons; i++ {
+		spec.Nodes = append(spec.Nodes, messengers.NetNode{
+			Name: fmt.Sprintf("r%d", i), Daemon: i,
+		})
+		spec.Links = append(spec.Links, messengers.NetLink{
+			A:    fmt.Sprintf("r%d", i),
+			B:    fmt.Sprintf("r%d", (i+1)%*daemons),
+			Name: "ring", Dir: 1,
+		})
+	}
+	if err := sys.BuildNetwork(spec); err != nil {
+		log.Fatal(err)
+	}
+
+	total := make(chan int64, 1)
+	sys.RegisterNative("report", func(_ *messengers.NativeCtx, args []messengers.Value) (messengers.Value, error) {
+		total <- args[0].AsInt()
+		return messengers.NilValue(), nil
+	})
+	for name, src := range map[string]string{"token": token, "auditor": auditor} {
+		if err := sys.CompileAndRegister(name, src); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	err = sys.InjectAt(0, "token", "r0", map[string]messengers.Value{
+		"laps": messengers.IntValue(int64(*laps)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Wait()
+	for _, err := range sys.Errors() {
+		log.Fatalf("messenger failed: %v", err)
+	}
+
+	want := int64(*laps * *daemons)
+	if got := <-total; got != want {
+		log.Fatalf("audited %d stamps, want %d", got, want)
+	}
+	// The teardown removed every ring node.
+	for i := 0; i < *daemons; i++ {
+		if _, ok := sys.ReadNodeVars(i, fmt.Sprintf("r%d", i)); ok {
+			log.Fatalf("node r%d survived the teardown", i)
+		}
+	}
+	fmt.Printf("ok: %d stamps over %d laps on %d daemons; ring dismantled\n",
+		want, *laps, *daemons)
+}

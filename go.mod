@@ -1,0 +1,3 @@
+module messengers
+
+go 1.22

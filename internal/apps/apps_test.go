@@ -1,0 +1,177 @@
+package apps
+
+import (
+	"testing"
+
+	"messengers/internal/lan"
+	"messengers/internal/matmul"
+)
+
+func TestMandelAllImplementationsAgree(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	// Large enough that compute dominates PVM's spawn cost (at tiny sizes
+	// PVM legitimately loses to sequential — the paper's "speedup in most
+	// cases").
+	p := PaperMandelParams(160, 4, 3)
+
+	seq := MandelSequential(cm, p)
+	msgr, err := MandelMessengers(cm, p)
+	if err != nil {
+		t.Fatalf("messengers: %v", err)
+	}
+	pvmRes, err := MandelPVM(cm, p)
+	if err != nil {
+		t.Fatalf("pvm: %v", err)
+	}
+	if msgr.Checksum != seq.Checksum {
+		t.Error("MESSENGERS image differs from sequential")
+	}
+	if pvmRes.Checksum != seq.Checksum {
+		t.Error("PVM image differs from sequential")
+	}
+	if msgr.Elapsed <= 0 || pvmRes.Elapsed <= 0 || seq.Elapsed <= 0 {
+		t.Errorf("elapsed: msgr=%v pvm=%v seq=%v", msgr.Elapsed, pvmRes.Elapsed, seq.Elapsed)
+	}
+	// Three workers share work that one host does alone: the parallel
+	// runs must beat sequential on this compute-heavy configuration.
+	if msgr.Elapsed >= seq.Elapsed {
+		t.Errorf("messengers (%v) not faster than sequential (%v)", msgr.Elapsed, seq.Elapsed)
+	}
+	if pvmRes.Elapsed >= seq.Elapsed {
+		t.Errorf("pvm (%v) not faster than sequential (%v)", pvmRes.Elapsed, seq.Elapsed)
+	}
+	if msgr.BusBytes == 0 || pvmRes.BusBytes == 0 {
+		t.Error("no bus traffic recorded for a distributed run")
+	}
+}
+
+func TestMandelSingleWorker(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	p := PaperMandelParams(32, 2, 1)
+	seq := MandelSequential(cm, p)
+	msgr, err := MandelMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgr.Checksum != seq.Checksum {
+		t.Error("single-worker image differs")
+	}
+	if msgr.Deposits != 4 {
+		t.Errorf("deposits = %d", msgr.Deposits)
+	}
+}
+
+func TestMandelValidatesParams(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	if _, err := MandelMessengers(cm, MandelParams{Workers: 0}); err == nil {
+		t.Error("0 workers should fail")
+	}
+	if _, err := MandelPVM(cm, MandelParams{Workers: 0}); err == nil {
+		t.Error("0 workers should fail")
+	}
+}
+
+func TestMatmulAllImplementationsAgree(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	for _, tc := range []struct{ m, s int }{{2, 8}, {3, 5}} {
+		p := MatmulParams{M: tc.m, S: tc.s, Host: lan.SPARC110, Seed: 7}
+		naive := MatmulSequentialNaive(cm, p)
+		block := MatmulSequentialBlock(cm, p)
+		msgr, err := MatmulMessengers(cm, p)
+		if err != nil {
+			t.Fatalf("m=%d s=%d messengers: %v", tc.m, tc.s, err)
+		}
+		pvmRes, err := MatmulPVM(cm, p)
+		if err != nil {
+			t.Fatalf("m=%d s=%d pvm: %v", tc.m, tc.s, err)
+		}
+		if d := matmul.MaxAbsDiff(naive.C, block.C); d > 1e-9 {
+			t.Errorf("m=%d s=%d: block vs naive diff %g", tc.m, tc.s, d)
+		}
+		if d := matmul.MaxAbsDiff(naive.C, msgr.C); d > 1e-9 {
+			t.Errorf("m=%d s=%d: MESSENGERS result wrong by %g", tc.m, tc.s, d)
+		}
+		if d := matmul.MaxAbsDiff(naive.C, pvmRes.C); d > 1e-9 {
+			t.Errorf("m=%d s=%d: PVM result wrong by %g", tc.m, tc.s, d)
+		}
+		if msgr.GVTRounds == 0 {
+			t.Error("MESSENGERS matmul should exercise GVT rounds")
+		}
+	}
+}
+
+func TestMatmulSkipArithmeticKeepsTiming(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	p := MatmulParams{M: 2, S: 10, Host: lan.SPARC110, Seed: 3}
+	full, err := MatmulMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SkipArithmetic = true
+	skip, err := MatmulMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Elapsed != skip.Elapsed {
+		t.Errorf("SkipArithmetic changed simulated time: %v vs %v", full.Elapsed, skip.Elapsed)
+	}
+
+	fullPVM, err := MatmulPVM(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SkipArithmetic = false
+	fullPVM2, err := MatmulPVM(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullPVM.Elapsed != fullPVM2.Elapsed {
+		t.Errorf("PVM SkipArithmetic changed simulated time: %v vs %v", fullPVM.Elapsed, fullPVM2.Elapsed)
+	}
+}
+
+func TestMatmulDeterministicElapsed(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	p := MatmulParams{M: 2, S: 6, Host: lan.SPARC170, Seed: 1}
+	r1, err := MatmulMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MatmulMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Elapsed != r2.Elapsed || r1.BusMessages != r2.BusMessages {
+		t.Errorf("nondeterministic: %v/%d vs %v/%d", r1.Elapsed, r1.BusMessages, r2.Elapsed, r2.BusMessages)
+	}
+}
+
+func TestMatmulM1DegenerateCase(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	p := MatmulParams{M: 1, S: 12, Host: lan.SPARC110, Seed: 5}
+	naive := MatmulSequentialNaive(cm, p)
+	msgr, err := MatmulMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matmul.MaxAbsDiff(naive.C, msgr.C); d > 1e-9 {
+		t.Errorf("m=1 result wrong by %g", d)
+	}
+	pvmRes, err := MatmulPVM(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matmul.MaxAbsDiff(naive.C, pvmRes.C); d > 1e-9 {
+		t.Errorf("m=1 pvm result wrong by %g", d)
+	}
+}
+
+func TestMatmulValidatesParams(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	if _, err := MatmulMessengers(cm, MatmulParams{M: 0, S: 5, Host: lan.SPARC110}); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := MatmulPVM(cm, MatmulParams{M: 2, S: 0, Host: lan.SPARC110}); err == nil {
+		t.Error("s=0 should fail")
+	}
+}

@@ -1,0 +1,331 @@
+package apps
+
+import (
+	"fmt"
+
+	"messengers/internal/bytecode"
+	"messengers/internal/compile"
+	"messengers/internal/core"
+	"messengers/internal/lan"
+	"messengers/internal/matmul"
+	"messengers/internal/pvm"
+	"messengers/internal/sim"
+	"messengers/internal/value"
+)
+
+func compileScript(name, src string) (*bytecode.Program, error) {
+	return compile.Compile(name, src)
+}
+
+// MatmulParams describes one block-matrix-multiplication experiment.
+type MatmulParams struct {
+	// M is the grid dimension: M x M blocks on M x M processors (2 or 3
+	// in the paper).
+	M int
+	// S is the block size; the matrices are N x N with N = M*S.
+	S int
+	// Host selects the workstation model (the paper used 110 MHz machines
+	// for the 2x2 grid and 170 MHz for the 3x3 grid).
+	Host lan.HostSpec
+	// Seed makes the input matrices reproducible.
+	Seed int64
+	// SkipArithmetic runs the full protocol (all data movement, packing,
+	// and cost charging) without performing the actual floating-point
+	// multiplications, whose simulated cost depends only on block sizes.
+	// Timing results are identical; use it for large parameter sweeps.
+	SkipArithmetic bool
+}
+
+// N returns the full matrix dimension.
+func (p MatmulParams) N() int { return p.M * p.S }
+
+// MatmulResult is the outcome of one run.
+type MatmulResult struct {
+	Elapsed     sim.Time
+	C           *value.Mat // assembled result (zeros under SkipArithmetic)
+	BusMessages int64
+	BusBytes    int64
+	GVTRounds   int64
+}
+
+// macsCost is the CPU cost of `macs` multiply-accumulates at block size s.
+func macsCost(cm *lan.CostModel, s int, spec lan.HostSpec, macs int64) sim.Time {
+	return sim.Time(float64(macs) * float64(cm.MacCost(s, spec)))
+}
+
+// MsgrDistributeA is the paper's Figure 11 distribute_A script. Deviations
+// from the listing, both documented in DESIGN.md: the Messenger installs
+// curr_A at its own node before replicating along the row (the listing
+// only writes curr_A at the destinations, leaving the diagonal node
+// without its block), and the wake time uses the explicit
+// ((j - i + m) % m) form because MSL's % truncates toward zero like C.
+const MsgrDistributeA = `
+	sched_abs((j - i + m) % m);
+	node.curr_A = copy_block(node.resid_A);
+	msgr.blk = copy_block(node.resid_A);
+	hop(ll = "row");
+	node.curr_A = msgr.blk;
+`
+
+// MsgrRotateB is the paper's Figure 11 rotate_B script. Per the paper's
+// prose ("wake up at the half-way point between any two full time ticks,
+// that is, at time 0.5 + k"), the wake is the absolute time k + 0.5.
+const MsgrRotateB = `
+	msgr.blk = copy_block(node.resid_B);
+	for (k = 0; k < m; k++) {
+		sched_abs(k + 0.5);
+		node.C = block_multiply(node.curr_A, msgr.blk, node.C);
+		hop(ll = "column", ldir = +);
+	}
+`
+
+// MatmulMessengers runs the MESSENGERS block multiplication on an M x M
+// simulated grid: the Fig. 10 logical network (rows fully connected by
+// undirected "row" links, columns directed rings of "column" links), one
+// distribute_A and one rotate_B Messenger injected per node, coordinated
+// purely by global virtual time.
+func MatmulMessengers(cm *lan.CostModel, p MatmulParams) (*MatmulResult, error) {
+	m := p.M
+	if m < 1 || p.S < 1 {
+		return nil, fmt.Errorf("apps: bad matmul params %+v", p)
+	}
+	k := sim.New()
+	n := m * m
+	cluster := lan.NewCluster(k, cm, n, p.Host)
+	sys := core.NewSystem(core.NewSimEngine(cluster), core.FullMesh(n))
+
+	// Fig. 10 logical network.
+	spec := core.NetSpec{}
+	name := func(i, j int) string { return fmt.Sprintf("n%d_%d", i, j) }
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			spec.Nodes = append(spec.Nodes, core.NetNode{Name: name(i, j), Daemon: i*m + j})
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			for j2 := j + 1; j2 < m; j2++ {
+				spec.Links = append(spec.Links, core.NetLink{
+					A: name(i, j), B: name(i, j2), Name: "row",
+				})
+			}
+			// Column ring directed "upward": [i, j] -> [i-1, j].
+			if m > 1 {
+				up := (i - 1 + m) % m
+				spec.Links = append(spec.Links, core.NetLink{
+					A: name(i, j), B: name(up, j), Name: "column", Dir: 1,
+				})
+			}
+		}
+	}
+	if err := sys.BuildNetwork(spec); err != nil {
+		return nil, err
+	}
+
+	// Distribute the input blocks into node variables (the paper assumes
+	// the matrices are already distributed from previous computations).
+	a := matmul.Random(p.N(), p.Seed)
+	b := matmul.Random(p.N(), p.Seed+1)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			d := sys.Daemon(i*m + j)
+			node := d.Store().FindByName(name(i, j))[0]
+			node.Vars["resid_A"] = value.Matrix(matmul.GetBlock(a, i, j, p.S))
+			node.Vars["resid_B"] = value.Matrix(matmul.GetBlock(b, i, j, p.S))
+			node.Vars["C"] = value.Matrix(value.NewMat(p.S, p.S))
+		}
+	}
+
+	sys.RegisterNative("copy_block", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		if args[0].Kind() != value.KindMat {
+			return value.Nil(), fmt.Errorf("copy_block of %v", args[0].Kind())
+		}
+		ctx.Charge(sim.Time(args[0].WireSize()) * ctx.Model().MemPerByte)
+		return args[0].Clone(), nil
+	})
+	sys.RegisterNative("block_multiply", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		ca, cb, cc := args[0].AsMat(), args[1].AsMat(), args[2].AsMat()
+		if ca == nil || cb == nil || cc == nil {
+			return value.Nil(), fmt.Errorf("block_multiply needs three matrices (curr_A missing?)")
+		}
+		if !p.SkipArithmetic {
+			matmul.AddMul(cc, ca, cb)
+		}
+		ctx.Charge(macsCost(ctx.Model(), p.S, ctx.HostSpec(), matmul.MACs(p.S)))
+		return value.Matrix(cc), nil
+	})
+
+	distProg, err := compileScript("distribute_A", MsgrDistributeA)
+	if err != nil {
+		return nil, err
+	}
+	rotProg, err := compileScript("rotate_B", MsgrRotateB)
+	if err != nil {
+		return nil, err
+	}
+	sys.Register(distProg)
+	sys.Register(rotProg)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			vars := map[string]value.Value{
+				"i": value.Int(int64(i)), "j": value.Int(int64(j)), "m": value.Int(int64(m)),
+			}
+			if err := sys.InjectAt(i*m+j, "distribute_A", name(i, j), vars); err != nil {
+				return nil, err
+			}
+			if err := sys.InjectAt(i*m+j, "rotate_B", name(i, j), vars); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	elapsed := k.Run()
+	if errs := sys.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("apps: matmul messengers: %v", errs[0])
+	}
+
+	c := value.NewMat(p.N(), p.N())
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			node := sys.Daemon(i*m + j).Store().FindByName(name(i, j))[0]
+			blk := node.Vars["C"].AsMat()
+			if blk == nil {
+				return nil, fmt.Errorf("apps: node %s has no C block", name(i, j))
+			}
+			matmul.SetBlock(c, i, j, blk)
+		}
+	}
+	return &MatmulResult{
+		Elapsed:     elapsed,
+		C:           c,
+		BusMessages: cluster.Bus.Stats.Messages,
+		BusBytes:    cluster.Bus.Stats.Bytes,
+		GVTRounds:   sys.Daemon(0).Stats.GVTRounds,
+	}, nil
+}
+
+// MatmulPVM runs the paper's Figure 9 program under the PVM baseline: the
+// manager spawns M*M workers (one per host); each worker multicasts its A
+// block along its row when it holds the current diagonal, multiplies, and
+// rotates its B block to its northern neighbor.
+func MatmulPVM(cm *lan.CostModel, p MatmulParams) (*MatmulResult, error) {
+	m := p.M
+	if m < 1 || p.S < 1 {
+		return nil, fmt.Errorf("apps: bad matmul params %+v", p)
+	}
+	const (
+		tagABase = 100
+		tagBBase = 100000
+	)
+	k := sim.New()
+	n := m * m
+	cluster := lan.NewCluster(k, cm, n, p.Host)
+	mach := pvm.NewSimMachine(cluster)
+	// The measured phase in the paper's Fig. 12 is the multiplication
+	// itself: workers are already running (just as the MESSENGERS side's
+	// logical network is already built), so spawning is free here.
+	mach.SetSpawnCost(0)
+
+	a := matmul.Random(p.N(), p.Seed)
+	b := matmul.Random(p.N(), p.Seed+1)
+	cOut := value.NewMat(p.N(), p.N())
+
+	workerBody := func(i, j int) pvm.TaskFunc {
+		return func(w *pvm.Proc) {
+			w.JoinGroupAs("mmult", i*m+j)
+			myRow := make([]pvm.TID, m)
+			for jj := 0; jj < m; jj++ {
+				myRow[jj] = w.Gettid("mmult", i*m+jj)
+			}
+			north := w.Gettid("mmult", ((i-1+m)%m)*m+j)
+			south := w.Gettid("mmult", ((i+1)%m)*m+j)
+
+			blockA := matmul.GetBlock(a, i, j, p.S)
+			blockB := matmul.GetBlock(b, i, j, p.S)
+			blockC := value.NewMat(p.S, p.S)
+
+			for kk := 0; kk < m; kk++ {
+				var currA *value.Mat
+				if j == (i+kk)%m {
+					// This worker holds the block to distribute: multicast
+					// it to the rest of its row.
+					w.InitSend()
+					w.PkMat(blockA)
+					w.Mcast(myRow, tagABase+kk)
+					currA = blockA
+				} else {
+					buf := w.Recv(pvm.AnySource, tagABase+kk)
+					currA = w.UpkMat(buf)
+				}
+				if !p.SkipArithmetic {
+					matmul.AddMul(blockC, currA, blockB)
+				}
+				w.Compute(macsCost(cm, p.S, p.Host, matmul.MACs(p.S)))
+				// Rotate B: send to the northern neighbor, receive from the
+				// southern one.
+				if m > 1 {
+					w.InitSend()
+					w.PkMat(blockB)
+					w.Send(north, tagBBase+kk)
+					buf := w.Recv(south, tagBBase+kk)
+					blockB = w.UpkMat(buf)
+				}
+			}
+			matmul.SetBlock(cOut, i, j, blockC) // result stays distributed; gathered for validation
+		}
+	}
+
+	mach.SpawnAt("manager", 0, func(mgr *pvm.Proc) {
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				mgr.Spawn("worker", i*m+j, workerBody(i, j))
+			}
+		}
+	})
+
+	elapsed := k.Run()
+	k.Shutdown()
+	if errs := mach.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("apps: matmul pvm: %v", errs[0])
+	}
+	return &MatmulResult{
+		Elapsed:     elapsed,
+		C:           cOut,
+		BusMessages: cluster.Bus.Stats.Messages,
+		BusBytes:    cluster.Bus.Stats.Bytes,
+	}, nil
+}
+
+// MatmulSequentialNaive times the naive triple-loop multiply on one host.
+func MatmulSequentialNaive(cm *lan.CostModel, p MatmulParams) *MatmulResult {
+	nn := p.N()
+	var c *value.Mat
+	if p.SkipArithmetic {
+		c = value.NewMat(nn, nn)
+	} else {
+		a := matmul.Random(nn, p.Seed)
+		b := matmul.Random(nn, p.Seed+1)
+		c = matmul.Naive(a, b)
+	}
+	elapsed := cm.ScaleFor(p.Host, macsCost(cm, nn, p.Host, matmul.MACs(nn)))
+	return &MatmulResult{Elapsed: elapsed, C: c}
+}
+
+// MatmulSequentialBlock times the block-partitioned sequential multiply
+// (the paper's second baseline) on one host.
+func MatmulSequentialBlock(cm *lan.CostModel, p MatmulParams) *MatmulResult {
+	nn := p.N()
+	var c *value.Mat
+	if p.SkipArithmetic {
+		c = value.NewMat(nn, nn)
+	} else {
+		a := matmul.Random(nn, p.Seed)
+		b := matmul.Random(nn, p.Seed+1)
+		c = matmul.BlockSequential(a, b, p.M)
+	}
+	// m^3 block multiplies of size s plus the block extraction copies.
+	macs := matmul.MACs(p.S) * int64(p.M*p.M*p.M)
+	copies := sim.Time(8*nn*nn*3) * cm.MemPerByte
+	elapsed := cm.ScaleFor(p.Host, macsCost(cm, p.S, p.Host, macs)+copies)
+	return &MatmulResult{Elapsed: elapsed, C: c}
+}

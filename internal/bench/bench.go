@@ -1,0 +1,81 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md §3 for the index). Each
+// figure function runs the relevant parameter sweep over the simulated
+// cluster and returns the series the paper plots; formatting helpers render
+// them as aligned tables and CSV.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"messengers/internal/sim"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// secs renders a simulated time in seconds with sensible precision.
+func secs(t sim.Time) string { return fmt.Sprintf("%.3f", t.Seconds()) }
+
+// ratio renders a/b.
+func ratio(a, b sim.Time) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", float64(a)/float64(b))
+}

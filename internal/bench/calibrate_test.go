@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"messengers/internal/lan"
+)
+
+// TestCalibrationPrint prints the headline figures for manual calibration:
+// run with `go test ./internal/bench/ -run Calibration -v -calibrate`.
+func TestCalibrationPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration print skipped in -short")
+	}
+	cm := lan.DefaultCostModel()
+
+	f7, err := RunMandelFigure(cm, Fig7Sweep(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", f7.Table().Format())
+	t.Logf("F7 M/PVM at 32 procs: %.2f (paper ~5)", f7.MsgrOverPVM(0, len(f7.Sweep.Procs)-1))
+	t.Logf("F7 M speedup over seq at 32 procs: %.1f (paper: almost linear)", f7.SpeedupOverSeq(0, len(f7.Sweep.Procs)-1))
+
+	a, err := RunMatmulFigure(cm, Fig12aSweep(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", a.Table().Format())
+	t.Logf("F12a crossover: %d (paper ~150)", a.Crossover())
+	if ob, on, ok := a.SpeedupAt(500); ok {
+		t.Logf("F12a n=1000 speedups: %.1f over block, %.1f over naive (paper 3.7 / 4.5)", ob, on)
+	}
+
+	b, err := RunMatmulFigure(cm, Fig12bSweep(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", b.Table().Format())
+	t.Logf("F12b crossover: %d (paper ~20)", b.Crossover())
+	if ob, on, ok := b.SpeedupAt(500); ok {
+		t.Logf("F12b n=1500 speedups: %.1f over block, %.1f over naive (paper 5.8 / 6.7)", ob, on)
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"messengers/internal/apps"
+	"messengers/internal/lan"
+	"messengers/internal/sim"
+)
+
+// MatmulSweep describes one panel of Figure 12.
+type MatmulSweep struct {
+	Name string
+	// M is the processor grid dimension (2 for Fig. 12(a), 3 for (b)).
+	M int
+	// Host is the workstation model (110 MHz for (a), 170 MHz for (b)).
+	Host lan.HostSpec
+	// BlockSizes is the x-axis (block size s; the matrices are M*s square).
+	BlockSizes []int
+	// Arithmetic enables the actual floating-point work (validation);
+	// sweeps skip it since the simulated time is size-determined.
+	Arithmetic bool
+	// FastEthernet puts the cluster on a 100 Mb/s segment (the Fig. 12(b)
+	// testbed; see CostModel.FastEthernet).
+	FastEthernet bool
+}
+
+// MatmulFigure holds one panel's measured series.
+type MatmulFigure struct {
+	Sweep                         MatmulSweep
+	Msgr, PVM, SeqNaive, SeqBlock []sim.Time
+}
+
+// Fig12aSweep is Figure 12(a): 2x2 grid of 110 MHz SPARCstations.
+func Fig12aSweep(short bool) MatmulSweep {
+	s := MatmulSweep{
+		Name: "Figure 12(a)", M: 2, Host: lan.SPARC110,
+		BlockSizes: []int{25, 50, 75, 100, 150, 200, 300, 400, 500},
+	}
+	if short {
+		s.BlockSizes = []int{50, 150, 500}
+	}
+	return s
+}
+
+// Fig12bSweep is Figure 12(b): 3x3 grid of 170 MHz SPARCstations.
+func Fig12bSweep(short bool) MatmulSweep {
+	s := MatmulSweep{
+		Name: "Figure 12(b)", M: 3, Host: lan.SPARC170, FastEthernet: true,
+		BlockSizes: []int{10, 20, 30, 50, 75, 100, 150, 200, 300, 400, 500},
+	}
+	if short {
+		// Keep a point near the measured crossover (~50) so the trimmed
+		// axis still reports it sensibly.
+		s.BlockSizes = []int{10, 50, 500}
+	}
+	return s
+}
+
+// RunMatmulFigure regenerates one panel of Figure 12.
+func RunMatmulFigure(cm *lan.CostModel, sweep MatmulSweep) (*MatmulFigure, error) {
+	if sweep.FastEthernet {
+		cm = cm.FastEthernet()
+	}
+	fig := &MatmulFigure{Sweep: sweep}
+	for _, s := range sweep.BlockSizes {
+		p := apps.MatmulParams{
+			M: sweep.M, S: s, Host: sweep.Host, Seed: int64(s),
+			SkipArithmetic: !sweep.Arithmetic,
+		}
+		mr, err := apps.MatmulMessengers(cm, p)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s messengers s=%d: %w", sweep.Name, s, err)
+		}
+		pr, err := apps.MatmulPVM(cm, p)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s pvm s=%d: %w", sweep.Name, s, err)
+		}
+		fig.Msgr = append(fig.Msgr, mr.Elapsed)
+		fig.PVM = append(fig.PVM, pr.Elapsed)
+		fig.SeqNaive = append(fig.SeqNaive, apps.MatmulSequentialNaive(cm, p).Elapsed)
+		fig.SeqBlock = append(fig.SeqBlock, apps.MatmulSequentialBlock(cm, p).Elapsed)
+	}
+	return fig, nil
+}
+
+// Table renders the panel: times per block size for all four
+// implementations, with the M/PVM ratio.
+func (f *MatmulFigure) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("%s: block matrix multiplication on a %dx%d grid of %s",
+			f.Sweep.Name, f.Sweep.M, f.Sweep.M, f.Sweep.Host.Name),
+		Columns: []string{"block", "n", "MESSENGERS", "PVM", "seq naive", "seq block", "PVM/M"},
+	}
+	for i, s := range f.Sweep.BlockSizes {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", s),
+			fmt.Sprintf("%d", s*f.Sweep.M),
+			secs(f.Msgr[i]),
+			secs(f.PVM[i]),
+			secs(f.SeqNaive[i]),
+			secs(f.SeqBlock[i]),
+			ratio(f.PVM[i], f.Msgr[i]),
+		})
+	}
+	return t
+}
+
+// Crossover returns the smallest block size at which MESSENGERS beats PVM,
+// or -1 if it never does. The paper reports ~150 for the 2x2 grid and ~20
+// for the 3x3 grid.
+func (f *MatmulFigure) Crossover() int {
+	for i, s := range f.Sweep.BlockSizes {
+		if f.Msgr[i] < f.PVM[i] {
+			return s
+		}
+	}
+	return -1
+}
+
+// SpeedupAt returns the MESSENGERS speedups over the two sequential
+// baselines at block size s (paper §3.2.2: 3.7/4.5 at n=1000 on 4 procs,
+// 5.8/6.7 at n=1500 on 9 procs).
+func (f *MatmulFigure) SpeedupAt(s int) (overBlock, overNaive float64, ok bool) {
+	for i, bs := range f.Sweep.BlockSizes {
+		if bs == s {
+			return float64(f.SeqBlock[i]) / float64(f.Msgr[i]),
+				float64(f.SeqNaive[i]) / float64(f.Msgr[i]), true
+		}
+	}
+	return 0, 0, false
+}

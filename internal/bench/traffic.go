@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+
+	"messengers/internal/apps"
+	"messengers/internal/lan"
+)
+
+// RunTrafficTable breaks down the network behavior behind Figure 7: bus
+// messages, bytes, dropped PVM fragments, and central-host CPU occupancy
+// for both systems across the processor axis — the mechanism view of the
+// §2.1 copy/indirection argument.
+func RunTrafficTable(cm *lan.CostModel, size, grid int, procs []int) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("E1: traffic and funnel occupancy, Mandelbrot %dx%d grid %dx%d",
+			size, size, grid, grid),
+		Columns: []string{"P", "system", "time", "bus msgs", "bus MB", "drops", "center CPU s"},
+	}
+	for _, p := range procs {
+		params := apps.PaperMandelParams(size, grid, p)
+		mr, err := apps.MandelMessengers(cm, params)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := apps.MandelPVM(cm, params)
+		if err != nil {
+			return nil, err
+		}
+		row := func(system string, r *apps.MandelResult) []string {
+			return []string{
+				fmt.Sprintf("%d", p), system, secs(r.Elapsed),
+				fmt.Sprintf("%d", r.BusMessages),
+				fmt.Sprintf("%.2f", float64(r.BusBytes)/1e6),
+				fmt.Sprintf("%d", r.Drops),
+				secs(r.CenterBusy),
+			}
+		}
+		t.Rows = append(t.Rows, row("MESSENGERS", mr), row("PVM", pr))
+	}
+	return t, nil
+}

@@ -1,0 +1,136 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"messengers/internal/value"
+)
+
+func sampleProgram() *Program {
+	return &Program{
+		Name:   "sample",
+		Source: "x = 1;",
+		Consts: []value.Value{value.Int(1), value.Str("row"), value.Num(0.5)},
+		Names:  []string{"x", "last"},
+		Funcs: []FuncInfo{
+			{
+				Name: "<main>",
+				Code: []Instr{
+					{Op: OpConst, A: 0},
+					{Op: OpStoreM, A: 0},
+					{Op: OpLoadNet, A: 1},
+					{Op: OpPop},
+					{Op: OpHop, A: 1},
+					{Op: OpEnd},
+				},
+			},
+			{
+				Name: "helper", NumParams: 1, NumLocals: 2,
+				Code: []Instr{
+					{Op: OpLoadL, A: 0},
+					{Op: OpRet},
+				},
+			},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	dec, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Name != p.Name || dec.Source != p.Source {
+		t.Errorf("metadata: %q %q", dec.Name, dec.Source)
+	}
+	if len(dec.Consts) != 3 || !dec.Consts[2].Equal(value.Num(0.5)) {
+		t.Errorf("consts = %v", dec.Consts)
+	}
+	if len(dec.Funcs) != 2 || dec.Funcs[1].NumParams != 1 || dec.Funcs[1].NumLocals != 2 {
+		t.Errorf("funcs = %+v", dec.Funcs)
+	}
+	if dec.Funcs[0].Code[4] != (Instr{Op: OpHop, A: 1}) {
+		t.Errorf("code = %+v", dec.Funcs[0].Code)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	a, b := sampleProgram(), sampleProgram()
+	if a.Hash() != b.Hash() {
+		t.Error("identical programs must hash equal")
+	}
+	// Source changes do not affect the hash (code identity only).
+	b.Source = "different"
+	if a.Hash() != b.Hash() {
+		t.Error("source must not affect the hash")
+	}
+	// Code changes do.
+	b.Funcs[0].Code[0].A = 1
+	if a.Hash() == b.Hash() {
+		t.Error("code change must change the hash")
+	}
+	if a.Hash().String() == "" || len(a.Hash().String()) != 32 {
+		t.Errorf("hash string = %q", a.Hash().String())
+	}
+}
+
+func TestWireSizeExcludesSource(t *testing.T) {
+	p := sampleProgram()
+	base := p.WireSize()
+	p.Source = strings.Repeat("x", 10000)
+	if p.WireSize() != base {
+		t.Error("WireSize must not include source")
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	enc := sampleProgram().Encode()
+	for cut := 0; cut < len(enc)-1; cut += 7 {
+		if _, err := Decode(enc[:cut]); err == nil {
+			// Truncations that only lose source bytes are tolerated.
+			if cut > len(enc)-len(sampleProgram().Source)-4 {
+				continue
+			}
+			t.Errorf("Decode(enc[:%d]) should fail", cut)
+		}
+	}
+	// Unknown opcode.
+	bad := sampleProgram()
+	bad.Funcs[0].Code[0].Op = Op(200)
+	if _, err := Decode(bad.Encode()); err == nil {
+		t.Error("unknown opcode should fail decode")
+	}
+}
+
+func TestFindFunc(t *testing.T) {
+	p := sampleProgram()
+	if p.FindFunc("helper") != 1 {
+		t.Errorf("FindFunc(helper) = %d", p.FindFunc("helper"))
+	}
+	if p.FindFunc("nope") != -1 {
+		t.Error("FindFunc of unknown should be -1")
+	}
+	if p.Func(1).Name != "helper" {
+		t.Error("Func accessor broken")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpHop.String() != "hop" || OpCallNative.String() != "calln" {
+		t.Error("op names wrong")
+	}
+	if !strings.HasPrefix(Op(250).String(), "op(") {
+		t.Errorf("unknown op = %q", Op(250).String())
+	}
+}
+
+func TestDisassembleSample(t *testing.T) {
+	asm := sampleProgram().Disassemble()
+	for _, want := range []string{"const 1", "storem x", "loadnet last", "hop arms=1", "helper"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}

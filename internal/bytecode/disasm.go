@@ -1,0 +1,74 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the program as readable assembly, one function per
+// section, for the msl tool and debugging.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q  hash=%s\n", p.Name, p.Hash())
+	for i, c := range p.Consts {
+		fmt.Fprintf(&b, "  const[%d] = %s\n", i, c.String())
+	}
+	for i, n := range p.Names {
+		fmt.Fprintf(&b, "  name[%d] = %s\n", i, n)
+	}
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		label := f.Name
+		if fi == 0 {
+			label = "<main>"
+		}
+		fmt.Fprintf(&b, "func %d %s (params=%d locals=%d)\n", fi, label, f.NumParams, f.NumLocals)
+		for pc, ins := range f.Code {
+			fmt.Fprintf(&b, "  %4d  %s", pc, p.instrString(ins))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func (p *Program) instrString(ins Instr) string {
+	name := func(i int32) string {
+		if i >= 0 && int(i) < len(p.Names) {
+			return p.Names[i]
+		}
+		return fmt.Sprintf("?%d", i)
+	}
+	switch ins.Op {
+	case OpConst:
+		if ins.A >= 0 && int(ins.A) < len(p.Consts) {
+			return fmt.Sprintf("const %s", p.Consts[ins.A].String())
+		}
+		return fmt.Sprintf("const ?%d", ins.A)
+	case OpLoadM, OpStoreM, OpLoadN, OpStoreN, OpLoadNet:
+		return fmt.Sprintf("%s %s", ins.Op, name(ins.A))
+	case OpLoadL, OpStoreL:
+		return fmt.Sprintf("%s slot%d", ins.Op, ins.A)
+	case OpJmp, OpJz:
+		return fmt.Sprintf("%s -> %d", ins.Op, ins.A)
+	case OpArr:
+		return fmt.Sprintf("arr %d", ins.A)
+	case OpCallFunc:
+		fname := fmt.Sprintf("?%d", ins.A)
+		if ins.A >= 0 && int(ins.A) < len(p.Funcs) {
+			fname = p.Funcs[ins.A].Name
+		}
+		return fmt.Sprintf("callf %s argc=%d", fname, ins.B)
+	case OpCallNative:
+		return fmt.Sprintf("calln %s argc=%d", name(ins.A), ins.B)
+	case OpHop, OpDelete:
+		return fmt.Sprintf("%s arms=%d", ins.Op, ins.A)
+	case OpCreate:
+		all := ""
+		if ins.B != 0 {
+			all = " ALL"
+		}
+		return fmt.Sprintf("create arms=%d%s", ins.A, all)
+	default:
+		return ins.Op.String()
+	}
+}

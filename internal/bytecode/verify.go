@@ -1,0 +1,75 @@
+package bytecode
+
+import "fmt"
+
+// maxNavArms bounds the destination arms of one navigational statement.
+const maxNavArms = 1 << 10
+
+// Validate checks every instruction's operands against the program's
+// pools, code bounds, and stack discipline invariants the VM relies on.
+// Programs arriving over the wire (registry broadcasts, carried code) are
+// validated before execution so a corrupt or hostile program yields an
+// error instead of a daemon crash.
+func (p *Program) Validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("bytecode: program %q has no main body", p.Name)
+	}
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		if f.NumParams < 0 || f.NumLocals < 0 || f.NumParams > f.NumLocals {
+			return fmt.Errorf("bytecode: %s: params %d / locals %d invalid", f.Name, f.NumParams, f.NumLocals)
+		}
+		if len(f.Code) == 0 {
+			return fmt.Errorf("bytecode: %s: empty code", f.Name)
+		}
+		for pc, ins := range f.Code {
+			fail := func(format string, args ...any) error {
+				return fmt.Errorf("bytecode: %s@%d (%s): %s", f.Name, pc, ins.Op, fmt.Sprintf(format, args...))
+			}
+			switch ins.Op {
+			case OpConst:
+				if ins.A < 0 || int(ins.A) >= len(p.Consts) {
+					return fail("constant index %d of %d", ins.A, len(p.Consts))
+				}
+			case OpLoadM, OpStoreM, OpLoadN, OpStoreN, OpLoadNet, OpCallNative:
+				if ins.A < 0 || int(ins.A) >= len(p.Names) {
+					return fail("name index %d of %d", ins.A, len(p.Names))
+				}
+				if ins.Op == OpCallNative && ins.B < 0 {
+					return fail("negative argc %d", ins.B)
+				}
+			case OpLoadL, OpStoreL:
+				if ins.A < 0 || int(ins.A) >= f.NumLocals {
+					return fail("local slot %d of %d", ins.A, f.NumLocals)
+				}
+			case OpJmp, OpJz:
+				if ins.A < 0 || int(ins.A) > len(f.Code) {
+					return fail("jump target %d of %d", ins.A, len(f.Code))
+				}
+			case OpArr:
+				if ins.A < 0 {
+					return fail("negative element count %d", ins.A)
+				}
+			case OpCallFunc:
+				if ins.A <= 0 || int(ins.A) >= len(p.Funcs) {
+					return fail("function index %d of %d", ins.A, len(p.Funcs))
+				}
+				callee := &p.Funcs[ins.A]
+				if int(ins.B) != callee.NumParams {
+					return fail("argc %d for %s taking %d", ins.B, callee.Name, callee.NumParams)
+				}
+			case OpHop, OpDelete, OpCreate:
+				if ins.A < 1 || ins.A > maxNavArms {
+					return fail("arm count %d", ins.A)
+				}
+			case OpNop, OpPop, OpDup, OpDup2, OpAdd, OpSub, OpMul, OpDiv,
+				OpMod, OpNeg, OpNot, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe,
+				OpIndex, OpSetIndex, OpRet, OpSchedAbs, OpSchedDlt, OpEnd:
+				// No operand constraints.
+			default:
+				return fail("unknown opcode")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"messengers/internal/value"
+)
+
+func validProgram() *Program {
+	return &Program{
+		Name:   "v",
+		Consts: []value.Value{value.Int(1)},
+		Names:  []string{"x"},
+		Funcs: []FuncInfo{
+			{Name: "<main>", Code: []Instr{{Op: OpConst}, {Op: OpStoreM}, {Op: OpEnd}}},
+			{Name: "f", NumParams: 1, NumLocals: 2, Code: []Instr{{Op: OpLoadL}, {Op: OpRet}}},
+		},
+	}
+}
+
+func TestValidateAcceptsValid(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+		want   string
+	}{
+		{"no funcs", func(p *Program) { p.Funcs = nil }, "no main body"},
+		{"empty code", func(p *Program) { p.Funcs[0].Code = nil }, "empty code"},
+		{"const oob", func(p *Program) { p.Funcs[0].Code[0].A = 5 }, "constant index"},
+		{"const negative", func(p *Program) { p.Funcs[0].Code[0].A = -1 }, "constant index"},
+		{"name oob", func(p *Program) { p.Funcs[0].Code[1].A = 9 }, "name index"},
+		{"local oob", func(p *Program) { p.Funcs[1].Code[0].A = 2 }, "local slot"},
+		{"params exceed locals", func(p *Program) { p.Funcs[1].NumParams = 3 }, "invalid"},
+		{"jump oob", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpJmp, A: 99}
+		}, "jump target"},
+		{"jump negative", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpJz, A: -2}
+		}, "jump target"},
+		{"callfunc main", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpCallFunc, A: 0}
+		}, "function index"},
+		{"callfunc oob", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpCallFunc, A: 7}
+		}, "function index"},
+		{"callfunc argc", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpCallFunc, A: 1, B: 3}
+		}, "argc"},
+		{"hop zero arms", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpHop, A: 0}
+		}, "arm count"},
+		{"create huge arms", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpCreate, A: 1 << 20}
+		}, "arm count"},
+		{"negative argc native", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpCallNative, A: 0, B: -1}
+		}, "negative argc"},
+		{"arr negative", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpArr, A: -1}
+		}, "element count"},
+		{"unknown op", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: Op(99)}
+		}, "unknown opcode"},
+	}
+	for _, tc := range cases {
+		p := validProgram()
+		tc.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: should be rejected", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeRunsValidation(t *testing.T) {
+	p := validProgram()
+	p.Funcs[0].Code[0].A = 99 // invalid constant index, structurally fine
+	if _, err := Decode(p.Encode()); err == nil {
+		t.Error("Decode must validate operands")
+	}
+}

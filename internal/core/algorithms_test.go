@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"messengers/internal/value"
+)
+
+// TestFloodingShortestPaths runs a classic navigational-paradigm algorithm
+// in pure MSL: a wave of Messengers floods an irregular logical network,
+// each carrying its path length and relaxing node.dist at every node it
+// improves — BFS with no message passing, no queues, and no termination
+// protocol beyond "a Messenger that cannot improve anything dies".
+func TestFloodingShortestPaths(t *testing.T) {
+	k, sys := simSystem(t, 4)
+
+	//      a --- b --- c
+	//      |           |
+	//      d --- e --- f --- g        (h isolated from the wave's source)
+	edges := [][2]string{
+		{"a", "b"}, {"b", "c"}, {"a", "d"}, {"d", "e"}, {"e", "f"}, {"c", "f"}, {"f", "g"},
+	}
+	spec := NetSpec{}
+	nodes := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, n := range nodes {
+		spec.Nodes = append(spec.Nodes, NetNode{Name: n, Daemon: i % 4})
+	}
+	for _, e := range edges {
+		spec.Links = append(spec.Links, NetLink{A: e[0], B: e[1], Name: "edge"})
+	}
+	if err := sys.BuildNetwork(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	register(t, sys, "flood", `
+		for (;;) {
+			if (node.dist != nil && node.dist <= d) { end; }
+			node.dist = d;
+			d = d + 1;
+			hop(ll = "edge");
+		}
+	`)
+	err := sys.InjectAt(0, "flood", "a", map[string]value.Value{"d": value.Int(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+
+	want := map[string]int64{"a": 0, "b": 1, "c": 2, "d": 1, "e": 2, "f": 3, "g": 4}
+	for i, n := range nodes {
+		vars, ok := sys.ReadNodeVars(i%4, n)
+		if !ok {
+			t.Fatalf("node %s missing", n)
+		}
+		if wd, reachable := want[n]; reachable {
+			if got := vars["dist"]; got.AsInt() != wd {
+				t.Errorf("dist(%s) = %v, want %d", n, got, wd)
+			}
+		} else if !vars["dist"].IsNil() {
+			t.Errorf("unreachable node %s got dist %v", n, vars["dist"])
+		}
+	}
+}
+
+// TestEchoWaveLeaderElection elects a maximum-ID leader by flooding: every
+// node starts a candidate Messenger carrying its ID; candidates die at any
+// node that has already seen a larger ID. Exactly one ID saturates the
+// network.
+func TestEchoWaveLeaderElection(t *testing.T) {
+	const n = 6
+	k, sys := simSystem(t, 3)
+	spec := NetSpec{}
+	for i := 0; i < n; i++ {
+		spec.Nodes = append(spec.Nodes, NetNode{Name: fmt.Sprintf("p%d", i), Daemon: i % 3})
+		spec.Links = append(spec.Links, NetLink{
+			A: fmt.Sprintf("p%d", i), B: fmt.Sprintf("p%d", (i+1)%n), Name: "edge",
+		})
+	}
+	// A chord to make it non-trivial.
+	spec.Links = append(spec.Links, NetLink{A: "p0", B: "p3", Name: "edge"})
+	if err := sys.BuildNetwork(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	register(t, sys, "candidate", `
+		for (;;) {
+			if (node.leader != nil && node.leader >= id) { end; }
+			node.leader = id;
+			hop(ll = "edge");
+		}
+	`)
+	ids := []int64{17, 3, 99, 25, 8, 41}
+	for i, id := range ids {
+		err := sys.InjectAt(i%3, "candidate", fmt.Sprintf("p%d", i),
+			map[string]value.Value{"id": value.Int(id)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	runSim(t, k, sys)
+	for i := 0; i < n; i++ {
+		vars, _ := sys.ReadNodeVars(i%3, fmt.Sprintf("p%d", i))
+		if got := vars["leader"].AsInt(); got != 99 {
+			t.Errorf("p%d elected %d, want 99", i, got)
+		}
+	}
+}
+
+// TestMultiArmHop exercises a single hop statement with several
+// destination specifications (the paper's footnote 2).
+func TestMultiArmHop(t *testing.T) {
+	k, sys := simSystem(t, 2)
+	spec := NetSpec{
+		Nodes: []NetNode{
+			{Name: "hub", Daemon: 0}, {Name: "left", Daemon: 0},
+			{Name: "right", Daemon: 1}, {Name: "up", Daemon: 1},
+		},
+		Links: []NetLink{
+			{A: "hub", B: "left", Name: "x"},
+			{A: "hub", B: "right", Name: "y"},
+			{A: "hub", B: "up", Name: "z"},
+		},
+	}
+	if err := sys.BuildNetwork(spec); err != nil {
+		t.Fatal(err)
+	}
+	register(t, sys, "split", `
+		hop(ll = "x", "y");   // two arms, one statement
+		node.mark = 1;
+	`)
+	if err := sys.InjectAt(0, "split", "hub", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	for _, probe := range []struct {
+		daemon int
+		node   string
+		want   int64
+	}{{0, "left", 1}, {1, "right", 1}, {1, "up", 0}} {
+		vars, _ := sys.ReadNodeVars(probe.daemon, probe.node)
+		if got := vars["mark"].AsInt(); got != probe.want {
+			t.Errorf("%s mark = %d, want %d", probe.node, got, probe.want)
+		}
+	}
+}
+
+// TestCreateOnSpecificDaemon pins create's daemon destination spec.
+func TestCreateOnSpecificDaemon(t *testing.T) {
+	k, sys := simSystem(t, 4)
+	register(t, sys, "placer", `
+		create(ln = "outpost"; ll = "road"; dn = "d2");
+		node.built_on = $daemon;
+	`)
+	if err := sys.Inject(0, "placer", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	vars, ok := sys.ReadNodeVars(2, "outpost")
+	if !ok {
+		t.Fatal("outpost not on daemon 2")
+	}
+	if vars["built_on"].AsInt() != 2 {
+		t.Errorf("built_on = %v", vars["built_on"])
+	}
+}
+
+// TestCreateChainAcrossDaemons builds a path node-by-node with directed
+// links and walks it back (the ack/pending-link path for remote creates).
+func TestCreateChainAcrossDaemons(t *testing.T) {
+	k, sys := simSystem(t, 4)
+	register(t, sys, "chain", `
+		for (i = 1; i < $ndaemons; i++) {
+			create(ln = "c" + i; ll = "path"; ldir = +; dn = i);
+		}
+		node.tail = 1;
+		// Walk all the way back against the link direction.
+		for (i = 1; i < $ndaemons; i++) {
+			hop(ll = "path", ldir = -);
+		}
+		node.home = $node;
+	`)
+	if err := sys.Inject(0, "chain", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	vars, ok := sys.ReadNodeVars(3, "c3")
+	if !ok || vars["tail"].AsInt() != 1 {
+		t.Errorf("tail missing: %v (ok=%v)", vars, ok)
+	}
+	init := sys.Daemon(0).Store().Init()
+	if init.Vars["home"].AsStr() != "init" {
+		t.Errorf("home = %v", init.Vars["home"])
+	}
+}
+
+// TestHopForwardOverPendingLink drives the one ordering the create-ack
+// protocol must guarantee: hop out over a link whose remote create was
+// just issued (FIFO delivery means the ack resolves the half-link before
+// any Messenger can traverse it from the origin side).
+func TestHopForwardOverPendingLink(t *testing.T) {
+	k, sys := simSystem(t, 2)
+	register(t, sys, "builder", `
+		create(ln = "far"; ll = "bridge"; dn = 1);
+		hop(ll = "bridge");       // back to init on d0
+		inject("crosser");
+	`)
+	register(t, sys, "crosser", `
+		hop(ll = "bridge");       // out over the completed half-link
+		node.crossed = node.crossed + 1;
+	`)
+	if err := sys.Inject(0, "builder", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	vars, ok := sys.ReadNodeVars(1, "far")
+	if !ok || vars["crossed"].AsInt() != 1 {
+		t.Errorf("crossed = %v (ok=%v)", vars, ok)
+	}
+}

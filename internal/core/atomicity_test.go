@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"messengers/internal/value"
+)
+
+// TestCriticalSectionsWithoutLocks drives the §2.1 claim on the real
+// concurrent engine: because a daemon never interrupts a Messenger between
+// navigational statements, a multi-statement read-modify-write on node
+// variables is a critical section with no locks. Many Messengers hammer
+// one account node with a withdraw-then-deposit sequence that goes through
+// an intermediate Messenger variable; any preemption between the read and
+// the writes would lose updates.
+func TestCriticalSectionsWithoutLocks(t *testing.T) {
+	const nWorkers = 8
+	const rounds = 200
+	sys := chanSystem(t, 3)
+	register(t, sys, "transfer", `
+		for (k = 0; k < rounds; k++) {
+			hop(ln = "account", ll = virtual);
+			// --- critical section: no navigational statements inside ---
+			balance = node.balance;      // read
+			balance = balance - 10;      // compute
+			node.balance = balance;      // write
+			node.log = node.log + 1;
+			node.balance = node.balance + 10;
+			// --- end critical section ---
+			hop(ln = "init", ll = virtual);
+		}
+		hop(ln = "account", ll = virtual);
+		node.done = node.done + 1;
+	`)
+	// The account node lives on daemon 0 next to init so virtual hops
+	// resolve locally.
+	spec := NetSpec{Nodes: []NetNode{{Name: "account", Daemon: 0}}}
+	if err := sys.BuildNetwork(spec); err != nil {
+		t.Fatal(err)
+	}
+	sys.Daemon(0).Store().FindByName("account")[0].Vars["balance"] = value.Int(1000)
+
+	for i := 0; i < nWorkers; i++ {
+		err := sys.Inject(0, "transfer", map[string]value.Value{"rounds": value.Int(rounds)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDone(t, sys)
+
+	result := make(chan map[string]value.Value, 1)
+	sys.Do(0, func(d *Daemon) {
+		result <- value.CloneEnv(d.Store().FindByName("account")[0].Vars)
+	})
+	vars := <-result
+	if got := vars["balance"].AsInt(); got != 1000 {
+		t.Errorf("balance = %d, want 1000 (lost updates: critical section violated)", got)
+	}
+	if got := vars["log"].AsInt(); got != nWorkers*rounds {
+		t.Errorf("log = %d, want %d", got, nWorkers*rounds)
+	}
+	if got := vars["done"].AsInt(); got != nWorkers {
+		t.Errorf("done = %d, want %d", got, nWorkers)
+	}
+}
+
+// TestRealEngineSwarmStress floods the real engine with Messengers doing
+// random-ish navigation and checks clean quiescence with no errors.
+func TestRealEngineSwarmStress(t *testing.T) {
+	const daemons = 6
+	const swarm = 40
+	sys := chanSystem(t, daemons)
+	// A complete logical graph over all daemons' rendezvous nodes.
+	spec := NetSpec{}
+	for i := 0; i < daemons; i++ {
+		spec.Nodes = append(spec.Nodes, NetNode{Name: fmt.Sprintf("v%d", i), Daemon: i})
+	}
+	for i := 0; i < daemons; i++ {
+		for j := i + 1; j < daemons; j++ {
+			spec.Links = append(spec.Links, NetLink{
+				A: fmt.Sprintf("v%d", i), B: fmt.Sprintf("v%d", j), Name: "e",
+			})
+		}
+	}
+	if err := sys.BuildNetwork(spec); err != nil {
+		t.Fatal(err)
+	}
+	register(t, sys, "wanderer", `
+		for (k = 0; k < steps; k++) {
+			node.visits = node.visits + 1;
+			// Walk to the "next" vertex by seed arithmetic: the vertex
+			// names are known, so pick one pseudo-randomly and jump.
+			seed = (seed * 1103515245 + 12345) % 2147483648;
+			hop(ln = "v" + (seed % 6), ll = "e");
+		}
+		hop(ln = "v0", ll = virtual);
+		node.retired = node.retired + 1;
+	`)
+	for i := 0; i < swarm; i++ {
+		err := sys.InjectAt(i%daemons, "wanderer", fmt.Sprintf("v%d", i%daemons),
+			map[string]value.Value{"steps": value.Int(30), "seed": value.Int(int64(i + 1))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDone(t, sys)
+
+	// Conservation: every wanderer either retired at v0 or died at a
+	// dead-end hop (hopping to the vertex it is already on matches no
+	// link). Visits equal completed steps.
+	var retired int64
+	done := make(chan struct{})
+	sys.Do(0, func(d *Daemon) {
+		retired = d.Store().FindByName("v0")[0].Vars["retired"].AsInt()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stats read timed out")
+	}
+	st := sys.TotalStats()
+	if st.Finished+st.Died != swarm {
+		t.Errorf("finished %d + died %d != %d injected", st.Finished, st.Died, swarm)
+	}
+	if retired != st.Finished {
+		t.Errorf("retired %d != finished %d", retired, st.Finished)
+	}
+	if st.Errors != 0 {
+		t.Errorf("errors = %d", st.Errors)
+	}
+}
+
+// TestNativeErrorIsolatesMessenger: one Messenger dying on a native error
+// must not disturb the others.
+func TestNativeErrorIsolatesMessenger(t *testing.T) {
+	k, sys := simSystem(t, 2)
+	sys.RegisterNative("maybe_fail", func(ctx *NativeCtx, args []value.Value) (value.Value, error) {
+		if args[0].AsInt() == 13 {
+			return value.Nil(), fmt.Errorf("injected fault")
+		}
+		return value.Int(1), nil
+	})
+	register(t, sys, "worker", `
+		x = maybe_fail(id);
+		node.survivors = node.survivors + 1;
+	`)
+	for i := 0; i < 20; i++ {
+		err := sys.Inject(0, "worker", map[string]value.Value{"id": value.Int(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if got := sys.Daemon(0).Store().Init().Vars["survivors"].AsInt(); got != 19 {
+		t.Errorf("survivors = %d, want 19", got)
+	}
+	if errs := sys.Errors(); len(errs) != 1 {
+		t.Errorf("errors = %v", errs)
+	}
+	if sys.Live() != 0 {
+		t.Errorf("live = %d", sys.Live())
+	}
+}

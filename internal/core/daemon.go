@@ -1,0 +1,728 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"messengers/internal/bytecode"
+	"messengers/internal/lan"
+	"messengers/internal/logical"
+	"messengers/internal/sim"
+	"messengers/internal/value"
+	"messengers/internal/vm"
+)
+
+// maxSegmentSteps bounds a single uninterrupted VM segment (runaway guard).
+const maxSegmentSteps = 1 << 30
+
+// Messenger is one autonomous self-migrating computation: its VM state,
+// the logical node it currently occupies, the link it arrived by ($last),
+// and its local virtual time.
+type Messenger struct {
+	ID   uint64
+	VM   *vm.VM
+	Node logical.NodeID
+	Last string
+	LVT  float64
+}
+
+// NativeFunc is a registered native-mode function (the paper's dynamically
+// loaded precompiled C functions). Natives run uninterrupted on the
+// daemon's executor; they may touch the current node's variables through
+// ctx and report their modeled cost with ctx.Charge.
+type NativeFunc func(ctx *NativeCtx, args []value.Value) (value.Value, error)
+
+// NativeCtx gives a native function access to its execution environment.
+type NativeCtx struct {
+	d      *Daemon
+	m      *Messenger
+	node   *logical.Node
+	charge sim.Time
+}
+
+// DaemonID returns the executing daemon's ID.
+func (c *NativeCtx) DaemonID() int { return c.d.id }
+
+// NumDaemons returns the daemon count.
+func (c *NativeCtx) NumDaemons() int { return c.d.eng.NumDaemons() }
+
+// Model returns the simulation cost model, or nil on real engines.
+func (c *NativeCtx) Model() *lan.CostModel { return c.d.eng.Model() }
+
+// HostSpec describes the host this daemon occupies.
+func (c *NativeCtx) HostSpec() lan.HostSpec { return c.d.eng.HostSpec(c.d.id) }
+
+// Charge adds modeled CPU cost (110 MHz-calibrated) for this invocation.
+func (c *NativeCtx) Charge(t sim.Time) { c.charge += t }
+
+// NodeVar reads a variable of the current logical node.
+func (c *NativeCtx) NodeVar(name string) value.Value { return c.node.Vars[name] }
+
+// SetNodeVar writes a variable of the current logical node.
+func (c *NativeCtx) SetNodeVar(name string, v value.Value) { c.node.Vars[name] = v }
+
+// NodeName returns the current logical node's name.
+func (c *NativeCtx) NodeName() string { return c.node.Name }
+
+// MsgrVar reads a Messenger variable of the invoking Messenger.
+func (c *NativeCtx) MsgrVar(name string) value.Value { return c.m.VM.Var(name) }
+
+// SetMsgrVar writes a Messenger variable of the invoking Messenger.
+func (c *NativeCtx) SetMsgrVar(name string, v value.Value) { c.m.VM.SetVar(name, v) }
+
+// LVT returns the invoking Messenger's local virtual time.
+func (c *NativeCtx) LVT() float64 { return c.m.LVT }
+
+// Print emits a line to the system output.
+func (c *NativeCtx) Print(s string) { c.d.sys.print(c.d.id, s) }
+
+// Stats counts daemon activity over a run (reported in EXPERIMENTS.md).
+type Stats struct {
+	Arrived    int64 // Messengers received from other daemons
+	Segments   int64 // VM segments executed
+	Steps      int64 // VM instructions interpreted
+	LocalHops  int64
+	RemoteHops int64
+	Creates    int64 // logical nodes created here
+	Deletes    int64 // links deleted here
+	Finished   int64 // Messengers that terminated here
+	Died       int64 // Messengers with zero matching destinations
+	Errors     int64 // Messengers destroyed by runtime errors
+	GVTRounds  int64 // coordinator rounds (daemon 0 only)
+	Suspends   int64 // virtual-time suspensions
+}
+
+// Daemon is one MESSENGERS daemon: the interpreter process resident on one
+// host. All daemon state is confined to its executor; the engine guarantees
+// Exec/HandleMsg callbacks for one daemon never run concurrently.
+type Daemon struct {
+	id    int
+	eng   Engine
+	topo  *Topology
+	store *logical.Store
+	sys   *System
+
+	programs map[bytecode.Hash]*bytecode.Program
+	byName   map[string]*bytecode.Program
+
+	nextMsgrID uint64
+	rr         int // round-robin cursor for create's daemon choice
+
+	// Conservative GVT state.
+	gvt        float64
+	waitQ      wakeHeap
+	activeLVTs map[uint64]float64 // live, runnable Messengers' LVTs
+	sent, recv int64
+	notified   bool
+
+	coord *coordinator // non-nil on daemon 0
+
+	Stats Stats
+}
+
+func newDaemon(id int, eng Engine, topo *Topology, sys *System) *Daemon {
+	d := &Daemon{
+		id:         id,
+		eng:        eng,
+		topo:       topo,
+		store:      logical.NewStore(id),
+		sys:        sys,
+		programs:   map[bytecode.Hash]*bytecode.Program{},
+		byName:     map[string]*bytecode.Program{},
+		activeLVTs: map[uint64]float64{},
+	}
+	if id == 0 {
+		d.coord = &coordinator{d: d}
+	}
+	return d
+}
+
+// ID returns the daemon's ID.
+func (d *Daemon) ID() int { return d.id }
+
+// Store exposes the logical-network store (inspection and the net-builder
+// service; must only be touched from the daemon's executor).
+func (d *Daemon) Store() *logical.Store { return d.store }
+
+// GVT returns the daemon's view of global virtual time.
+func (d *Daemon) GVT() float64 { return d.gvt }
+
+// register adds a program to this daemon's script registry.
+func (d *Daemon) register(p *bytecode.Program) {
+	d.programs[p.Hash()] = p
+	d.byName[p.Name] = p
+}
+
+func (d *Daemon) exec(cost sim.Time, fn func()) { d.eng.Exec(d.id, cost, fn) }
+
+// instrCost converts a VM step count to CPU cost (zero on real engines).
+func (d *Daemon) instrCost(steps int64) sim.Time {
+	cm := d.eng.Model()
+	if cm == nil {
+		return 0
+	}
+	return sim.Time(steps) * cm.PerInstr
+}
+
+func (d *Daemon) modelTime(f func(cm *lan.CostModel) sim.Time) sim.Time {
+	cm := d.eng.Model()
+	if cm == nil {
+		return 0
+	}
+	return f(cm)
+}
+
+// fail destroys a Messenger due to a runtime error.
+func (d *Daemon) fail(m *Messenger, err error) {
+	d.Stats.Errors++
+	delete(d.activeLVTs, m.ID)
+	d.sys.recordError(fmt.Errorf("daemon %d, messenger %d: %w", d.id, m.ID, err))
+	d.sys.workDone(1)
+}
+
+// die destroys a Messenger that has no matching destination (the hop
+// semantics: replicate to all matching destinations — zero matches means
+// the Messenger ceases to exist).
+func (d *Daemon) die(m *Messenger) {
+	d.Stats.Died++
+	delete(d.activeLVTs, m.ID)
+	d.sys.workDone(1)
+}
+
+// finish completes a Messenger normally.
+func (d *Daemon) finish(m *Messenger) {
+	d.Stats.Finished++
+	delete(d.activeLVTs, m.ID)
+	d.sys.workDone(1)
+}
+
+// spawnLocal starts running a Messenger resident on this daemon.
+func (d *Daemon) spawnLocal(m *Messenger) {
+	d.activeLVTs[m.ID] = m.LVT
+	d.step(m)
+}
+
+// step executes the Messenger's next VM segment on this daemon. Must run on
+// the daemon's executor.
+func (d *Daemon) step(m *Messenger) {
+	node, ok := d.store.Node(m.Node)
+	if !ok {
+		// The node was deleted while the Messenger was in flight.
+		d.die(m)
+		return
+	}
+	host := &msgrHost{d: d, m: m, node: node}
+	res, err := m.VM.Run(host, maxSegmentSteps)
+	if err != nil {
+		d.fail(m, err)
+		return
+	}
+	d.Stats.Segments++
+	d.Stats.Steps += res.Steps
+	cost := d.instrCost(res.Steps)
+
+	switch res.Pause {
+	case vm.PauseEnd:
+		d.exec(cost, func() { d.finish(m) })
+
+	case vm.PauseNative:
+		fn, ok := d.sys.natives[res.Native]
+		if !ok {
+			d.fail(m, fmt.Errorf("unknown native function %q", res.Native))
+			return
+		}
+		ctx := &NativeCtx{d: d, m: m, node: node}
+		v, err := fn(ctx, res.Args)
+		if err != nil {
+			d.fail(m, fmt.Errorf("native %s: %w", res.Native, err))
+			return
+		}
+		m.VM.PushResult(v)
+		cost += ctx.charge + d.modelTime(func(cm *lan.CostModel) sim.Time { return cm.CallFixed })
+		d.exec(cost, func() { d.step(m) })
+
+	case vm.PauseHop, vm.PauseDelete:
+		cost += d.modelTime(func(cm *lan.CostModel) sim.Time { return cm.MsgrHopFixed })
+		isDelete := res.Pause == vm.PauseDelete
+		d.exec(cost, func() { d.doHop(m, node, res.Arms, isDelete) })
+
+	case vm.PauseCreate:
+		cost += d.modelTime(func(cm *lan.CostModel) sim.Time { return cm.MsgrHopFixed })
+		d.exec(cost, func() { d.doCreate(m, node, res.Arms, res.All) })
+
+	case vm.PauseSchedAbs:
+		d.exec(cost, func() { d.suspend(m, res.Time) })
+
+	case vm.PauseSchedDlt:
+		wake := m.LVT + res.Time
+		d.exec(cost, func() { d.suspend(m, wake) })
+	}
+}
+
+// doHop resolves a hop/delete and replicates the Messenger to every match.
+func (d *Daemon) doHop(m *Messenger, node *logical.Node, arms []vm.NavArm, isDelete bool) {
+	if _, ok := d.store.Node(node.ID); !ok {
+		d.die(m)
+		return
+	}
+	var matches []logical.Match
+	for _, arm := range arms {
+		ms := d.store.Match(node, navString(arm.LN), navString(arm.LL), navString(arm.LDir))
+		matches = append(matches, ms...)
+	}
+	if len(matches) == 0 {
+		d.die(m)
+		return
+	}
+	if isDelete {
+		// Remove the local half of every traversed link now; the remote
+		// halves are removed when the replicas arrive.
+		for _, match := range matches {
+			if match.Link != nil {
+				d.store.DetachHalf(node, match.Link.ID)
+				d.Stats.Deletes++
+			}
+		}
+	}
+	d.sys.workAdded(len(matches) - 1)
+	delete(d.activeLVTs, m.ID)
+	for i, match := range matches {
+		clone := m.VM
+		if i < len(matches)-1 {
+			clone = m.VM.Clone()
+		}
+		var removeLink logical.LinkID
+		if isDelete && match.Link != nil {
+			removeLink = match.Link.ID
+		}
+		d.routeMessenger(clone, m.LVT, match.Dest, match.Via, removeLink)
+	}
+}
+
+// routeMessenger delivers a (possibly cloned) Messenger VM to a destination
+// node, locally or over the network.
+func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via string, removeLink logical.LinkID) {
+	if dest.Daemon == d.id {
+		d.Stats.LocalHops++
+		nm := &Messenger{ID: d.newMsgrID(), VM: mvm, Node: dest.Node, Last: via, LVT: lvt}
+		if removeLink != (logical.LinkID{}) {
+			if n, ok := d.store.Node(dest.Node); ok {
+				d.store.DetachHalf(n, removeLink)
+			}
+		}
+		d.activeLVTs[nm.ID] = lvt
+		localCost := d.modelTime(func(cm *lan.CostModel) sim.Time { return cm.CallFixed })
+		d.exec(localCost, func() { d.step(nm) })
+		return
+	}
+	d.Stats.RemoteHops++
+	msg := &Msg{
+		Kind:       MsgMessenger,
+		From:       d.id,
+		ProgHash:   mvm.Program().Hash(),
+		Snapshot:   mvm.Snapshot(),
+		MsgrID:     d.newMsgrID(),
+		LVT:        lvt,
+		DestNode:   dest.Node,
+		Last:       via,
+		RemoveLink: removeLink,
+	}
+	// Under the shared-code registry (the paper's shared-file-system
+	// optimization) only the hash travels; the A4 ablation disables the
+	// registry cache and ships the bytecode with every hop.
+	if cm := d.eng.Model(); cm != nil && !cm.MsgrCodeCached {
+		msg.ProgBytes = mvm.Program().Encode()
+	}
+	d.sent++
+	d.eng.Send(d.id, dest.Daemon, msg)
+}
+
+// doCreate resolves a create statement: one new node (and connecting link)
+// per arm on the chosen daemon(s); the Messenger replicates into every new
+// node and the original ceases.
+func (d *Daemon) doCreate(m *Messenger, node *logical.Node, arms []vm.NavArm, all bool) {
+	if _, ok := d.store.Node(node.ID); !ok {
+		d.die(m)
+		return
+	}
+	type target struct {
+		arm    vm.NavArm
+		daemon int
+	}
+	var targets []target
+	for _, arm := range arms {
+		cands := d.topo.MatchDaemons(d.id, arm.DN, arm.DL, arm.DDir)
+		if len(cands) == 0 {
+			continue
+		}
+		if all {
+			for _, td := range cands {
+				targets = append(targets, target{arm: arm, daemon: td})
+			}
+		} else {
+			td := cands[d.rr%len(cands)]
+			d.rr++
+			targets = append(targets, target{arm: arm, daemon: td})
+		}
+	}
+	if len(targets) == 0 {
+		d.die(m)
+		return
+	}
+	d.sys.workAdded(len(targets) - 1)
+	delete(d.activeLVTs, m.ID)
+	origin := d.store.Addr(node)
+	for i, tg := range targets {
+		clone := m.VM
+		if i < len(targets)-1 {
+			clone = m.VM.Clone()
+		}
+		linkName := navCreateName(tg.arm.LL)
+		nodeName := navCreateName(tg.arm.LN)
+		dir := createDir(tg.arm.LDir)
+		linkID := d.store.NewLinkID()
+		directed := dir != 0
+		// Attach the origin half now. For a remote create the peer node ID
+		// is unknown until the ack arrives (see MsgCreateAck); FIFO
+		// delivery guarantees the ack precedes any Messenger returning
+		// over this link.
+		if tg.daemon == d.id {
+			nn := d.store.CreateNode(nodeName)
+			d.Stats.Creates++
+			d.store.AttachHalf(node, linkID, linkName, directed, dir == 1, d.store.Addr(nn), nn.Name)
+			d.store.AttachHalf(nn, linkID, linkName, directed, dir == 2, origin, node.Name)
+			nm := &Messenger{ID: d.newMsgrID(), VM: clone, Node: nn.ID,
+				Last: logical.RefName(linkID, linkName), LVT: m.LVT}
+			d.activeLVTs[nm.ID] = nm.LVT
+			localCost := d.modelTime(func(cm *lan.CostModel) sim.Time { return cm.CallFixed })
+			d.exec(localCost, func() { d.step(nm) })
+			continue
+		}
+		d.store.AttachHalf(node, linkID, linkName, directed, dir == 1,
+			logical.Addr{Daemon: tg.daemon}, nodeName)
+		msg := &Msg{
+			Kind:       MsgCreate,
+			From:       d.id,
+			ProgHash:   clone.Program().Hash(),
+			Snapshot:   clone.Snapshot(),
+			MsgrID:     d.newMsgrID(),
+			LVT:        m.LVT,
+			CreateName: nodeName,
+			LinkID:     linkID,
+			LinkName:   linkName,
+			LinkDir:    dir,
+			Origin:     origin,
+			OriginName: node.Name,
+		}
+		d.sent++
+		d.eng.Send(d.id, tg.daemon, msg)
+	}
+}
+
+// navCreateName renders a create name: "~" and wildcards become unnamed.
+func navCreateName(v value.Value) string {
+	s := navString(v)
+	if s == "*" || s == "~" {
+		return ""
+	}
+	return s
+}
+
+// createDir maps a create ldir to 0 (undirected), 1 (origin->new), or
+// 2 (new->origin).
+func createDir(v value.Value) uint8 {
+	switch navString(v) {
+	case "+":
+		return 1
+	case "-":
+		return 2
+	default:
+		return 0
+	}
+}
+
+func (d *Daemon) newMsgrID() uint64 {
+	d.nextMsgrID++
+	return uint64(d.id)<<40 | d.nextMsgrID
+}
+
+// suspend parks a Messenger until global virtual time reaches wake.
+func (d *Daemon) suspend(m *Messenger, wake float64) {
+	if wake <= d.gvt {
+		// The requested time has already been reached globally; continue
+		// immediately (virtual time never runs backwards).
+		if wake > m.LVT {
+			m.LVT = wake
+		}
+		d.step(m)
+		return
+	}
+	d.Stats.Suspends++
+	delete(d.activeLVTs, m.ID)
+	heap.Push(&d.waitQ, wakeEntry{at: wake, seq: m.ID, m: m})
+	if !d.notified {
+		d.notified = true
+		d.sendGVT(0, &Msg{Kind: MsgGVTNotify, From: d.id})
+	}
+}
+
+// sendGVT routes a GVT control message, short-circuiting self-sends.
+func (d *Daemon) sendGVT(dst int, msg *Msg) {
+	if dst == d.id {
+		d.HandleMsg(msg)
+		return
+	}
+	d.eng.Send(d.id, dst, msg)
+}
+
+// localMin is this daemon's lower bound on any future virtual-time event it
+// can generate: the earliest suspended wake-up and the LVTs of all runnable
+// Messengers.
+func (d *Daemon) localMin() float64 {
+	min := math.Inf(1)
+	if len(d.waitQ) > 0 {
+		min = d.waitQ[0].at
+	}
+	for _, lvt := range d.activeLVTs {
+		if lvt < min {
+			min = lvt
+		}
+	}
+	return min
+}
+
+// advanceGVT installs a new global virtual time and releases every
+// Messenger whose wake time has been reached.
+func (d *Daemon) advanceGVT(gvt float64) {
+	if gvt <= d.gvt {
+		return
+	}
+	d.gvt = gvt
+	for len(d.waitQ) > 0 && d.waitQ[0].at <= gvt {
+		e := heap.Pop(&d.waitQ).(wakeEntry)
+		m := e.m
+		if e.at > m.LVT {
+			m.LVT = e.at
+		}
+		d.activeLVTs[m.ID] = m.LVT
+		d.exec(0, func() { d.step(m) })
+	}
+	if len(d.waitQ) == 0 {
+		d.notified = false
+	}
+}
+
+// HandleMsg processes one inbound message. The engine invokes it on this
+// daemon's executor.
+func (d *Daemon) HandleMsg(msg *Msg) {
+	switch msg.Kind {
+	case MsgMessenger:
+		d.recv++
+		d.Stats.Arrived++
+		d.handleArrival(msg)
+
+	case MsgCreate:
+		d.recv++
+		d.Stats.Arrived++
+		d.handleCreate(msg)
+
+	case MsgCreateAck:
+		if node, ok := d.store.Node(msg.Origin.Node); ok {
+			if h, ok := logical.FindLink(node, msg.LinkID); ok {
+				h.Peer = msg.AckPeer
+				h.PeerName = msg.AckPeerName
+			}
+		}
+
+	case MsgInject:
+		// Injection arrives via the local executor (not a daemon-to-daemon
+		// send), so it does not participate in GVT transient counting.
+		d.handleInject(msg)
+
+	case MsgProgram:
+		p, err := bytecode.Decode(msg.ProgBytes)
+		if err != nil {
+			d.sys.recordError(fmt.Errorf("daemon %d: bad program broadcast: %w", d.id, err))
+			return
+		}
+		d.register(p)
+
+	case MsgGVTNotify, MsgGVTReport:
+		if d.coord != nil {
+			d.coord.handle(msg)
+		}
+
+	case MsgGVTQuery:
+		d.sendGVT(msg.From, &Msg{
+			Kind:    MsgGVTReport,
+			From:    d.id,
+			GEpoch:  msg.GEpoch,
+			GMin:    d.localMin(),
+			GSent:   d.sent,
+			GRecv:   d.recv,
+			GActive: int64(len(d.activeLVTs)),
+		})
+
+	case MsgGVTAdvance:
+		d.advanceGVT(msg.GVT)
+
+	case MsgHalt:
+		// Reserved for distributed (TCP) termination; in-process engines
+		// track liveness directly.
+
+	default:
+		d.sys.recordError(fmt.Errorf("daemon %d: unknown message kind %v", d.id, msg.Kind))
+	}
+}
+
+func (d *Daemon) restore(msg *Msg) (*vm.VM, error) {
+	prog, ok := d.programs[msg.ProgHash]
+	if !ok {
+		return nil, fmt.Errorf("program %s not in registry", msg.ProgHash)
+	}
+	return vm.Restore(prog, msg.Snapshot)
+}
+
+func (d *Daemon) handleArrival(msg *Msg) {
+	mvm, err := d.restore(msg)
+	if err != nil {
+		d.sys.recordError(fmt.Errorf("daemon %d: arrival: %w", d.id, err))
+		d.sys.workDone(1)
+		return
+	}
+	node, ok := d.store.Node(msg.DestNode)
+	if !ok {
+		// Destination node deleted while in flight.
+		d.Stats.Died++
+		d.sys.workDone(1)
+		return
+	}
+	if msg.RemoveLink != (logical.LinkID{}) {
+		d.store.DetachHalf(node, msg.RemoveLink)
+		d.Stats.Deletes++
+		// Deleting the traversed link may have removed the node itself if
+		// it became a singleton; the Messenger still executes in it per
+		// hop semantics only if it survived.
+		if _, ok := d.store.Node(node.ID); !ok {
+			d.Stats.Died++
+			d.sys.workDone(1)
+			return
+		}
+	}
+	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: node.ID, Last: msg.Last, LVT: msg.LVT}
+	d.spawnLocal(m)
+}
+
+func (d *Daemon) handleCreate(msg *Msg) {
+	mvm, err := d.restore(msg)
+	if err != nil {
+		d.sys.recordError(fmt.Errorf("daemon %d: create: %w", d.id, err))
+		d.sys.workDone(1)
+		return
+	}
+	nn := d.store.CreateNode(msg.CreateName)
+	d.Stats.Creates++
+	d.store.AttachHalf(nn, msg.LinkID, msg.LinkName, msg.LinkDir != 0, msg.LinkDir == 2,
+		msg.Origin, msg.OriginName)
+	d.sendGVT(msg.From, &Msg{
+		Kind:        MsgCreateAck,
+		From:        d.id,
+		LinkID:      msg.LinkID,
+		Origin:      msg.Origin,
+		AckPeer:     d.store.Addr(nn),
+		AckPeerName: nn.Name,
+	})
+	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: nn.ID,
+		Last: logical.RefName(msg.LinkID, msg.LinkName), LVT: msg.LVT}
+	d.spawnLocal(m)
+}
+
+func (d *Daemon) handleInject(msg *Msg) {
+	mvm, err := d.restore(msg)
+	if err != nil {
+		d.sys.recordError(fmt.Errorf("daemon %d: inject: %w", d.id, err))
+		d.sys.workDone(1)
+		return
+	}
+	target := d.store.Init()
+	if msg.CreateName != "" && msg.CreateName != logical.InitName {
+		if nodes := d.store.FindByName(msg.CreateName); len(nodes) > 0 {
+			target = nodes[0]
+		}
+	}
+	lvt := msg.LVT
+	if lvt < d.gvt {
+		lvt = d.gvt
+	}
+	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: target.ID, Last: "", LVT: lvt}
+	d.spawnLocal(m)
+}
+
+// --- VM host adapter ---
+
+// msgrHost adapts the daemon/node/Messenger triple to the vm.Host
+// interface.
+type msgrHost struct {
+	d    *Daemon
+	m    *Messenger
+	node *logical.Node
+}
+
+func (h *msgrHost) NodeVar(name string) value.Value { return h.node.Vars[name] }
+
+func (h *msgrHost) SetNodeVar(name string, v value.Value) { h.node.Vars[name] = v }
+
+func (h *msgrHost) NetVar(name string) (value.Value, bool) {
+	switch name {
+	case "address":
+		return value.Str(DaemonName(h.d.id)), true
+	case "daemon":
+		return value.Int(int64(h.d.id)), true
+	case "ndaemons":
+		return value.Int(int64(h.d.eng.NumDaemons())), true
+	case "last":
+		return value.Str(h.m.Last), true
+	case "node":
+		return value.Str(h.node.Name), true
+	case "script":
+		return value.Str(h.m.VM.Program().Name), true
+	case "time":
+		return value.Num(h.m.LVT), true
+	case "gvt":
+		return value.Num(h.d.gvt), true
+	default:
+		return value.Nil(), false
+	}
+}
+
+func (h *msgrHost) Print(s string) { h.d.sys.print(h.d.id, s) }
+
+// --- wake queue ---
+
+// wakeEntry is a suspended Messenger.
+type wakeEntry struct {
+	at  float64
+	seq uint64
+	m   *Messenger
+}
+
+// wakeHeap orders suspended Messengers by (wake time, ID) for determinism.
+type wakeHeap []wakeEntry
+
+func (h wakeHeap) Len() int { return len(h) }
+func (h wakeHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wakeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *wakeHeap) Push(x any)   { *h = append(*h, x.(wakeEntry)) }
+func (h *wakeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

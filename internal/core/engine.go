@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"messengers/internal/lan"
+	"messengers/internal/sim"
+)
+
+// Engine abstracts how daemons execute and communicate. The daemon logic is
+// engine-agnostic: it asks the engine to run work on a daemon's serial
+// executor (charging modeled CPU cost where applicable) and to ship
+// messages between daemons.
+type Engine interface {
+	// NumDaemons returns the daemon count.
+	NumDaemons() int
+	// Exec schedules fn on daemon d's serial executor after charging cost
+	// of CPU time (cost is calibrated at 110 MHz; real engines ignore it —
+	// the work itself takes real time there).
+	Exec(d int, cost sim.Time, fn func())
+	// Send ships msg from src to dst; the destination daemon's HandleMsg
+	// runs on dst's executor after transfer costs.
+	Send(src, dst int, msg *Msg)
+	// SetTimer runs fn on d's executor after delay of engine time.
+	SetTimer(d int, delay sim.Time, fn func())
+	// Model returns the cost model, or nil on real engines.
+	Model() *lan.CostModel
+	// HostSpec describes daemon d's host (zero value on real engines).
+	HostSpec(d int) lan.HostSpec
+}
+
+// binder is implemented by engines that need the daemon set after
+// construction.
+type binder interface {
+	Bind(daemons []*Daemon)
+}
+
+// --- Simulated engine ---
+
+// SimEngine runs daemons as event-driven state machines on a simulated
+// cluster: every daemon occupies one host, all CPU work is charged to that
+// host, and messages traverse the shared Ethernet. All paper-reproduction
+// benchmarks use this engine.
+type SimEngine struct {
+	Cluster *lan.Cluster
+	daemons []*Daemon
+}
+
+// NewSimEngine wraps a cluster.
+func NewSimEngine(c *lan.Cluster) *SimEngine {
+	return &SimEngine{Cluster: c}
+}
+
+// Bind attaches the daemon set (called by the System).
+func (e *SimEngine) Bind(daemons []*Daemon) { e.daemons = daemons }
+
+// NumDaemons implements Engine.
+func (e *SimEngine) NumDaemons() int { return len(e.Cluster.Hosts) }
+
+// Exec implements Engine.
+func (e *SimEngine) Exec(d int, cost sim.Time, fn func()) {
+	e.Cluster.Hosts[d].ExecScaled(cost, fn)
+}
+
+// Send implements Engine: Messenger-carrying messages pay the paper's
+// single-copy state-transfer costs; control messages pay small fixed costs.
+func (e *SimEngine) Send(src, dst int, msg *Msg) {
+	cm := e.Cluster.Model
+	size := msg.WireSize()
+	var sendCost, recvCost sim.Time
+	if msg.CarriesMessenger() || msg.Kind == MsgProgram {
+		sendCost = sim.Time(size) * cm.MsgrSendPerByte
+		recvCost = sim.Time(size)*cm.MsgrRecvPerByte + cm.CallFixed
+	} else {
+		sendCost = cm.CallFixed / 2
+		recvCost = cm.CallFixed / 2
+	}
+	e.Cluster.Send(src, dst, size, sendCost, recvCost, func() {
+		e.daemons[dst].HandleMsg(msg)
+	})
+}
+
+// SetTimer implements Engine.
+func (e *SimEngine) SetTimer(d int, delay sim.Time, fn func()) {
+	e.Cluster.Kernel.After(delay, func() {
+		e.Cluster.Hosts[d].Exec(0, fn)
+	})
+}
+
+// Model implements Engine.
+func (e *SimEngine) Model() *lan.CostModel { return e.Cluster.Model }
+
+// HostSpec implements Engine.
+func (e *SimEngine) HostSpec(d int) lan.HostSpec { return e.Cluster.Hosts[d].Spec }
+
+// --- Real concurrent engine (in-process) ---
+
+// ChanEngine is the real runtime on one machine: one goroutine per daemon,
+// unbounded FIFO inboxes, wall-clock timers. Costs are ignored — work takes
+// however long it takes.
+type ChanEngine struct {
+	daemons []*Daemon
+	inboxes []*workQueue
+	wg      sync.WaitGroup
+}
+
+// NewChanEngine starts n daemon executors.
+func NewChanEngine(n int) *ChanEngine {
+	e := &ChanEngine{inboxes: make([]*workQueue, n)}
+	for i := range e.inboxes {
+		e.inboxes[i] = newWorkQueue()
+	}
+	e.wg.Add(n)
+	for i := range e.inboxes {
+		q := e.inboxes[i]
+		go func() {
+			defer e.wg.Done()
+			for {
+				fn, ok := q.get()
+				if !ok {
+					return
+				}
+				fn()
+			}
+		}()
+	}
+	return e
+}
+
+// Bind attaches the daemon set.
+func (e *ChanEngine) Bind(daemons []*Daemon) { e.daemons = daemons }
+
+// NumDaemons implements Engine.
+func (e *ChanEngine) NumDaemons() int { return len(e.inboxes) }
+
+// Exec implements Engine (cost ignored: real work takes real time).
+func (e *ChanEngine) Exec(d int, _ sim.Time, fn func()) {
+	e.inboxes[d].put(fn)
+}
+
+// Send implements Engine. In-process delivery keeps FIFO order per pair
+// (single queue per destination).
+func (e *ChanEngine) Send(_, dst int, msg *Msg) {
+	e.inboxes[dst].put(func() { e.daemons[dst].HandleMsg(msg) })
+}
+
+// SetTimer implements Engine using wall-clock time (1 engine ns = 1 ns).
+func (e *ChanEngine) SetTimer(d int, delay sim.Time, fn func()) {
+	time.AfterFunc(time.Duration(delay), func() {
+		e.inboxes[d].put(fn)
+	})
+}
+
+// Model implements Engine: no cost model on the real engine.
+func (e *ChanEngine) Model() *lan.CostModel { return nil }
+
+// HostSpec implements Engine.
+func (e *ChanEngine) HostSpec(int) lan.HostSpec { return lan.HostSpec{} }
+
+// Close stops all daemon executors and waits for them to exit. Pending
+// work items are discarded.
+func (e *ChanEngine) Close() {
+	for _, q := range e.inboxes {
+		q.close()
+	}
+	e.wg.Wait()
+}
+
+// workQueue is an unbounded MPSC FIFO: senders never block, so daemons can
+// freely send to each other (and themselves) without deadlock.
+type workQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []func()
+	closed bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue) put(fn func()) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, fn)
+	q.cond.Signal()
+}
+
+func (q *workQueue) get() (func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	fn := q.items[0]
+	q.items = q.items[1:]
+	return fn, true
+}
+
+func (q *workQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"messengers/internal/compile"
+	"messengers/internal/vm"
+)
+
+// TestDecodeMsgNeverPanics: wire input is untrusted; garbage must produce
+// an error, never a panic.
+func TestDecodeMsgNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("DecodeMsg(%d bytes) panicked: %v", len(data), r)
+			}
+		}()
+		_, _ = DecodeMsg(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRestoreNeverPanics: a corrupt snapshot against a valid program must
+// fail cleanly.
+func TestRestoreNeverPanics(t *testing.T) {
+	prog, err := compile.Compile("p", `
+		func f(a) { return a + 1; }
+		x = f(1);
+		hop(ll = "q");
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Restore(%d bytes) panicked: %v", len(data), r)
+			}
+		}()
+		_, _ = vm.Restore(prog, data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMsgMutationRoundTrips flips bytes in valid encodings: decoding must
+// either fail or produce some message, never panic, and valid prefixes of
+// re-encoded messages must stay stable.
+func TestMsgMutationRoundTrips(t *testing.T) {
+	base := (&Msg{
+		Kind: MsgMessenger, From: 1, Snapshot: []byte{1, 2, 3, 4},
+		MsgrID: 7, LVT: 1.25, DestNode: 3, Last: "row",
+	}).Encode()
+	f := func(pos uint16, val byte) bool {
+		data := make([]byte, len(base))
+		copy(data, base)
+		data[int(pos)%len(data)] = val
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("mutated decode panicked: %v", r)
+			}
+		}()
+		if m, err := DecodeMsg(data); err == nil && m != nil {
+			_ = m.Encode() // re-encoding a decoded message must also be safe
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}

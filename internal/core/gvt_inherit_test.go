@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInjectInheritsVirtualTime: a Messenger injected at virtual time t by
+// another Messenger starts at t — its schedules cannot land in the global
+// past.
+func TestInjectInheritsVirtualTime(t *testing.T) {
+	k, sys := simSystem(t, 2)
+	register(t, sys, "late_child", `
+		print("child starts at", $time);
+		sched_dlt(0.25);
+		print("child woke at", $time);
+	`)
+	register(t, sys, "parent", `
+		sched_abs(3.0);
+		inject("late_child");
+	`)
+	register(t, sys, "bystander", `
+		sched_abs(3.5);
+		print("bystander at", $time);
+	`)
+	if err := sys.Inject(0, "parent", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(1, "bystander", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	out := strings.Join(sys.Output(), " | ")
+	want := "child starts at 3.0 | child woke at 3.25 | bystander at 3.5"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}

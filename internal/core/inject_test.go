@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"messengers/internal/value"
+)
+
+func TestInjectNativeSpawnsMessengers(t *testing.T) {
+	k, sys := simSystem(t, 2)
+	register(t, sys, "child", `
+		node.children = node.children + 1;
+		print("child", tag, "on", $address);
+	`)
+	register(t, sys, "parent", `
+		inject("child", "init", "tag", 1);
+		inject("child", "init", "tag", 2);
+	`)
+	if err := sys.Inject(1, "parent", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	// Children run on the parent's daemon.
+	if v := sys.Daemon(1).Store().Init().Vars["children"]; v.AsInt() != 2 {
+		t.Errorf("children = %v", v)
+	}
+	out := sys.Output()
+	if len(out) != 2 || !strings.Contains(out[0], "on d1") {
+		t.Errorf("output = %v", out)
+	}
+}
+
+func TestInjectNativeDefaultNode(t *testing.T) {
+	k, sys := simSystem(t, 1)
+	register(t, sys, "leaf", `node.ran = 1;`)
+	register(t, sys, "root", `inject("leaf");`)
+	if err := sys.Inject(0, "root", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	if v := sys.Daemon(0).Store().Init().Vars["ran"]; v.AsInt() != 1 {
+		t.Errorf("ran = %v", v)
+	}
+}
+
+func TestInjectNativeChainTerminates(t *testing.T) {
+	// A chain of injections: each Messenger injects the next until the
+	// countdown reaches zero; liveness accounting must drain to zero.
+	k, sys := simSystem(t, 3)
+	register(t, sys, "chain", `
+		node.depth = n;
+		if (n > 0) {
+			inject("chain", "init", "n", n - 1);
+		}
+	`)
+	if err := sys.Inject(0, "chain", map[string]value.Value{"n": value.Int(5)}); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	if v := sys.Daemon(0).Store().Init().Vars["depth"]; v.AsInt() != 0 {
+		t.Errorf("final depth = %v", v)
+	}
+	if st := sys.TotalStats(); st.Finished != 6 {
+		t.Errorf("finished = %d, want 6", st.Finished)
+	}
+}
+
+func TestInjectNativeErrors(t *testing.T) {
+	cases := map[string]string{
+		`inject();`:             "needs a script name",
+		`inject(42);`:           "needs a script name",
+		`inject("nope");`:       "not registered",
+		`inject("self", 1);`:    "name/value pairs",
+		`inject("self", 1, 2);`: "must be a string",
+	}
+	for src, want := range cases {
+		k, sys := simSystem(t, 1)
+		register(t, sys, "self", src)
+		if err := sys.Inject(0, "self", nil); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		errs := sys.Errors()
+		if len(errs) != 1 || !strings.Contains(errs[0].Error(), want) {
+			t.Errorf("%q: errors = %v, want %q", src, errs, want)
+		}
+		if live := sys.Live(); live != 0 {
+			t.Errorf("%q: live = %d", src, live)
+		}
+	}
+}

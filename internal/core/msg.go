@@ -1,0 +1,286 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"messengers/internal/bytecode"
+	"messengers/internal/logical"
+)
+
+// MsgKind discriminates daemon-to-daemon messages.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	// MsgMessenger carries a hopping Messenger: program hash + VM snapshot.
+	MsgMessenger MsgKind = iota + 1
+	// MsgCreate carries a Messenger together with a request to create the
+	// logical node it will continue in.
+	MsgCreate
+	// MsgCreateAck completes the origin's half-link after a remote create.
+	MsgCreateAck
+	// MsgInject delivers an externally injected Messenger to a daemon.
+	MsgInject
+	// MsgProgram distributes a compiled script to a daemon's registry (the
+	// shared-file-system substitute in distributed deployments).
+	MsgProgram
+	// MsgGVTNotify tells the coordinator that a daemon has suspended a
+	// Messenger on virtual time (so GVT rounds should run).
+	MsgGVTNotify
+	// MsgGVTQuery asks a daemon for its GVT report.
+	MsgGVTQuery
+	// MsgGVTReport answers a query with local minimum and message counts.
+	MsgGVTReport
+	// MsgGVTAdvance broadcasts a new global virtual time.
+	MsgGVTAdvance
+	// MsgHalt broadcasts that the computation is quiescent.
+	MsgHalt
+)
+
+// String names the kind.
+func (k MsgKind) String() string {
+	names := map[MsgKind]string{
+		MsgMessenger: "messenger", MsgCreate: "create", MsgCreateAck: "create-ack",
+		MsgInject: "inject", MsgProgram: "program", MsgGVTNotify: "gvt-notify",
+		MsgGVTQuery: "gvt-query", MsgGVTReport: "gvt-report",
+		MsgGVTAdvance: "gvt-advance", MsgHalt: "halt",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("msg(%d)", uint8(k))
+}
+
+// Msg is one daemon-to-daemon message. A single struct covers all kinds;
+// unused fields stay zero. It has a deterministic binary encoding for the
+// TCP transport and for wire-size accounting in the simulator.
+type Msg struct {
+	Kind MsgKind
+	From int
+
+	// Messenger payload (MsgMessenger, MsgCreate, MsgInject).
+	ProgHash bytecode.Hash
+	Snapshot []byte
+	MsgrID   uint64
+	LVT      float64
+	// DestNode is the target logical node (MsgMessenger).
+	DestNode logical.NodeID
+	// Last is the link name to expose as $last at the destination.
+	Last string
+	// RemoveLink, when nonzero, is the half-link to delete at the
+	// destination node before the Messenger runs (delete traversal).
+	RemoveLink logical.LinkID
+
+	// Create request (MsgCreate).
+	CreateName string
+	LinkID     logical.LinkID
+	LinkName   string
+	LinkDir    uint8 // 0 undirected, 1 origin->new, 2 new->origin
+	Origin     logical.Addr
+	OriginName string
+
+	// Create ack (MsgCreateAck): LinkID above plus the new node.
+	AckPeer     logical.Addr
+	AckPeerName string
+
+	// Program distribution (MsgProgram).
+	ProgBytes []byte
+
+	// GVT fields (MsgGVT*).
+	GEpoch  int64
+	GMin    float64
+	GSent   int64
+	GRecv   int64
+	GActive int64
+	GVT     float64
+}
+
+// CarriesMessenger reports whether this message transfers computation (and
+// therefore participates in GVT transient counting).
+func (m *Msg) CarriesMessenger() bool {
+	return m.Kind == MsgMessenger || m.Kind == MsgCreate || m.Kind == MsgInject
+}
+
+// Encode serializes the message.
+func (m *Msg) Encode() []byte {
+	buf := make([]byte, 0, 64+len(m.Snapshot)+len(m.ProgBytes))
+	buf = append(buf, byte(m.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.From))
+	buf = append(buf, m.ProgHash[:]...)
+	buf = appendBytes(buf, m.Snapshot)
+	buf = binary.LittleEndian.AppendUint64(buf, m.MsgrID)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.LVT))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.DestNode))
+	buf = appendStr(buf, m.Last)
+	buf = appendLinkID(buf, m.RemoveLink)
+	buf = appendStr(buf, m.CreateName)
+	buf = appendLinkID(buf, m.LinkID)
+	buf = appendStr(buf, m.LinkName)
+	buf = append(buf, m.LinkDir)
+	buf = appendAddr(buf, m.Origin)
+	buf = appendStr(buf, m.OriginName)
+	buf = appendAddr(buf, m.AckPeer)
+	buf = appendStr(buf, m.AckPeerName)
+	buf = appendBytes(buf, m.ProgBytes)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GEpoch))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.GMin))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GSent))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GRecv))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GActive))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.GVT))
+	return buf
+}
+
+// WireSize is the size charged on the simulated network. Control messages
+// are charged a small fixed size rather than their padded struct encoding.
+func (m *Msg) WireSize() int {
+	switch m.Kind {
+	case MsgMessenger, MsgCreate, MsgInject:
+		return 48 + len(m.Snapshot) + len(m.Last) + len(m.CreateName) + len(m.LinkName) + len(m.ProgBytes)
+	case MsgProgram:
+		return 32 + len(m.ProgBytes)
+	default:
+		return 64
+	}
+}
+
+// DecodeMsg deserializes a message produced by Encode.
+func DecodeMsg(buf []byte) (*Msg, error) {
+	r := &msgReader{buf: buf}
+	m := &Msg{}
+	m.Kind = MsgKind(r.u8())
+	m.From = int(r.u32())
+	r.read(m.ProgHash[:])
+	m.Snapshot = r.bytes()
+	m.MsgrID = r.u64()
+	m.LVT = math.Float64frombits(r.u64())
+	m.DestNode = logical.NodeID(r.u64())
+	m.Last = r.str()
+	m.RemoveLink = r.linkID()
+	m.CreateName = r.str()
+	m.LinkID = r.linkID()
+	m.LinkName = r.str()
+	m.LinkDir = r.u8()
+	m.Origin = r.addr()
+	m.OriginName = r.str()
+	m.AckPeer = r.addr()
+	m.AckPeerName = r.str()
+	m.ProgBytes = r.bytes()
+	m.GEpoch = int64(r.u64())
+	m.GMin = math.Float64frombits(r.u64())
+	m.GSent = int64(r.u64())
+	m.GRecv = int64(r.u64())
+	m.GActive = int64(r.u64())
+	m.GVT = math.Float64frombits(r.u64())
+	if r.err != nil {
+		return nil, fmt.Errorf("core: decode %v message: %w", m.Kind, r.err)
+	}
+	return m, nil
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func appendLinkID(buf []byte, id logical.LinkID) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id.Daemon))
+	return binary.LittleEndian.AppendUint64(buf, id.Seq)
+}
+
+func appendAddr(buf []byte, a logical.Addr) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.Daemon))
+	return binary.LittleEndian.AppendUint64(buf, uint64(a.Node))
+}
+
+type msgReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *msgReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated at byte %d", r.pos)
+	}
+}
+
+func (r *msgReader) u8() uint8 {
+	if r.pos+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *msgReader) u32() uint32 {
+	if r.pos+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *msgReader) u64() uint64 {
+	if r.pos+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *msgReader) read(dst []byte) {
+	if r.pos+len(dst) > len(r.buf) {
+		r.fail()
+		return
+	}
+	copy(dst, r.buf[r.pos:])
+	r.pos += len(dst)
+}
+
+func (r *msgReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || r.pos+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *msgReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.pos+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.pos:])
+	r.pos += n
+	return b
+}
+
+func (r *msgReader) linkID() logical.LinkID {
+	return logical.LinkID{Daemon: int(r.u32()), Seq: r.u64()}
+}
+
+func (r *msgReader) addr() logical.Addr {
+	return logical.Addr{Daemon: int(r.u32()), Node: logical.NodeID(r.u64())}
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"messengers/internal/bytecode"
+	"messengers/internal/logical"
+	"messengers/internal/sim"
+	"messengers/internal/value"
+	"messengers/internal/vm"
+)
+
+// defaultGVTInterval is the period of the conservative GVT synchronization
+// rounds — the paper's "continuous periodic exchange of timing information
+// among all participating daemons", which it notes "results in a
+// significant communication overhead". A paper-era daemon polling period.
+const defaultGVTInterval = 25 * sim.Millisecond
+
+// System owns a set of daemons on one engine: the script registry, native
+// functions, injection, output collection, and liveness tracking.
+type System struct {
+	eng         Engine
+	topo        *Topology
+	daemons     []*Daemon
+	natives     map[string]NativeFunc
+	programs    map[string]*bytecode.Program
+	gvtInterval sim.Time
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	live      int64
+	injectSeq uint64
+	outputs   []string
+	outW      io.Writer
+	errs      []error
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithOutput mirrors script print output to w as it happens.
+func WithOutput(w io.Writer) Option {
+	return func(s *System) { s.outW = w }
+}
+
+// WithGVTInterval overrides the conservative synchronizer's round period.
+func WithGVTInterval(d sim.Time) Option {
+	return func(s *System) { s.gvtInterval = d }
+}
+
+// NewSystem creates one daemon per engine slot over the given daemon
+// network topology.
+func NewSystem(eng Engine, topo *Topology, opts ...Option) *System {
+	if topo.NumDaemons() != eng.NumDaemons() {
+		panic(fmt.Sprintf("core: topology has %d daemons, engine has %d",
+			topo.NumDaemons(), eng.NumDaemons()))
+	}
+	s := &System{
+		eng:         eng,
+		topo:        topo,
+		natives:     map[string]NativeFunc{},
+		programs:    map[string]*bytecode.Program{},
+		gvtInterval: defaultGVTInterval,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.daemons = make([]*Daemon, eng.NumDaemons())
+	for i := range s.daemons {
+		s.daemons[i] = newDaemon(i, eng, topo, s)
+	}
+	if b, ok := eng.(binder); ok {
+		b.Bind(s.daemons)
+	}
+	s.registerSystemNatives()
+	return s
+}
+
+// registerSystemNatives installs the natives every system provides:
+// inject(script[, node]) releases a new Messenger of a registered script
+// into the local daemon (the paper's "injected ... by another Messenger").
+// Extra arguments are name/value pairs that become the new Messenger's
+// initial variables: inject("worker", "init", "limit", 10).
+func (s *System) registerSystemNatives() {
+	s.natives["inject"] = func(ctx *NativeCtx, args []value.Value) (value.Value, error) {
+		if len(args) == 0 || args[0].Kind() != value.KindStr {
+			return value.Nil(), fmt.Errorf("inject needs a script name")
+		}
+		script := args[0].AsStr()
+		node := logical.InitName
+		rest := args[1:]
+		if len(rest) > 0 && rest[0].Kind() == value.KindStr && len(rest)%2 == 1 {
+			node = rest[0].AsStr()
+			rest = rest[1:]
+		}
+		if len(rest)%2 != 0 {
+			return value.Nil(), fmt.Errorf("inject variables must be name/value pairs")
+		}
+		vars := make(map[string]value.Value, len(rest)/2)
+		for i := 0; i < len(rest); i += 2 {
+			if rest[i].Kind() != value.KindStr {
+				return value.Nil(), fmt.Errorf("inject variable name must be a string, got %v", rest[i].Kind())
+			}
+			vars[rest[i].AsStr()] = rest[i+1]
+		}
+		// The child inherits its parent's local virtual time: it cannot
+		// observe or schedule anything before its creation.
+		if err := s.injectAt(ctx.DaemonID(), script, node, vars, ctx.LVT()); err != nil {
+			return value.Nil(), err
+		}
+		return value.Nil(), nil
+	}
+}
+
+// Engine returns the engine driving this system.
+func (s *System) Engine() Engine { return s.eng }
+
+// Daemon returns daemon i for post-run inspection. During a run its state
+// must only be touched from its executor (use Do).
+func (s *System) Daemon(i int) *Daemon { return s.daemons[i] }
+
+// NumDaemons returns the daemon count.
+func (s *System) NumDaemons() int { return len(s.daemons) }
+
+// Do runs fn with daemon d on its executor (asynchronously).
+func (s *System) Do(d int, fn func(*Daemon)) {
+	s.eng.Exec(d, 0, func() { fn(s.daemons[d]) })
+}
+
+// RegisterNative makes a native-mode function available to all daemons.
+// Must be called before any Messenger is injected.
+func (s *System) RegisterNative(name string, fn NativeFunc) {
+	s.natives[name] = fn
+}
+
+// Register installs a compiled script in every daemon's registry (the
+// shared-file-system model of the paper: code is loaded by name everywhere
+// and never carried by Messengers).
+func (s *System) Register(p *bytecode.Program) {
+	s.programs[p.Name] = p
+	for i := range s.daemons {
+		d := s.daemons[i]
+		s.eng.Exec(i, 0, func() { d.register(p) })
+	}
+}
+
+// Program returns a registered program by name.
+func (s *System) Program(name string) (*bytecode.Program, bool) {
+	p, ok := s.programs[name]
+	return p, ok
+}
+
+// Inject releases a new Messenger of the named script into daemon d's init
+// node, with optional initial Messenger variables — the paper's "any
+// Messenger may be injected (from the shell or by another Messenger) into
+// any of the init nodes".
+func (s *System) Inject(d int, script string, vars map[string]value.Value) error {
+	return s.InjectAt(d, script, logical.InitName, vars)
+}
+
+// InjectAt injects at a named logical node of daemon d (first node with
+// that name; init when absent).
+func (s *System) InjectAt(d int, script, node string, vars map[string]value.Value) error {
+	return s.injectAt(d, script, node, vars, 0)
+}
+
+func (s *System) injectAt(d int, script, node string, vars map[string]value.Value, lvt float64) error {
+	prog, ok := s.programs[script]
+	if !ok {
+		return fmt.Errorf("core: script %q not registered", script)
+	}
+	if d < 0 || d >= len(s.daemons) {
+		return fmt.Errorf("core: no daemon %d", d)
+	}
+	fresh := vm.New(prog, value.CloneEnv(vars))
+	s.mu.Lock()
+	s.injectSeq++
+	seq := s.injectSeq
+	s.mu.Unlock()
+	msg := &Msg{
+		Kind:       MsgInject,
+		From:       d,
+		ProgHash:   prog.Hash(),
+		Snapshot:   fresh.Snapshot(),
+		MsgrID:     1<<63 | seq, // top bit marks injected Messengers
+		LVT:        lvt,
+		CreateName: node,
+	}
+	s.workAdded(1)
+	dae := s.daemons[d]
+	s.eng.Exec(d, 0, func() { dae.HandleMsg(msg) })
+	return nil
+}
+
+// --- liveness tracking ---
+
+func (s *System) workAdded(n int) {
+	if n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.live += int64(n)
+	s.mu.Unlock()
+}
+
+func (s *System) workDone(n int) {
+	s.mu.Lock()
+	s.live -= int64(n)
+	if s.live < 0 {
+		panic("core: live work count went negative")
+	}
+	if s.live == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Live returns the number of live Messengers plus in-flight transfers.
+func (s *System) Live() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// Wait blocks until no live Messengers or in-flight transfers remain (real
+// engines; on the simulated engine run the kernel instead).
+func (s *System) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.live > 0 {
+		s.cond.Wait()
+	}
+}
+
+// --- output and errors ---
+
+func (s *System) print(daemon int, line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.outputs = append(s.outputs, line)
+	if s.outW != nil {
+		fmt.Fprintf(s.outW, "[d%d] %s\n", daemon, line)
+	}
+}
+
+// Output returns all print output so far.
+func (s *System) Output() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.outputs))
+	copy(out, s.outputs)
+	return out
+}
+
+func (s *System) recordError(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errs = append(s.errs, err)
+}
+
+// Errors returns runtime errors that destroyed Messengers.
+func (s *System) Errors() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]error, len(s.errs))
+	copy(out, s.errs)
+	return out
+}
+
+// TotalStats aggregates daemon statistics (post-run).
+func (s *System) TotalStats() Stats {
+	var t Stats
+	for _, d := range s.daemons {
+		t.Arrived += d.Stats.Arrived
+		t.Segments += d.Stats.Segments
+		t.Steps += d.Stats.Steps
+		t.LocalHops += d.Stats.LocalHops
+		t.RemoteHops += d.Stats.RemoteHops
+		t.Creates += d.Stats.Creates
+		t.Deletes += d.Stats.Deletes
+		t.Finished += d.Stats.Finished
+		t.Died += d.Stats.Died
+		t.Errors += d.Stats.Errors
+		t.GVTRounds += d.Stats.GVTRounds
+		t.Suspends += d.Stats.Suspends
+	}
+	return t
+}
+
+// --- net_builder service ---
+
+// NetNode declares one logical node of a static network.
+type NetNode struct {
+	Name   string
+	Daemon int
+}
+
+// NetLink declares a link between two declared nodes. Dir 0 is undirected,
+// 1 directs A -> B, 2 directs B -> A.
+type NetLink struct {
+	A, B string
+	Name string
+	Dir  uint8
+}
+
+// NetSpec is a static logical-network description, the input to the
+// net_builder service (the paper's tool that reads a topology file and
+// creates the corresponding logical network).
+type NetSpec struct {
+	Nodes []NetNode
+	Links []NetLink
+}
+
+// BuildNetwork constructs the described logical network directly in the
+// daemons' stores. It must be called while the system is quiescent (before
+// any Messenger is injected), which is how the paper's net_builder is used
+// to lay down the application's static "exogenous skeleton".
+func (s *System) BuildNetwork(spec NetSpec) error {
+	byName := make(map[string]struct {
+		d *Daemon
+		n *logical.Node
+	}, len(spec.Nodes))
+	for _, nn := range spec.Nodes {
+		if nn.Daemon < 0 || nn.Daemon >= len(s.daemons) {
+			return fmt.Errorf("core: net node %q on unknown daemon %d", nn.Name, nn.Daemon)
+		}
+		if _, dup := byName[nn.Name]; dup {
+			return fmt.Errorf("core: duplicate net node name %q", nn.Name)
+		}
+		d := s.daemons[nn.Daemon]
+		byName[nn.Name] = struct {
+			d *Daemon
+			n *logical.Node
+		}{d, d.store.CreateNode(nn.Name)}
+	}
+	for _, l := range spec.Links {
+		a, okA := byName[l.A]
+		b, okB := byName[l.B]
+		if !okA || !okB {
+			return fmt.Errorf("core: link %q references unknown node (%q - %q)", l.Name, l.A, l.B)
+		}
+		id := a.d.store.NewLinkID()
+		directed := l.Dir != 0
+		a.d.store.AttachHalf(a.n, id, l.Name, directed, l.Dir == 1, b.d.store.Addr(b.n), b.n.Name)
+		b.d.store.AttachHalf(b.n, id, l.Name, directed, l.Dir == 2, a.d.store.Addr(a.n), a.n.Name)
+	}
+	return nil
+}
+
+// ReadNodeVars returns a deep copy of a named node's variables (post-run
+// inspection).
+func (s *System) ReadNodeVars(daemon int, nodeName string) (map[string]value.Value, bool) {
+	nodes := s.daemons[daemon].store.FindByName(nodeName)
+	if len(nodes) == 0 {
+		return nil, false
+	}
+	return value.CloneEnv(nodes[0].Vars), true
+}
+
+// --- conservative GVT coordinator (runs on daemon 0) ---
+
+// coordinator implements the paper's conservative global-virtual-time
+// strategy: periodic rounds that collect each daemon's local minimum and
+// send/receive counters; when the counters balance (no transient
+// Messengers) the minimum is a safe new GVT.
+type coordinator struct {
+	d       *Daemon
+	polling bool
+	epoch   int64
+	reports map[int]*Msg
+}
+
+func (c *coordinator) handle(msg *Msg) {
+	switch msg.Kind {
+	case MsgGVTNotify:
+		if !c.polling {
+			c.polling = true
+			c.startRound()
+		}
+	case MsgGVTReport:
+		if msg.GEpoch != c.epoch || c.reports == nil {
+			return
+		}
+		c.reports[msg.From] = msg
+		if len(c.reports) == c.d.eng.NumDaemons() {
+			c.conclude()
+		}
+	}
+}
+
+func (c *coordinator) startRound() {
+	c.epoch++
+	c.d.Stats.GVTRounds++
+	c.reports = make(map[int]*Msg, c.d.eng.NumDaemons())
+	for i := 0; i < c.d.eng.NumDaemons(); i++ {
+		c.d.sendGVT(i, &Msg{Kind: MsgGVTQuery, From: c.d.id, GEpoch: c.epoch})
+	}
+}
+
+func (c *coordinator) conclude() {
+	var sent, recv int64
+	min := math.Inf(1)
+	ids := make([]int, 0, len(c.reports))
+	for id := range c.reports {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := c.reports[id]
+		sent += r.GSent
+		recv += r.GRecv
+		if r.GMin < min {
+			min = r.GMin
+		}
+	}
+	c.reports = nil
+	interval := c.d.sys.gvtInterval
+	if sent != recv {
+		// Transient Messengers in flight: retry soon.
+		c.d.eng.SetTimer(c.d.id, interval/4+1, func() { c.startRound() })
+		return
+	}
+	if math.IsInf(min, 1) {
+		// Nothing is suspended anywhere; stop polling until the next
+		// notification.
+		c.polling = false
+		return
+	}
+	if min > c.d.gvt {
+		for i := 0; i < c.d.eng.NumDaemons(); i++ {
+			c.d.sendGVT(i, &Msg{Kind: MsgGVTAdvance, From: c.d.id, GVT: min})
+		}
+	}
+	c.d.eng.SetTimer(c.d.id, interval, func() { c.startRound() })
+}

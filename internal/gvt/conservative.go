@@ -1,0 +1,199 @@
+package gvt
+
+import (
+	"container/heap"
+	"fmt"
+
+	"messengers/internal/sim"
+)
+
+// csLP is one logical process under conservative execution.
+type csLP struct {
+	id, host int
+	state    State
+	pending  tsHeap
+}
+
+// conservative executes events only when a global synchronization round has
+// certified their timestamp as the minimum anywhere (no state saving, no
+// rollback — but every epoch pays a full round of control messages, the
+// overhead the paper attributes to the conservative approach).
+type conservative struct {
+	cfg   Config
+	lps   []*csLP
+	hosts [][]*csLP
+	seq   uint64
+	gvt   float64
+
+	sent, recv int64 // statistics
+	// unfinished mirrors the Time Warp executor: virtual-time lower
+	// bounds for events being executed or in flight, so rounds never
+	// miscompute the next epoch or conclude quiescence early.
+	unfinished map[uint64]float64
+	stats      Stats
+}
+
+func (cs *conservative) unfinishedMin() float64 {
+	min := inf
+	for _, at := range cs.unfinished {
+		if at < min {
+			min = at
+		}
+	}
+	return min
+}
+
+// RunConservative executes the application conservatively and returns run
+// statistics and each LP's final state.
+func RunConservative(cfg Config, inject []Event) (Stats, []State, error) {
+	cs := &conservative{cfg: cfg, gvt: -1, unfinished: map[uint64]float64{}}
+	if cfg.NumLPs < 1 || cfg.Handler == nil || cfg.Cluster == nil {
+		return Stats{}, nil, fmt.Errorf("gvt: config needs a cluster, LPs, and a handler")
+	}
+	cs.hosts = make([][]*csLP, len(cfg.Cluster.Hosts))
+	cs.lps = make([]*csLP, cfg.NumLPs)
+	for i := range cs.lps {
+		h := cfg.place(i)
+		if h < 0 || h >= len(cs.hosts) {
+			return Stats{}, nil, fmt.Errorf("gvt: LP %d placed on unknown host %d", i, h)
+		}
+		lp := &csLP{id: i, host: h}
+		if cfg.InitState != nil {
+			lp.state = cfg.InitState(i)
+		}
+		cs.lps[i] = lp
+		cs.hosts[h] = append(cs.hosts[h], lp)
+	}
+	for _, ev := range inject {
+		if ev.To < 0 || ev.To >= len(cs.lps) {
+			return Stats{}, nil, fmt.Errorf("gvt: injected event for unknown LP %d", ev.To)
+		}
+		cs.seq++
+		heap.Push(&cs.lps[ev.To].pending, &tsEvent{Event: ev, id: cs.seq})
+	}
+	cs.scheduleRound(0)
+	end := cfg.Cluster.Kernel.Run()
+	cs.stats.Elapsed = end
+	cs.stats.FinalGVT = cs.gvt
+	states := make([]State, len(cs.lps))
+	for i, lp := range cs.lps {
+		states[i] = lp.state
+		if len(lp.pending) > 0 {
+			return cs.stats, states, fmt.Errorf("gvt: LP %d finished with %d pending events", lp.id, len(lp.pending))
+		}
+	}
+	return cs.stats, states, nil
+}
+
+func (cs *conservative) scheduleRound(after sim.Time) {
+	cs.cfg.Cluster.Kernel.After(after, func() { cs.round() })
+}
+
+// round queries every host for its minimum pending timestamp; when the
+// transient counters balance, the global minimum becomes the next epoch and
+// every host executes exactly the events at that timestamp.
+func (cs *conservative) round() {
+	cs.stats.Rounds++
+	cm := cs.cfg.Cluster.Model
+	n := len(cs.hosts)
+	replies := 0
+	min := inf
+	for hid := range cs.hosts {
+		hid := hid
+		deliverReply := func() {
+			replies++
+			for _, lp := range cs.hosts[hid] {
+				if m := lp.pending.minTS(); m < min {
+					min = m
+				}
+			}
+			if replies == n {
+				cs.concludeRound(min)
+			}
+		}
+		cs.stats.ControlMsgs += 2
+		if hid == 0 {
+			cs.cfg.Cluster.Hosts[0].ExecScaled(cm.CallFixed, deliverReply)
+			continue
+		}
+		cs.cfg.Cluster.Send(0, hid, ctlMsgSize, cm.CallFixed/2, cm.CallFixed/2, func() {
+			cs.cfg.Cluster.Send(hid, 0, ctlMsgSize, cm.CallFixed/2, cm.CallFixed/2, deliverReply)
+		})
+	}
+}
+
+func (cs *conservative) concludeRound(min float64) {
+	cm := cs.cfg.Cluster.Model
+	if u := cs.unfinishedMin(); u < min {
+		// Events are still executing or in flight below the pending
+		// minimum; wait for them to land rather than advance unsafely.
+		cs.scheduleRound(cs.cfg.syncInterval() / 4)
+		return
+	}
+	if min == inf {
+		return // quiescent: stop
+	}
+	cs.gvt = min
+	// Broadcast the epoch; each host executes its events at exactly this
+	// timestamp.
+	for hid := range cs.hosts {
+		hid := hid
+		run := func() { cs.executeEpoch(hid, cs.gvt) }
+		cs.stats.ControlMsgs++
+		if hid == 0 {
+			cs.cfg.Cluster.Hosts[0].ExecScaled(cm.CallFixed, run)
+			continue
+		}
+		cs.cfg.Cluster.Send(0, hid, ctlMsgSize, cm.CallFixed/2, cm.CallFixed/2, run)
+	}
+	cs.scheduleRound(cs.cfg.syncInterval())
+}
+
+// executeEpoch runs every event with timestamp == epoch on host hid,
+// serialized on its CPU. Sends require strictly increasing timestamps, so
+// no new work for this epoch can appear afterwards.
+func (cs *conservative) executeEpoch(hid int, epoch float64) {
+	for _, lp := range cs.hosts[hid] {
+		lp := lp
+		for len(lp.pending) > 0 && lp.pending.minTS() <= epoch {
+			ev := heap.Pop(&lp.pending).(*tsEvent)
+			cost := cs.cfg.EventCPU
+			var sends []*tsEvent
+			ctx := &Ctx{
+				lp: lp.id, now: ev.At, state: lp.state, charge: &cost,
+				send: func(out Event) {
+					cs.seq++
+					sends = append(sends, &tsEvent{Event: out, id: cs.seq})
+				},
+			}
+			cs.cfg.Handler(ctx, ev.Event)
+			cs.stats.Events++
+			cs.unfinished[ev.id] = ev.At
+			cs.cfg.Cluster.Hosts[hid].ExecScaled(cost, func() {
+				delete(cs.unfinished, ev.id)
+				for _, out := range sends {
+					cs.transmit(hid, out)
+				}
+			})
+		}
+	}
+}
+
+func (cs *conservative) transmit(fromHost int, ev *tsEvent) {
+	toHost := cs.lps[ev.To].host
+	cm := cs.cfg.Cluster.Model
+	cs.unfinished[ev.id] = ev.At
+	deliver := func() {
+		delete(cs.unfinished, ev.id)
+		heap.Push(&cs.lps[ev.To].pending, ev)
+	}
+	if toHost == fromHost {
+		cs.cfg.Cluster.Hosts[toHost].ExecScaled(cm.CallFixed, deliver)
+		return
+	}
+	cs.sent++
+	cs.cfg.Cluster.Send(fromHost, toHost, ev.Size+48, cm.CallFixed, cm.CallFixed, func() {
+		cs.recv++
+		deliver()
+	})
+}

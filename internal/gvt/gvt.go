@@ -1,0 +1,192 @@
+// Package gvt implements the virtual-time layer of §2.2 as a stand-alone
+// distributed-simulation kernel with both strategies the paper names:
+//
+//   - a conservative executor, which advances global virtual time by
+//     periodic synchronization rounds among all hosts (safe, but paying the
+//     "significant communication overhead" the paper attributes to it), and
+//   - an optimistic executor in the style of Jefferson's Time Warp
+//     [Jef85]: hosts process events eagerly, save state, detect stragglers,
+//     roll back, and cancel with anti-messages; fossil collection advances
+//     behind a periodically computed GVT.
+//
+// Both run the same application — timestamped events exchanged by logical
+// processes (LPs) placed on hosts of the simulated cluster — and produce
+// identical results; they differ in control traffic, rollbacks, and
+// simulated completion time, which the A2 ablation benchmark compares.
+//
+// (The Messenger runtime itself, package core, uses the conservative
+// strategy for its sched_abs/sched_dlt calls; this package isolates the
+// synchronization algorithms so they can be studied head to head.)
+package gvt
+
+import (
+	"fmt"
+	"math"
+
+	"messengers/internal/lan"
+	"messengers/internal/sim"
+)
+
+// State is an LP's snapshotable application state.
+type State interface {
+	// Clone returns a deep copy (saved before each optimistic event).
+	Clone() State
+}
+
+// IntState is a ready-made State: a small named-counter map.
+type IntState map[string]int64
+
+// Clone implements State.
+func (s IntState) Clone() State {
+	c := make(IntState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Event is a timestamped message between LPs.
+type Event struct {
+	// At is the virtual time the event executes at.
+	At float64
+	// To is the destination LP.
+	To int
+	// Kind and Data are application payload.
+	Kind int
+	Data int64
+	// Size is the wire size charged for inter-host delivery.
+	Size int
+}
+
+// Handler executes one event against an LP's state. It must be
+// deterministic: optimistic re-execution after a rollback must reproduce
+// identical behavior.
+type Handler func(ctx *Ctx, ev Event)
+
+// Ctx is the execution context passed to handlers.
+type Ctx struct {
+	lp     int
+	now    float64
+	state  State
+	send   func(Event)
+	charge *sim.Time
+}
+
+// LP returns the executing logical process ID.
+func (c *Ctx) LP() int { return c.lp }
+
+// Now returns the event's virtual time.
+func (c *Ctx) Now() float64 { return c.now }
+
+// State returns the LP's current state.
+func (c *Ctx) State() State { return c.state }
+
+// Send schedules a new event; ev.At must be strictly after Now (positive
+// lookahead), as in classic PDES.
+func (c *Ctx) Send(ev Event) {
+	if ev.At <= c.now {
+		panic(fmt.Sprintf("gvt: send into the past or present (%v <= %v)", ev.At, c.now))
+	}
+	c.send(ev)
+}
+
+// Charge adds modeled CPU cost for this event's execution.
+func (c *Ctx) Charge(t sim.Time) { *c.charge += t }
+
+// Config describes a virtual-time application.
+type Config struct {
+	Cluster *lan.Cluster
+	// NumLPs is the logical-process count.
+	NumLPs int
+	// Place maps an LP to its host (default: lp % hosts).
+	Place func(lp int) int
+	// InitState builds each LP's initial state.
+	InitState func(lp int) State
+	// Handler executes events.
+	Handler Handler
+	// EventCPU is the fixed CPU cost per event execution (plus whatever
+	// the handler charges).
+	EventCPU sim.Time
+	// SyncInterval is the GVT round period (conservative barriers /
+	// optimistic fossil collection). Default 5 ms.
+	SyncInterval sim.Time
+	// Window bounds optimism (Time Warp only): an LP may execute an event
+	// only while its timestamp is below GVT + Window. 0 means unbounded
+	// optimism, which on workloads with little lookahead can thrash in
+	// cascading rollbacks (the paper's "domino effect"); a moving time
+	// window is the classic mitigation.
+	Window float64
+}
+
+func (c *Config) place(lp int) int {
+	if c.Place != nil {
+		return c.Place(lp)
+	}
+	return lp % len(c.Cluster.Hosts)
+}
+
+func (c *Config) syncInterval() sim.Time {
+	if c.SyncInterval > 0 {
+		return c.SyncInterval
+	}
+	return 5 * sim.Millisecond
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Events is the number of committed event executions.
+	Events int64
+	// Rollbacks is the number of rollback episodes (optimistic only).
+	Rollbacks int64
+	// RolledBack is the number of event executions undone.
+	RolledBack int64
+	// AntiMessages is the number of cancellations sent.
+	AntiMessages int64
+	// ControlMsgs counts GVT/barrier control messages.
+	ControlMsgs int64
+	// Rounds counts synchronization rounds.
+	Rounds int64
+	// Elapsed is the simulated completion time.
+	Elapsed sim.Time
+	// FinalGVT is the final global virtual time.
+	FinalGVT float64
+}
+
+// ctlMsgSize is the wire size of a GVT control message.
+const ctlMsgSize = 64
+
+// eventHeapF orders events by (At, seq) for determinism.
+type tsEvent struct {
+	Event
+	id   uint64
+	anti bool
+}
+
+type tsHeap []*tsEvent
+
+func (h tsHeap) Len() int { return len(h) }
+func (h tsHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].id < h[j].id
+}
+func (h tsHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tsHeap) Push(x any)   { *h = append(*h, x.(*tsEvent)) }
+func (h *tsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+const inf = math.MaxFloat64
+
+// minOr returns the heap's minimum timestamp or +inf.
+func (h tsHeap) minTS() float64 {
+	if len(h) == 0 {
+		return inf
+	}
+	return h[0].At
+}

@@ -1,0 +1,365 @@
+package gvt
+
+import (
+	"fmt"
+	"testing"
+
+	"messengers/internal/lan"
+	"messengers/internal/sim"
+)
+
+// newCluster builds a fresh simulated cluster for one run.
+func newCluster(n int) *lan.Cluster {
+	return lan.NewCluster(sim.New(), lan.DefaultCostModel(), n, lan.SPARC110)
+}
+
+// pholdConfig builds a PHOLD-style workload: every event bumps a counter
+// and forwards a new event to a deterministically pseudo-random LP until
+// the time horizon.
+func pholdConfig(cluster *lan.Cluster, nLPs int, horizon float64) Config {
+	return Config{
+		Cluster:   cluster,
+		NumLPs:    nLPs,
+		InitState: func(int) State { return IntState{} },
+		EventCPU:  200 * sim.Microsecond,
+		Handler: func(ctx *Ctx, ev Event) {
+			st := ctx.State().(IntState)
+			st["count"]++
+			st["sum"] += ev.Data
+			// Deterministic pseudo-random next hop and delay.
+			h := uint64(ev.Data)*2654435761 + uint64(ctx.LP())*97 + uint64(ev.At*1000)
+			next := int(h % uint64(nLPs))
+			delay := 0.1 + float64(h%7)/10
+			if at := ctx.Now() + delay; at < horizon {
+				ctx.Send(Event{At: at, To: next, Data: ev.Data + 1, Size: 128})
+			}
+		},
+	}
+}
+
+func pholdInject(nLPs int) []Event {
+	var evs []Event
+	for i := 0; i < nLPs; i++ {
+		evs = append(evs, Event{At: 0.01 * float64(i+1), To: i, Data: int64(i), Size: 128})
+	}
+	return evs
+}
+
+// totals sums a counter across final states.
+func totals(states []State, key string) int64 {
+	var t int64
+	for _, s := range states {
+		t += s.(IntState)[key]
+	}
+	return t
+}
+
+func TestConservativeAndOptimisticAgree(t *testing.T) {
+	const nLPs, horizon = 6, 8.0
+	csStats, csStates, err := RunConservative(pholdConfig(newCluster(3), nLPs, horizon), pholdInject(nLPs))
+	if err != nil {
+		t.Fatalf("conservative: %v", err)
+	}
+	twStats, twStates, err := RunTimeWarp(pholdConfig(newCluster(3), nLPs, horizon), pholdInject(nLPs))
+	if err != nil {
+		t.Fatalf("timewarp: %v", err)
+	}
+	if csStats.Events == 0 {
+		t.Fatal("no events executed")
+	}
+	if got, want := twStats.Events-twStats.RolledBack, csStats.Events; got != want {
+		t.Errorf("committed events: optimistic %d, conservative %d", got, want)
+	}
+	for i := range csStates {
+		cs, tw := csStates[i].(IntState), twStates[i].(IntState)
+		if cs["count"] != tw["count"] || cs["sum"] != tw["sum"] {
+			t.Errorf("LP %d state differs: conservative %v, optimistic %v", i, cs, tw)
+		}
+	}
+	if csStats.ControlMsgs == 0 || twStats.Rounds == 0 {
+		t.Error("synchronization machinery did not run")
+	}
+}
+
+func TestOptimisticRollsBackStragglers(t *testing.T) {
+	// LP 0 (host 0) has cheap local events at t=1,2,3. LP 1 (host 1)
+	// executes a very expensive event at t=0.5 whose output lands at LP 0
+	// at t=1.5 — long after LP 0 has optimistically passed it.
+	cluster := newCluster(2)
+	cfg := Config{
+		Cluster:   cluster,
+		NumLPs:    2,
+		Place:     func(lp int) int { return lp },
+		InitState: func(int) State { return IntState{} },
+		EventCPU:  100 * sim.Microsecond,
+		Handler: func(ctx *Ctx, ev Event) {
+			st := ctx.State().(IntState)
+			st["count"]++
+			st["last"] = int64(ctx.Now() * 10)
+			switch ev.Kind {
+			case 1: // the slow producer on LP 1
+				ctx.Charge(200 * sim.Millisecond)
+				ctx.Send(Event{At: 1.5, To: 0, Kind: 2, Size: 64})
+			}
+		},
+	}
+	inject := []Event{
+		{At: 1, To: 0}, {At: 2, To: 0}, {At: 3, To: 0},
+		{At: 0.5, To: 1, Kind: 1},
+	}
+	stats, states, err := RunTimeWarp(cfg, inject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rollbacks == 0 || stats.RolledBack == 0 {
+		t.Errorf("expected a straggler rollback, got %+v", stats)
+	}
+	st0 := states[0].(IntState)
+	if st0["count"] != 4 {
+		t.Errorf("LP 0 committed %d events, want 4", st0["count"])
+	}
+	if st0["last"] != 30 {
+		t.Errorf("LP 0 final event at %v, want t=3", st0["last"])
+	}
+}
+
+func TestOptimisticCascadingCancellation(t *testing.T) {
+	// LP 0 forwards everything to LP 2 immediately. When LP 1's late
+	// straggler rolls LP 0 back, the forwards to LP 2 must be chased by
+	// anti-messages and LP 2 must also roll back (the paper's "domino
+	// effect of cascading cancellations").
+	cluster := newCluster(3)
+	cfg := Config{
+		Cluster:   cluster,
+		NumLPs:    3,
+		Place:     func(lp int) int { return lp },
+		InitState: func(int) State { return IntState{} },
+		EventCPU:  100 * sim.Microsecond,
+		Handler: func(ctx *Ctx, ev Event) {
+			st := ctx.State().(IntState)
+			st["count"]++
+			switch {
+			case ctx.LP() == 0 && ev.Kind == 0:
+				ctx.Send(Event{At: ctx.Now() + 0.1, To: 2, Kind: 3, Size: 64})
+			case ev.Kind == 1:
+				ctx.Charge(300 * sim.Millisecond)
+				ctx.Send(Event{At: 1.05, To: 0, Kind: 2, Size: 64})
+			}
+		},
+	}
+	inject := []Event{
+		{At: 1, To: 0}, {At: 2, To: 0}, {At: 3, To: 0},
+		{At: 0.5, To: 1, Kind: 1},
+	}
+	stats, states, err := RunTimeWarp(cfg, inject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AntiMessages == 0 {
+		t.Errorf("expected anti-messages, got %+v", stats)
+	}
+	// LP 0 commits 4 events (3 injected + straggler), forwarding 3+1
+	// events to LP 2; plus LP 2's committed count must reflect exactly
+	// the committed forwards despite the cancellations.
+	if got := states[2].(IntState)["count"]; got != 3 {
+		t.Errorf("LP 2 committed %d events, want 3 (kind-0 forwards only)", got)
+	}
+
+	// The same program conservatively must agree.
+	_, csStates, err := RunConservative(cfg2(cluster, cfg), inject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range states {
+		if states[i].(IntState)["count"] != csStates[i].(IntState)["count"] {
+			t.Errorf("LP %d: optimistic %v vs conservative %v", i,
+				states[i].(IntState), csStates[i].(IntState))
+		}
+	}
+}
+
+// cfg2 rebinds a config to a fresh cluster (a used kernel cannot rerun).
+func cfg2(_ *lan.Cluster, cfg Config) Config {
+	cfg.Cluster = newCluster(len(cfg.Cluster.Hosts))
+	return cfg
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Stats, int64) {
+		st, states, err := RunTimeWarp(pholdConfig(newCluster(4), 8, 5), pholdInject(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, totals(states, "sum")
+	}
+	s1, sum1 := run()
+	for i := 0; i < 3; i++ {
+		s2, sum2 := run()
+		if s1 != s2 || sum1 != sum2 {
+			t.Fatalf("nondeterministic: %+v/%d vs %+v/%d", s1, sum1, s2, sum2)
+		}
+	}
+}
+
+func TestSendIntoPastPanics(t *testing.T) {
+	cluster := newCluster(1)
+	cfg := Config{
+		Cluster: cluster, NumLPs: 1, EventCPU: sim.Microsecond,
+		InitState: func(int) State { return IntState{} },
+		Handler: func(ctx *Ctx, ev Event) {
+			defer func() {
+				if recover() == nil {
+					t.Error("send into the past should panic")
+				}
+			}()
+			ctx.Send(Event{At: ctx.Now(), To: 0})
+		},
+	}
+	if _, _, err := RunConservative(cfg, []Event{{At: 1, To: 0}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, _, err := RunConservative(Config{}, nil); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, _, err := RunTimeWarp(Config{}, nil); err == nil {
+		t.Error("empty config should fail")
+	}
+	cl := newCluster(1)
+	bad := Config{Cluster: cl, NumLPs: 1, Handler: func(*Ctx, Event) {},
+		Place: func(int) int { return 7 }}
+	if _, _, err := RunTimeWarp(bad, nil); err == nil {
+		t.Error("bad placement should fail")
+	}
+	ok := Config{Cluster: cl, NumLPs: 1, Handler: func(*Ctx, Event) {}}
+	if _, _, err := RunTimeWarp(ok, []Event{{To: 5, At: 1}}); err == nil {
+		t.Error("bad inject target should fail")
+	}
+}
+
+func TestConservativeEpochOrdering(t *testing.T) {
+	// Events across hosts execute in strict global timestamp order.
+	cluster := newCluster(3)
+	var order []float64
+	cfg := Config{
+		Cluster: cluster, NumLPs: 3,
+		Place:     func(lp int) int { return lp },
+		InitState: func(int) State { return IntState{} },
+		EventCPU:  500 * sim.Microsecond,
+		Handler: func(ctx *Ctx, ev Event) {
+			order = append(order, ctx.Now())
+			if ev.Kind == 0 && ctx.Now() < 3 {
+				ctx.Send(Event{At: ctx.Now() + 0.7, To: (ctx.LP() + 1) % 3, Size: 32})
+			}
+		},
+	}
+	inject := []Event{{At: 0.5, To: 0}, {At: 0.6, To: 1}, {At: 0.4, To: 2}}
+	if _, _, err := RunConservative(cfg, inject); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) == 0 {
+		t.Fatal("nothing executed")
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("out of order: %v", order)
+		}
+	}
+}
+
+func TestFossilCollectionBoundsHistory(t *testing.T) {
+	// A long two-LP ping-pong with a tight sync interval: GVT must
+	// advance mid-run and prune history (without it, history length would
+	// equal total events).
+	cluster := newCluster(2)
+	cfg := Config{
+		Cluster: cluster, NumLPs: 2,
+		Place:        func(lp int) int { return lp },
+		InitState:    func(int) State { return IntState{} },
+		EventCPU:     2 * sim.Millisecond, // slow events so rounds interleave
+		SyncInterval: sim.Millisecond,
+		Handler: func(ctx *Ctx, ev Event) {
+			ctx.State().(IntState)["count"]++
+			if ctx.Now() < 20 {
+				ctx.Send(Event{At: ctx.Now() + 0.5, To: 1 - ctx.LP(), Size: 32})
+			}
+		},
+	}
+	stats, states, err := RunTimeWarp(cfg, []Event{{At: 0.5, To: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalGVT <= 0 {
+		t.Errorf("GVT never advanced: %+v", stats)
+	}
+	if stats.Rounds < 3 {
+		t.Errorf("rounds = %d; sync never interleaved with execution", stats.Rounds)
+	}
+	total := totals(states, "count")
+	if total != 40 {
+		t.Errorf("events = %d, want 40", total)
+	}
+}
+
+func TestOptimismWindowLimitsSpeculation(t *testing.T) {
+	// With a tiny window, a far-future event cannot execute until GVT
+	// reaches it; with no window it executes immediately. Both must
+	// complete with identical states.
+	mk := func(window float64) (Stats, []State) {
+		cluster := newCluster(2)
+		cfg := Config{
+			Cluster: cluster, NumLPs: 2,
+			Place:     func(lp int) int { return lp },
+			InitState: func(int) State { return IntState{} },
+			EventCPU:  100 * sim.Microsecond,
+			Window:    window,
+			Handler: func(ctx *Ctx, ev Event) {
+				st := ctx.State().(IntState)
+				st["count"]++
+				st["lastT"] = int64(ctx.Now() * 10)
+			},
+		}
+		inject := []Event{
+			{At: 1, To: 0}, {At: 100, To: 0}, {At: 2, To: 1},
+		}
+		stats, states, err := RunTimeWarp(cfg, inject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, states
+	}
+	sWin, stWin := mk(0.5)
+	sFree, stFree := mk(0)
+	for i := range stWin {
+		w, f := stWin[i].(IntState), stFree[i].(IntState)
+		if w["count"] != f["count"] || w["lastT"] != f["lastT"] {
+			t.Errorf("LP %d differs: windowed %v vs free %v", i, w, f)
+		}
+	}
+	// The windowed run needs GVT rounds to release the t=100 event.
+	if sWin.Rounds <= sFree.Rounds {
+		t.Errorf("windowed rounds %d should exceed unbounded %d", sWin.Rounds, sFree.Rounds)
+	}
+}
+
+func TestIntStateClone(t *testing.T) {
+	s := IntState{"a": 1}
+	c := s.Clone().(IntState)
+	s["a"] = 2
+	if c["a"] != 1 {
+		t.Error("clone not independent")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	// Smoke-check that stats fields are populated by a tiny run.
+	st, _, err := RunTimeWarp(pholdConfig(newCluster(2), 2, 1), pholdInject(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Elapsed <= 0 || st.Events <= 0 {
+		t.Errorf("stats = %s", fmt.Sprintf("%+v", st))
+	}
+}

@@ -1,0 +1,389 @@
+package gvt
+
+import (
+	"container/heap"
+	"fmt"
+
+	"messengers/internal/sim"
+)
+
+// twRecord is one processed event kept for possible rollback.
+type twRecord struct {
+	ev     *tsEvent
+	before State
+	sent   []*tsEvent
+}
+
+// twLP is one logical process under Time Warp.
+type twLP struct {
+	id, host int
+	state    State
+	lvt      float64
+	pending  tsHeap
+	history  []*twRecord
+	limbo    map[uint64]bool // anti-messages that overtook their positives
+}
+
+type twHost struct {
+	id        int
+	lps       []*twLP
+	scheduled bool
+}
+
+// timeWarp is the optimistic executor.
+type timeWarp struct {
+	cfg   Config
+	lps   []*twLP
+	hosts []*twHost
+	seq   uint64
+	gvt   float64
+
+	sent, recv int64 // inter-host event messages (statistics)
+	// unfinished holds a virtual-time lower bound for every event that is
+	// neither in a pending queue nor committed-and-safe: events being
+	// executed (until their sends are transmitted) and events in flight
+	// (until they arrive). GVT is the minimum over pending queues and this
+	// set; without it a round could observe a momentarily empty system
+	// and miscompute GVT (or falsely conclude quiescence).
+	unfinished map[uint64]float64
+	polling    bool
+	epoch      int64
+	reports    map[int]twReport
+	stats      Stats
+}
+
+func (tw *timeWarp) unfinishedMin() float64 {
+	min := inf
+	for _, at := range tw.unfinished {
+		if at < min {
+			min = at
+		}
+	}
+	return min
+}
+
+type twReport struct {
+	min        float64
+	sent, recv int64
+}
+
+// RunTimeWarp executes the application optimistically and returns run
+// statistics and each LP's final state. The injected events seed the
+// computation at virtual time >= 0.
+func RunTimeWarp(cfg Config, inject []Event) (Stats, []State, error) {
+	tw := &timeWarp{cfg: cfg, unfinished: map[uint64]float64{}}
+	if err := tw.setup(inject); err != nil {
+		return Stats{}, nil, err
+	}
+	for _, h := range tw.hosts {
+		tw.kick(h)
+	}
+	tw.startPolling()
+	end := cfg.Cluster.Kernel.Run()
+	tw.stats.Elapsed = end
+	tw.stats.FinalGVT = tw.gvt
+	states := make([]State, len(tw.lps))
+	for i, lp := range tw.lps {
+		states[i] = lp.state
+	}
+	// A drained kernel with unprocessed events would be a kernel bug.
+	for _, lp := range tw.lps {
+		if len(lp.pending) > 0 {
+			return tw.stats, states, fmt.Errorf("gvt: LP %d finished with %d pending events", lp.id, len(lp.pending))
+		}
+	}
+	return tw.stats, states, nil
+}
+
+func (tw *timeWarp) setup(inject []Event) error {
+	cfg := tw.cfg
+	if cfg.NumLPs < 1 || cfg.Handler == nil || cfg.Cluster == nil {
+		return fmt.Errorf("gvt: config needs a cluster, LPs, and a handler")
+	}
+	tw.hosts = make([]*twHost, len(cfg.Cluster.Hosts))
+	for i := range tw.hosts {
+		tw.hosts[i] = &twHost{id: i}
+	}
+	tw.lps = make([]*twLP, cfg.NumLPs)
+	for i := range tw.lps {
+		h := cfg.place(i)
+		if h < 0 || h >= len(tw.hosts) {
+			return fmt.Errorf("gvt: LP %d placed on unknown host %d", i, h)
+		}
+		lp := &twLP{id: i, host: h, limbo: map[uint64]bool{}}
+		if cfg.InitState != nil {
+			lp.state = cfg.InitState(i)
+		}
+		tw.lps[i] = lp
+		tw.hosts[h].lps = append(tw.hosts[h].lps, lp)
+	}
+	for _, ev := range inject {
+		if ev.To < 0 || ev.To >= len(tw.lps) {
+			return fmt.Errorf("gvt: injected event for unknown LP %d", ev.To)
+		}
+		tw.seq++
+		heap.Push(&tw.lps[ev.To].pending, &tsEvent{Event: ev, id: tw.seq})
+	}
+	return nil
+}
+
+// kick schedules host h to process its next pending event.
+func (tw *timeWarp) kick(h *twHost) {
+	if h.scheduled {
+		return
+	}
+	if tw.nextLP(h) == nil {
+		return
+	}
+	h.scheduled = true
+	tw.cfg.Cluster.Hosts[h.id].Exec(0, func() {
+		h.scheduled = false
+		tw.processOne(h)
+	})
+}
+
+// nextLP returns h's LP with the earliest pending event, respecting the
+// optimism window.
+func (tw *timeWarp) nextLP(h *twHost) *twLP {
+	var best *twLP
+	for _, lp := range h.lps {
+		if len(lp.pending) == 0 {
+			continue
+		}
+		if tw.cfg.Window > 0 && lp.pending.minTS() >= tw.gvt+tw.cfg.Window {
+			continue // beyond the optimism window; wait for GVT
+		}
+		if best == nil || lp.pending.minTS() < best.pending.minTS() {
+			best = lp
+		}
+	}
+	return best
+}
+
+// processOne executes the earliest pending event on host h (optimistically:
+// no safety check).
+func (tw *timeWarp) processOne(h *twHost) {
+	lp := tw.nextLP(h)
+	if lp == nil {
+		return
+	}
+	ev := heap.Pop(&lp.pending).(*tsEvent)
+	rec := &twRecord{ev: ev}
+	if lp.state != nil {
+		rec.before = lp.state.Clone()
+	}
+	lp.lvt = ev.At
+	cost := tw.cfg.EventCPU
+	ctx := &Ctx{
+		lp: lp.id, now: ev.At, state: lp.state, charge: &cost,
+		send: func(out Event) {
+			tw.seq++
+			rec.sent = append(rec.sent, &tsEvent{Event: out, id: tw.seq})
+		},
+	}
+	tw.cfg.Handler(ctx, ev.Event)
+	lp.history = append(lp.history, rec)
+	tw.stats.Events++
+	tw.unfinished[ev.id] = ev.At
+	tw.cfg.Cluster.Hosts[h.id].ExecScaled(cost, func() {
+		delete(tw.unfinished, ev.id)
+		for _, out := range rec.sent {
+			tw.transmit(h.id, out)
+		}
+		tw.kick(h)
+	})
+}
+
+// transmit routes an event (or anti-message) toward its LP. Anti-messages
+// share their positive's id, so the unfinished set keys them separately by
+// flipping a high bit.
+func (tw *timeWarp) transmit(fromHost int, ev *tsEvent) {
+	toHost := tw.lps[ev.To].host
+	cm := tw.cfg.Cluster.Model
+	key := ev.id
+	if ev.anti {
+		key |= 1 << 63
+	}
+	tw.unfinished[key] = ev.At
+	done := func() {
+		delete(tw.unfinished, key)
+		tw.arrive(ev)
+	}
+	if toHost == fromHost {
+		tw.cfg.Cluster.Hosts[toHost].ExecScaled(cm.CallFixed, done)
+		return
+	}
+	tw.sent++
+	tw.cfg.Cluster.Send(fromHost, toHost, ev.Size+48, cm.CallFixed, cm.CallFixed, func() {
+		tw.recv++
+		done()
+	})
+}
+
+// arrive handles an event or anti-message reaching its LP's host.
+func (tw *timeWarp) arrive(ev *tsEvent) {
+	lp := tw.lps[ev.To]
+	h := tw.hosts[lp.host]
+	if ev.anti {
+		tw.annihilate(lp, ev)
+		tw.kick(h)
+		return
+	}
+	if lp.limbo[ev.id] {
+		// Its anti-message arrived first; they cancel.
+		delete(lp.limbo, ev.id)
+		return
+	}
+	if ev.At < lp.lvt {
+		// Straggler: roll the LP back to just before the event's time.
+		tw.rollback(lp, ev.At)
+	}
+	heap.Push(&lp.pending, ev)
+	tw.kick(h)
+}
+
+// annihilate cancels the positive copy of an anti-message.
+func (tw *timeWarp) annihilate(lp *twLP, anti *tsEvent) {
+	for i, p := range lp.pending {
+		if p.id == anti.id {
+			heap.Remove(&lp.pending, i)
+			return
+		}
+	}
+	for _, rec := range lp.history {
+		if rec.ev.id == anti.id {
+			// The victim was already executed: roll back past it, which
+			// reinserts it as pending, then remove it.
+			tw.rollback(lp, anti.At)
+			for i, p := range lp.pending {
+				if p.id == anti.id {
+					heap.Remove(&lp.pending, i)
+					break
+				}
+			}
+			return
+		}
+	}
+	// The anti-message overtook its positive (possible across rollback
+	// paths); remember it.
+	lp.limbo[anti.id] = true
+}
+
+// rollback undoes every processed event with timestamp >= ts: state is
+// restored, the undone events return to the pending queue, and
+// anti-messages chase everything they sent.
+func (tw *timeWarp) rollback(lp *twLP, ts float64) {
+	cut := len(lp.history)
+	for cut > 0 && lp.history[cut-1].ev.At >= ts {
+		cut--
+	}
+	if cut == len(lp.history) {
+		return
+	}
+	tw.stats.Rollbacks++
+	undone := lp.history[cut:]
+	lp.history = lp.history[:cut]
+	var cost sim.Time
+	for i := len(undone) - 1; i >= 0; i-- {
+		rec := undone[i]
+		lp.state = rec.before
+		heap.Push(&lp.pending, rec.ev)
+		tw.stats.RolledBack++
+		cost += tw.cfg.EventCPU / 2
+		for _, out := range rec.sent {
+			anti := &tsEvent{Event: out.Event, id: out.id, anti: true}
+			tw.stats.AntiMessages++
+			tw.transmit(lp.host, anti)
+		}
+	}
+	if cut > 0 {
+		lp.lvt = lp.history[cut-1].ev.At
+	} else {
+		lp.lvt = tw.gvt
+	}
+	// Rollback work occupies the host CPU.
+	tw.cfg.Cluster.Hosts[lp.host].ExecScaled(cost, nil)
+}
+
+// --- GVT computation and fossil collection ---
+
+func (tw *timeWarp) startPolling() {
+	if tw.polling {
+		return
+	}
+	tw.polling = true
+	tw.scheduleRound(tw.cfg.syncInterval())
+}
+
+func (tw *timeWarp) scheduleRound(after sim.Time) {
+	tw.cfg.Cluster.Kernel.After(after, func() { tw.round() })
+}
+
+// round runs one coordinator GVT round: query each host (control messages
+// on the wire), gather minima and transient counters, and advance/fossil
+// when safe. For determinism and simplicity replies are gathered through
+// the same message-cost accounting as the runtime uses.
+func (tw *timeWarp) round() {
+	tw.stats.Rounds++
+	cm := tw.cfg.Cluster.Model
+	n := len(tw.hosts)
+	replies := 0
+	min := inf
+	// Query/reply pairs cross the bus (hosts other than 0).
+	for _, h := range tw.hosts {
+		h := h
+		deliverReply := func() {
+			replies++
+			for _, lp := range h.lps {
+				if m := lp.pending.minTS(); m < min {
+					min = m
+				}
+			}
+			if replies == n {
+				tw.concludeRound(min)
+			}
+		}
+		tw.stats.ControlMsgs += 2
+		if h.id == 0 {
+			tw.cfg.Cluster.Hosts[0].ExecScaled(cm.CallFixed, deliverReply)
+			continue
+		}
+		tw.cfg.Cluster.Send(0, h.id, ctlMsgSize, cm.CallFixed/2, cm.CallFixed/2, func() {
+			tw.cfg.Cluster.Send(h.id, 0, ctlMsgSize, cm.CallFixed/2, cm.CallFixed/2, deliverReply)
+		})
+	}
+}
+
+func (tw *timeWarp) concludeRound(min float64) {
+	if u := tw.unfinishedMin(); u < min {
+		min = u
+	}
+	if min == inf {
+		// Quiescent: nothing pending anywhere, nothing in flight. The
+		// final GVT is the last finite value computed.
+		tw.polling = false
+		return
+	}
+	if min > tw.gvt {
+		tw.gvt = min
+		tw.fossilCollect()
+		// A moving window may have released work.
+		for _, h := range tw.hosts {
+			tw.kick(h)
+		}
+	}
+	tw.scheduleRound(tw.cfg.syncInterval())
+}
+
+// fossilCollect discards history that can never be rolled back again.
+func (tw *timeWarp) fossilCollect() {
+	for _, lp := range tw.lps {
+		cut := 0
+		for cut < len(lp.history) && lp.history[cut].ev.At < tw.gvt {
+			cut++
+		}
+		if cut > 0 {
+			lp.history = append([]*twRecord(nil), lp.history[cut:]...)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package lan
+
+import (
+	"fmt"
+
+	"messengers/internal/sim"
+)
+
+// Bus is the shared Ethernet segment. All transmissions are serialized in
+// FIFO order (the medium carries one frame train at a time), which is how a
+// 10 Mb/s shared segment behaves under our workloads.
+type Bus struct {
+	k  *sim.Kernel
+	cm *CostModel
+
+	busyUntil sim.Time
+
+	// Stats accumulates utilization counters for the experiment reports.
+	Stats BusStats
+}
+
+// BusStats records bus activity over a run.
+type BusStats struct {
+	Messages int64
+	Bytes    int64
+	BusyTime sim.Time
+}
+
+// NewBus returns an idle bus on kernel k.
+func NewBus(k *sim.Kernel, cm *CostModel) *Bus {
+	return &Bus{k: k, cm: cm}
+}
+
+// Transmit queues a message of the given size on the medium and calls
+// deliver when the last bit (plus propagation) reaches the destination.
+// It returns the time transmission will complete.
+func (b *Bus) Transmit(size int, deliver func()) sim.Time {
+	tx := b.cm.WireTime(size)
+	start := b.k.Now()
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	done := start + tx
+	b.busyUntil = done
+	b.Stats.Messages++
+	b.Stats.Bytes += int64(size)
+	b.Stats.BusyTime += tx
+	if deliver != nil {
+		b.k.At(done+b.cm.PropDelay, deliver)
+	}
+	return done
+}
+
+// Host is one workstation: a single CPU serializing all software activity on
+// that machine (daemon or pvmd processing, task computation, copies).
+type Host struct {
+	ID   int
+	Spec HostSpec
+
+	k       *sim.Kernel
+	cpuFree sim.Time
+
+	// Stats accumulates CPU busy time for utilization reports.
+	Stats HostStats
+}
+
+// HostStats records per-host activity.
+type HostStats struct {
+	BusyTime sim.Time
+}
+
+// Exec reserves the host CPU for cost (already scaled) and schedules fn when
+// it completes. It returns the completion time.
+func (h *Host) Exec(cost sim.Time, fn func()) sim.Time {
+	if cost < 0 {
+		cost = 0
+	}
+	start := h.k.Now()
+	if h.cpuFree > start {
+		start = h.cpuFree
+	}
+	done := start + cost
+	h.cpuFree = done
+	h.Stats.BusyTime += cost
+	if fn != nil {
+		h.k.At(done, fn)
+	}
+	return done
+}
+
+// ExecScaled is Exec with the cost first scaled from the 110 MHz calibration
+// to this host's clock rate.
+func (h *Host) ExecScaled(base sim.Time, fn func()) sim.Time {
+	return h.Exec(h.Spec.scale(base), fn)
+}
+
+// ExecProc blocks the calling simulated process while the host CPU performs
+// cost worth of work (competing with other activity on the same host).
+func (h *Host) ExecProc(p *sim.Proc, cost sim.Time) {
+	h.Exec(cost, func() { p.Unpark() })
+	p.Park()
+}
+
+// ExecProcScaled is ExecProc with 110 MHz scaling applied.
+func (h *Host) ExecProcScaled(p *sim.Proc, base sim.Time) {
+	h.ExecProc(p, h.Spec.scale(base))
+}
+
+// Scale converts a 110 MHz-calibrated cost to this host's clock.
+func (h *Host) Scale(base sim.Time) sim.Time { return h.Spec.scale(base) }
+
+// Cluster is the simulated testbed: n hosts on one shared Ethernet segment.
+type Cluster struct {
+	Kernel *sim.Kernel
+	Model  *CostModel
+	Bus    *Bus
+	Hosts  []*Host
+}
+
+// NewCluster builds a cluster of n identical hosts.
+func NewCluster(k *sim.Kernel, cm *CostModel, n int, spec HostSpec) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("lan: cluster needs at least one host, got %d", n))
+	}
+	c := &Cluster{
+		Kernel: k,
+		Model:  cm,
+		Bus:    NewBus(k, cm),
+		Hosts:  make([]*Host, n),
+	}
+	for i := range c.Hosts {
+		c.Hosts[i] = &Host{ID: i, Spec: spec, k: k}
+	}
+	return c
+}
+
+// Send models a full message transfer from host src to host dst:
+// sender-side CPU (sendCost), bus occupancy for size bytes, then
+// receiver-side CPU (recvCost), then deliver. Local messages skip the bus
+// but still pay CPU costs. All CPU costs are 110 MHz-calibrated.
+func (c *Cluster) Send(src, dst int, size int, sendCost, recvCost sim.Time, deliver func()) {
+	s, d := c.Hosts[src], c.Hosts[dst]
+	recvThenDeliver := func() { d.ExecScaled(recvCost, deliver) }
+	if src == dst {
+		s.ExecScaled(sendCost, recvThenDeliver)
+		return
+	}
+	s.ExecScaled(sendCost, func() {
+		c.Bus.Transmit(size, recvThenDeliver)
+	})
+}

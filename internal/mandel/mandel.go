@@ -1,0 +1,155 @@
+// Package mandel implements the Mandelbrot-set workload of the paper's
+// manager/worker experiment (§3.1.2): computing, for each pixel, the escape
+// iteration of z' = z^2 + c over a region of the complex plane, with the
+// image divided into a grid of blocks that workers pick up dynamically.
+//
+// Block results carry their total iteration count so the simulated cluster
+// can charge CPU time for exactly the work that was actually performed.
+package mandel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Region is a rectangle of the complex plane.
+type Region struct {
+	XMin, YMin, XMax, YMax float64
+}
+
+// PaperRegion is the region used throughout the paper's evaluation:
+// (-2.0, -1.2, 0.4, 1.2).
+var PaperRegion = Region{XMin: -2.0, YMin: -1.2, XMax: 0.4, YMax: 1.2}
+
+// PaperColors is the paper's fixed color count (maximum iterations).
+const PaperColors = 512
+
+// Escape returns the first n with |z_n| > 2 for c = cr + ci*i, capped at
+// maxIter (the pixel's color index).
+func Escape(cr, ci float64, maxIter int) int {
+	var zr, zi float64
+	for n := 0; n < maxIter; n++ {
+		zr2, zi2 := zr*zr, zi*zi
+		if zr2+zi2 > 4 {
+			return n
+		}
+		zr, zi = zr2-zi2+cr, 2*zr*zi+ci
+	}
+	return maxIter
+}
+
+// Block is a rectangular sub-image: pixels [X0, X0+W) x [Y0, Y0+H).
+type Block struct {
+	X0, Y0, W, H int
+}
+
+// String renders the block for logs.
+func (b Block) String() string { return fmt.Sprintf("%dx%d@(%d,%d)", b.W, b.H, b.X0, b.Y0) }
+
+// Blocks divides a width x height image into a grid x grid decomposition
+// (the paper's 8x8, 16x16, and 32x32 grids). Edge blocks absorb remainders.
+func Blocks(width, height, grid int) []Block {
+	out := make([]Block, 0, grid*grid)
+	for by := 0; by < grid; by++ {
+		for bx := 0; bx < grid; bx++ {
+			x0 := bx * width / grid
+			x1 := (bx + 1) * width / grid
+			y0 := by * height / grid
+			y1 := (by + 1) * height / grid
+			out = append(out, Block{X0: x0, Y0: y0, W: x1 - x0, H: y1 - y0})
+		}
+	}
+	return out
+}
+
+// ComputeBlock computes a block's pixels. It returns the color indices
+// encoded little-endian as 2 bytes per pixel (row-major within the block)
+// and the total number of iterations executed — the quantity the cost model
+// charges for.
+func ComputeBlock(reg Region, width, height int, b Block, maxIter int) ([]byte, int64) {
+	pix := make([]byte, 2*b.W*b.H)
+	var iters int64
+	dx := (reg.XMax - reg.XMin) / float64(width)
+	dy := (reg.YMax - reg.YMin) / float64(height)
+	i := 0
+	for y := b.Y0; y < b.Y0+b.H; y++ {
+		ci := reg.YMin + (float64(y)+0.5)*dy
+		for x := b.X0; x < b.X0+b.W; x++ {
+			cr := reg.XMin + (float64(x)+0.5)*dx
+			n := Escape(cr, ci, maxIter)
+			if n == maxIter {
+				iters += int64(maxIter)
+			} else {
+				iters += int64(n + 1)
+			}
+			binary.LittleEndian.PutUint16(pix[i:], uint16(n))
+			i += 2
+		}
+	}
+	return pix, iters
+}
+
+// Image is an assembled width x height color-index image.
+type Image struct {
+	W, H int
+	Pix  []uint16
+}
+
+// NewImage allocates a zeroed image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint16, w*h)}
+}
+
+// SetBlock installs a computed block (encoded as by ComputeBlock).
+func (img *Image) SetBlock(b Block, data []byte) error {
+	if len(data) != 2*b.W*b.H {
+		return fmt.Errorf("mandel: block %v data is %d bytes, want %d", b, len(data), 2*b.W*b.H)
+	}
+	i := 0
+	for y := b.Y0; y < b.Y0+b.H; y++ {
+		for x := b.X0; x < b.X0+b.W; x++ {
+			img.Pix[y*img.W+x] = binary.LittleEndian.Uint16(data[i:])
+			i += 2
+		}
+	}
+	return nil
+}
+
+// Checksum returns a content hash of the image for cross-implementation
+// validation (MESSENGERS vs PVM vs sequential must agree exactly).
+func (img *Image) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [2]byte
+	for _, p := range img.Pix {
+		binary.LittleEndian.PutUint16(buf[:], p)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// WritePGM writes the image as a binary 16-bit PGM for visual inspection.
+func (img *Image) WritePGM(w io.Writer, maxVal int) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n%d\n", img.W, img.H, maxVal); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(img.Pix))
+	for i, p := range img.Pix {
+		buf[2*i] = byte(p >> 8)
+		buf[2*i+1] = byte(p)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ComputeImage computes the whole image sequentially (the paper's
+// sequential C baseline) and returns it with the total iteration count.
+func ComputeImage(reg Region, width, height, maxIter int) (*Image, int64) {
+	img := NewImage(width, height)
+	data, iters := ComputeBlock(reg, width, height, Block{W: width, H: height}, maxIter)
+	if err := img.SetBlock(Block{W: width, H: height}, data); err != nil {
+		panic(err) // sizes are consistent by construction
+	}
+	return img, iters
+}

@@ -1,0 +1,147 @@
+package mandel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEscapeKnownPoints(t *testing.T) {
+	tests := []struct {
+		cr, ci float64
+		want   int // escape iteration (or max for interior)
+	}{
+		{0, 0, 100},   // origin never escapes
+		{-1, 0, 100},  // period-2 interior point
+		{2, 2, 1},     // far outside: z1 = c already has |z| > 2
+		{0.2, 0, 100}, // inside the main cardioid (cusp at 0.25)
+		{-2.1, 0, 1},  // just left of the set, |c| > 2
+	}
+	for _, tt := range tests {
+		if got := Escape(tt.cr, tt.ci, 100); got != tt.want {
+			t.Errorf("Escape(%v, %v) = %d, want %d", tt.cr, tt.ci, got, tt.want)
+		}
+	}
+}
+
+func TestEscapeMonotoneInMaxIter(t *testing.T) {
+	// A point that escapes at iteration n escapes at the same n for any
+	// larger cap.
+	cr, ci := 0.26, 0.0 // escapes slowly, near the cardioid cusp
+	n1 := Escape(cr, ci, 1000)
+	if n1 == 1000 {
+		t.Skip("test point did not escape; adjust")
+	}
+	if n2 := Escape(cr, ci, 2000); n2 != n1 {
+		t.Errorf("escape changed with cap: %d vs %d", n1, n2)
+	}
+}
+
+func TestBlocksCoverImageExactly(t *testing.T) {
+	for _, tt := range []struct{ w, h, g int }{
+		{320, 320, 8}, {320, 320, 32}, {100, 70, 3}, {7, 7, 8},
+	} {
+		blocks := Blocks(tt.w, tt.h, tt.g)
+		if len(blocks) != tt.g*tt.g {
+			t.Errorf("%dx%d/%d: %d blocks", tt.w, tt.h, tt.g, len(blocks))
+		}
+		covered := make([]bool, tt.w*tt.h)
+		for _, b := range blocks {
+			for y := b.Y0; y < b.Y0+b.H; y++ {
+				for x := b.X0; x < b.X0+b.W; x++ {
+					if x < 0 || x >= tt.w || y < 0 || y >= tt.h {
+						t.Fatalf("block %v out of bounds", b)
+					}
+					if covered[y*tt.w+x] {
+						t.Fatalf("pixel (%d,%d) covered twice", x, y)
+					}
+					covered[y*tt.w+x] = true
+				}
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("%dx%d/%d: pixel %d not covered", tt.w, tt.h, tt.g, i)
+			}
+		}
+	}
+}
+
+func TestBlockAssemblyMatchesSequential(t *testing.T) {
+	const w, h, iters = 64, 64, 128
+	seq, seqIters := ComputeImage(PaperRegion, w, h, iters)
+
+	img := NewImage(w, h)
+	var total int64
+	for _, b := range Blocks(w, h, 4) {
+		data, it := ComputeBlock(PaperRegion, w, h, b, iters)
+		total += it
+		if err := img.SetBlock(b, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if img.Checksum() != seq.Checksum() {
+		t.Error("block-assembled image differs from sequential image")
+	}
+	if total != seqIters {
+		t.Errorf("iteration counts differ: %d vs %d", total, seqIters)
+	}
+	if total <= int64(w*h) {
+		t.Errorf("implausible iteration total %d", total)
+	}
+}
+
+func TestSetBlockValidatesSize(t *testing.T) {
+	img := NewImage(8, 8)
+	if err := img.SetBlock(Block{W: 2, H: 2}, make([]byte, 3)); err == nil {
+		t.Error("short data should fail")
+	}
+}
+
+func TestChecksumDistinguishesImages(t *testing.T) {
+	a := NewImage(4, 4)
+	b := NewImage(4, 4)
+	if a.Checksum() != b.Checksum() {
+		t.Error("equal images must have equal checksums")
+	}
+	b.Pix[5] = 1
+	if a.Checksum() == b.Checksum() {
+		t.Error("different images should differ")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	img, _ := ComputeImage(PaperRegion, 16, 12, 64)
+	var buf bytes.Buffer
+	if err := img.WritePGM(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P5\n16 12\n64\n") {
+		t.Errorf("header = %q", out[:20])
+	}
+	if buf.Len() != len("P5\n16 12\n64\n")+2*16*12 {
+		t.Errorf("size = %d", buf.Len())
+	}
+}
+
+func TestPropBlockComputationIsDeterministic(t *testing.T) {
+	f := func(seed uint8) bool {
+		g := int(seed%4) + 1
+		blocks := Blocks(32, 32, g)
+		b := blocks[int(seed)%len(blocks)]
+		d1, i1 := ComputeBlock(PaperRegion, 32, 32, b, 64)
+		d2, i2 := ComputeBlock(PaperRegion, 32, 32, b, 64)
+		return i1 == i2 && bytes.Equal(d1, d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockStringer(t *testing.T) {
+	if got := (Block{X0: 1, Y0: 2, W: 3, H: 4}).String(); got != "3x4@(1,2)" {
+		t.Errorf("String = %q", got)
+	}
+}

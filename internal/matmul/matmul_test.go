@@ -1,0 +1,151 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"messengers/internal/value"
+)
+
+func ident(n int) *value.Mat {
+	m := value.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+func TestNaiveIdentity(t *testing.T) {
+	a := Random(8, 1)
+	c := Naive(a, ident(8))
+	if MaxAbsDiff(a, c) != 0 {
+		t.Error("A * I != A")
+	}
+	c2 := Naive(ident(8), a)
+	if MaxAbsDiff(a, c2) != 0 {
+		t.Error("I * A != A")
+	}
+}
+
+func TestNaiveKnownProduct(t *testing.T) {
+	a := &value.Mat{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := &value.Mat{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	c := Naive(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("C[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestNaiveShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch should panic")
+		}
+	}()
+	Naive(value.NewMat(2, 3), value.NewMat(2, 3))
+}
+
+func TestAddMulAccumulates(t *testing.T) {
+	a, b := Random(6, 2), Random(6, 3)
+	c := Naive(a, b)
+	acc := value.NewMat(6, 6)
+	AddMul(acc, a, b)
+	AddMul(acc, a, b)
+	for i := range acc.Data {
+		if math.Abs(acc.Data[i]-2*c.Data[i]) > 1e-12 {
+			t.Fatalf("accumulation wrong at %d", i)
+		}
+	}
+}
+
+func TestAddMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch should panic")
+		}
+	}()
+	AddMul(value.NewMat(2, 2), value.NewMat(2, 3), value.NewMat(2, 3))
+}
+
+func TestGetSetBlockRoundTrip(t *testing.T) {
+	a := Random(12, 4)
+	blk := GetBlock(a, 1, 2, 4)
+	if blk.Rows != 4 || blk.Cols != 4 {
+		t.Fatalf("block shape %dx%d", blk.Rows, blk.Cols)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if blk.At(r, c) != a.At(4+r, 8+c) {
+				t.Fatalf("block content wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+	b := value.NewMat(12, 12)
+	SetBlock(b, 1, 2, blk)
+	if got := GetBlock(b, 1, 2, 4); MaxAbsDiff(got, blk) != 0 {
+		t.Error("SetBlock/GetBlock round trip failed")
+	}
+	// Other blocks untouched.
+	if got := GetBlock(b, 0, 0, 4); MaxAbsDiff(got, value.NewMat(4, 4)) != 0 {
+		t.Error("SetBlock leaked outside its block")
+	}
+}
+
+func TestBlockSequentialMatchesNaive(t *testing.T) {
+	for _, tt := range []struct{ n, m int }{
+		{6, 2}, {6, 3}, {12, 4}, {20, 2},
+	} {
+		a, b := Random(tt.n, int64(tt.n)), Random(tt.n, int64(tt.n)+100)
+		naive := Naive(a, b)
+		block := BlockSequential(a, b, tt.m)
+		if d := MaxAbsDiff(naive, block); d > 1e-9 {
+			t.Errorf("n=%d m=%d: max diff %g", tt.n, tt.m, d)
+		}
+	}
+}
+
+func TestBlockSequentialValidatesDivisibility(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("indivisible partition should panic")
+		}
+	}()
+	BlockSequential(Random(7, 1), Random(7, 2), 2)
+}
+
+func TestPropBlockEqualsNaive(t *testing.T) {
+	f := func(seed int64, mPick uint8) bool {
+		m := int(mPick%3) + 1 // 1..3
+		n := m * 4
+		a, b := Random(n, seed), Random(n, seed+7)
+		return MaxAbsDiff(Naive(a, b), BlockSequential(a, b, m)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACs(t *testing.T) {
+	if MACs(100) != 1_000_000 {
+		t.Errorf("MACs(100) = %d", MACs(100))
+	}
+}
+
+func TestMaxAbsDiffShapeMismatch(t *testing.T) {
+	if !math.IsInf(MaxAbsDiff(value.NewMat(2, 2), value.NewMat(3, 3)), 1) {
+		t.Error("shape mismatch should be +Inf")
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	if MaxAbsDiff(Random(5, 42), Random(5, 42)) != 0 {
+		t.Error("Random not deterministic for equal seeds")
+	}
+	if MaxAbsDiff(Random(5, 1), Random(5, 2)) == 0 {
+		t.Error("Random identical for different seeds")
+	}
+}

@@ -1,0 +1,149 @@
+package pvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"messengers/internal/lan"
+	"messengers/internal/sim"
+	"messengers/internal/value"
+)
+
+// Buffer is a PVM message buffer. Packing copies data in at the sender;
+// unpacking copies it out at the receiver — the two explicit copies the
+// paper contrasts with MESSENGERS' direct state transfer (§2.1). In
+// simulation each copy is charged at the corresponding per-byte rate.
+type Buffer struct {
+	data []byte
+	pos  int
+	src  TID
+	tag  int
+}
+
+// Sender returns the sending task (after Recv).
+func (b *Buffer) Sender() TID { return b.src }
+
+// Tag returns the message tag (after Recv).
+func (b *Buffer) Tag() int { return b.tag }
+
+// Len returns the packed payload size in bytes.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// InitSend clears the task's send buffer (pvm_initsend).
+func (p *Proc) InitSend() {
+	p.checkKilled()
+	p.sendBuf = &Buffer{}
+}
+
+func (p *Proc) send() *Buffer {
+	if p.sendBuf == nil {
+		p.sendBuf = &Buffer{}
+	}
+	return p.sendBuf
+}
+
+// chargeCopy charges a user-level copy of n bytes (pack or unpack).
+func (p *Proc) chargeCopy(n int, perByte func(cm *lan.CostModel) sim.Time) {
+	if p.m.Sim() && n > 0 {
+		p.Compute(sim.Time(n) * perByte(p.m.cm))
+	}
+}
+
+// PkInt packs int64s (pvm_pkint).
+func (p *Proc) PkInt(vs ...int64) {
+	p.checkKilled()
+	b := p.send()
+	for _, v := range vs {
+		b.data = binary.LittleEndian.AppendUint64(b.data, uint64(v))
+	}
+	p.chargeCopy(8*len(vs), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte })
+}
+
+// PkDouble packs float64s (pvm_pkdouble).
+func (p *Proc) PkDouble(vs ...float64) {
+	p.checkKilled()
+	b := p.send()
+	for _, v := range vs {
+		b.data = binary.LittleEndian.AppendUint64(b.data, math.Float64bits(v))
+	}
+	p.chargeCopy(8*len(vs), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte })
+}
+
+// PkBytes packs a byte block (pvm_pkbyte).
+func (p *Proc) PkBytes(bs []byte) {
+	p.checkKilled()
+	b := p.send()
+	b.data = binary.LittleEndian.AppendUint32(b.data, uint32(len(bs)))
+	b.data = append(b.data, bs...)
+	p.chargeCopy(len(bs), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte })
+}
+
+// PkStr packs a string (pvm_pkstr).
+func (p *Proc) PkStr(s string) { p.PkBytes([]byte(s)) }
+
+// PkMat packs a matrix as dims plus row-major float64 data.
+func (p *Proc) PkMat(m *value.Mat) {
+	p.checkKilled()
+	b := p.send()
+	b.data = binary.LittleEndian.AppendUint32(b.data, uint32(m.Rows))
+	b.data = binary.LittleEndian.AppendUint32(b.data, uint32(m.Cols))
+	for _, f := range m.Data {
+		b.data = binary.LittleEndian.AppendUint64(b.data, math.Float64bits(f))
+	}
+	p.chargeCopy(8*len(m.Data), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte })
+}
+
+// unpack helpers; PVM's upk calls abort the task on type/size mismatch,
+// which we model with panics recorded by the machine.
+
+func (p *Proc) upkN(b *Buffer, n int) []byte {
+	if b.pos+n > len(b.data) {
+		panic(fmt.Sprintf("pvm: unpack of %d bytes beyond message end (%d/%d)", n, b.pos, len(b.data)))
+	}
+	out := b.data[b.pos : b.pos+n]
+	b.pos += n
+	return out
+}
+
+// UpkInt unpacks one int64.
+func (p *Proc) UpkInt(b *Buffer) int64 {
+	v := int64(binary.LittleEndian.Uint64(p.upkN(b, 8)))
+	p.chargeCopy(8, func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte })
+	return v
+}
+
+// UpkDouble unpacks one float64.
+func (p *Proc) UpkDouble(b *Buffer) float64 {
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p.upkN(b, 8)))
+	p.chargeCopy(8, func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte })
+	return v
+}
+
+// UpkBytes unpacks a byte block (copying it out of the buffer).
+func (p *Proc) UpkBytes(b *Buffer) []byte {
+	n := int(binary.LittleEndian.Uint32(p.upkN(b, 4)))
+	src := p.upkN(b, n)
+	out := make([]byte, n)
+	copy(out, src)
+	p.chargeCopy(n, func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte })
+	return out
+}
+
+// UpkStr unpacks a string.
+func (p *Proc) UpkStr(b *Buffer) string { return string(p.UpkBytes(b)) }
+
+// UpkMat unpacks a matrix.
+func (p *Proc) UpkMat(b *Buffer) *value.Mat {
+	rows := int(binary.LittleEndian.Uint32(p.upkN(b, 4)))
+	cols := int(binary.LittleEndian.Uint32(p.upkN(b, 4)))
+	if rows < 0 || cols < 0 || rows*cols > 1<<26 {
+		panic(fmt.Sprintf("pvm: unpack matrix %dx%d", rows, cols))
+	}
+	m := value.NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(p.upkN(b, 8)))
+	}
+	p.chargeCopy(8*len(m.Data), func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte })
+	return m
+}

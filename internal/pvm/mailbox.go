@@ -1,0 +1,50 @@
+package pvm
+
+// mailbox is a task's message queue with PVM's (source, tag) matching.
+// In simulation all access happens on the kernel thread; in real mode the
+// owning Proc's condMu guards it.
+type mailbox struct {
+	p    *Proc
+	msgs []*Buffer
+}
+
+func newMailbox(p *Proc) *mailbox { return &mailbox{p: p} }
+
+// deliver appends a complete message and wakes the owner.
+func (mb *mailbox) deliver(b *Buffer) {
+	if mb.p.m.Sim() {
+		mb.msgs = append(mb.msgs, b)
+		mb.p.wake()
+		return
+	}
+	mb.p.condMu.Lock()
+	mb.msgs = append(mb.msgs, b)
+	mb.p.condMu.Unlock()
+	mb.p.wake()
+}
+
+// kill marks the owner killed and wakes it.
+func (mb *mailbox) kill() {
+	if mb.p.m.Sim() {
+		mb.p.killed = true
+		mb.p.wake()
+		return
+	}
+	mb.p.condMu.Lock()
+	mb.p.killed = true
+	mb.p.condMu.Unlock()
+	mb.p.wake()
+}
+
+// match removes and returns the first message matching (src, tag), with -1
+// wildcards. Caller must hold the appropriate lock (real) or be on the
+// kernel thread (sim).
+func (mb *mailbox) match(src TID, tag int) (*Buffer, bool) {
+	for i, b := range mb.msgs {
+		if (src == AnySource || b.src == src) && (tag == AnyTag || b.tag == tag) {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			return b, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,273 @@
+package script
+
+// Script is a parsed MSL program: an optional set of function declarations
+// followed by the Messenger's main body. The body is what starts executing
+// when the Messenger is injected.
+type Script struct {
+	Funcs []*FuncDecl
+	Body  []Stmt
+}
+
+// FuncDecl is a user-defined script function. Parameters and bare
+// identifiers inside the body are locals; Messenger variables are reached
+// via msgr.x.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// StartPos returns the position of the expression for diagnostics.
+	StartPos() Pos
+}
+
+// VarSpace identifies which variable space a name lives in.
+type VarSpace uint8
+
+// Variable spaces (paper §2.1).
+const (
+	// SpaceAuto is a bare identifier: a Messenger variable in the main
+	// body, a local inside a function. Resolved at compile time.
+	SpaceAuto VarSpace = iota
+	// SpaceMsgr is an explicit Messenger variable (msgr.x).
+	SpaceMsgr
+	// SpaceNode is a node variable (node.x).
+	SpaceNode
+	// SpaceNet is a read-only network variable ($x).
+	SpaceNet
+)
+
+// --- Statements ---
+
+// AssignStmt is target = value, target += value, etc. Op is 0 for plain
+// assignment or one of PLUS, MINUS for compound forms.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr // VarExpr or IndexExpr
+	Op     Kind
+	Value  Expr
+}
+
+// IncDecStmt is x++ or x--.
+type IncDecStmt struct {
+	Pos    Pos
+	Target Expr
+	Dec    bool
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if (cond) then else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is for (init; cond; post) body. Init and Post may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body []Stmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt returns from a function (with optional value). In the main
+// body, return terminates the Messenger like end.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// EndStmt terminates the Messenger immediately.
+type EndStmt struct{ Pos Pos }
+
+// NavKind distinguishes the three navigational statements.
+type NavKind uint8
+
+// Navigational statement kinds.
+const (
+	NavHop NavKind = iota
+	NavCreate
+	NavDelete
+)
+
+// String names the navigational statement.
+func (k NavKind) String() string {
+	switch k {
+	case NavHop:
+		return "hop"
+	case NavCreate:
+		return "create"
+	default:
+		return "delete"
+	}
+}
+
+// NavField identifies one parameter of a navigational statement.
+type NavField uint8
+
+// Navigational parameters, as in the paper: logical node/link/direction and
+// daemon node/link/direction.
+const (
+	FieldLN NavField = iota
+	FieldLL
+	FieldLDir
+	FieldDN
+	FieldDL
+	FieldDDir
+	numNavFields
+)
+
+var navFieldNames = map[string]NavField{
+	"ln": FieldLN, "ll": FieldLL, "ldir": FieldLDir,
+	"dn": FieldDN, "dl": FieldDL, "ddir": FieldDDir,
+}
+
+// NavStmt is hop(...), create(...), or delete(...). Each field holds a list
+// of value expressions; lists are zipped into destination triples (arms).
+// Absent fields default per the paper: "*" for hop/delete matching and for
+// daemon specs, "~" (unnamed) for created node and link names.
+type NavStmt struct {
+	Pos    Pos
+	Kind   NavKind
+	Fields [numNavFields][]Expr
+	All    bool
+}
+
+func (*AssignStmt) stmtNode()   {}
+func (*IncDecStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*EndStmt) stmtNode()      {}
+func (*NavStmt) stmtNode()      {}
+
+// --- Expressions ---
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// NumLit is a floating-point literal.
+type NumLit struct {
+	Pos Pos
+	V   float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos Pos
+	V   string
+}
+
+// NilLit is the nil literal.
+type NilLit struct{ Pos Pos }
+
+// VarExpr reads a variable from one of the variable spaces.
+type VarExpr struct {
+	Pos   Pos
+	Space VarSpace
+	Name  string
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// BinaryExpr is a binary operation; && and || short-circuit.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+// CallExpr invokes a user-defined script function, a builtin, or a
+// registered native function, resolved in that order at compile time.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// IndexExpr is base[index].
+type IndexExpr struct {
+	Pos  Pos
+	Base Expr
+	Idx  Expr
+}
+
+// ArrayLit is [e1, e2, ...].
+type ArrayLit struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// AssignExpr is C's assignment-as-expression (target = value), needed for
+// idioms like while ((task = next_task()) != nil) from the paper's Fig. 3.
+// Its value is the assigned value.
+type AssignExpr struct {
+	Pos    Pos
+	Target Expr
+	Value  Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*NumLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*NilLit) exprNode()     {}
+func (*VarExpr) exprNode()    {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*ArrayLit) exprNode()   {}
+func (*AssignExpr) exprNode() {}
+
+// StartPos implementations.
+func (e *IntLit) StartPos() Pos     { return e.Pos }
+func (e *NumLit) StartPos() Pos     { return e.Pos }
+func (e *StrLit) StartPos() Pos     { return e.Pos }
+func (e *NilLit) StartPos() Pos     { return e.Pos }
+func (e *VarExpr) StartPos() Pos    { return e.Pos }
+func (e *UnaryExpr) StartPos() Pos  { return e.Pos }
+func (e *BinaryExpr) StartPos() Pos { return e.Pos }
+func (e *CallExpr) StartPos() Pos   { return e.Pos }
+func (e *IndexExpr) StartPos() Pos  { return e.Pos }
+func (e *ArrayLit) StartPos() Pos   { return e.Pos }
+func (e *AssignExpr) StartPos() Pos { return e.Pos }

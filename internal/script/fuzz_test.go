@@ -1,0 +1,73 @@
+package script
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsOnRandomBytes feeds noise to the parser: it must
+// return an error or an AST, never panic.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Parse(%q) panicked: %v", data, r)
+			}
+		}()
+		_, _ = Parse(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnTokenSoup throws syntactically plausible token
+// streams at the parser, which probes deeper paths than raw bytes.
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	atoms := []string{
+		"x", "node", "msgr", "$last", "hop", "create", "delete", "if",
+		"else", "while", "for", "func", "return", "break", "end", "ALL",
+		"(", ")", "{", "}", "[", "]", ";", ",", "=", "==", "+", "-", "*",
+		"/", "%", "&&", "||", "!", "<", ">", "~", ".", "42", "1.5",
+		`"str"`, "nil", "ln", "ll", "ldir", "dn", "virtual", "++", "+=",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := r.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteString(atoms[r.Intn(len(atoms))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Errorf("Parse(%q) panicked: %v", src, rec)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexAllNeverPanics covers the lexer the same way.
+func TestLexAllNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("LexAll(%q) panicked: %v", data, r)
+			}
+		}()
+		_, _ = LexAll(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

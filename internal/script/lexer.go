@@ -1,0 +1,292 @@
+package script
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenizes MSL source. Comments are C-style: // to end of line and
+// /* ... */ blocks.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// skipSpace consumes whitespace and comments, returning an error for an
+// unterminated block comment.
+func (l *Lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.here()
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Pos: pos, Text: word}, nil
+		}
+		return Token{Kind: IDENT, Pos: pos, Text: word}, nil
+
+	case isDigit(c) || c == '.' && isDigit(l.peek2()):
+		return l.lexNumber(pos)
+
+	case c == '"':
+		return l.lexString(pos)
+	}
+
+	l.advance()
+	two := func(next byte, withKind, aloneKind Kind) (Token, error) {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: withKind, Pos: pos}, nil
+		}
+		return Token{Kind: aloneKind, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RPAREN, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBRACE, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBRACE, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBRACK, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBRACK, Pos: pos}, nil
+	case ',':
+		return Token{Kind: COMMA, Pos: pos}, nil
+	case ';':
+		return Token{Kind: SEMI, Pos: pos}, nil
+	case '.':
+		return Token{Kind: DOT, Pos: pos}, nil
+	case '$':
+		return Token{Kind: DOLLAR, Pos: pos}, nil
+	case '~':
+		return Token{Kind: TILDE, Pos: pos}, nil
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NE, NOT)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: PLUSPLUS, Pos: pos}, nil
+		}
+		return two('=', PLUSEQ, PLUS)
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: MINUSMINUS, Pos: pos}, nil
+		}
+		return two('=', MINUSEQ, MINUS)
+	case '*':
+		return Token{Kind: STAR, Pos: pos}, nil
+	case '/':
+		return Token{Kind: SLASH, Pos: pos}, nil
+	case '%':
+		return Token{Kind: PERCENT, Pos: pos}, nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: ANDAND, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q (did you mean &&?)", string(c))
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OROR, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q (did you mean ||?)", string(c))
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.pos = save // not an exponent; leave 'e' for the next token
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad float literal %q", text)
+		}
+		return Token{Kind: FLOAT, Pos: pos, Text: text, Num: f}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, errf(pos, "bad int literal %q", text)
+	}
+	return Token{Kind: INT, Pos: pos, Text: text, Int: n}, nil
+}
+
+func (l *Lexer) lexString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: STRING, Pos: pos, Text: b.String(), Str: b.String()}, nil
+		case '\n':
+			return Token{}, errf(pos, "newline in string literal")
+		case '\\':
+			if l.pos >= len(l.src) {
+				return Token{}, errf(pos, "unterminated string literal")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return Token{}, errf(pos, "unknown escape \\%s", string(e))
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// LexAll tokenizes the whole source, for tests and tooling.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll(`x = 42; y = 3.14; s = "hi\n"; hop(ll = "row");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		IDENT, ASSIGN, INT, SEMI,
+		IDENT, ASSIGN, FLOAT, SEMI,
+		IDENT, ASSIGN, STRING, SEMI,
+		KwHop, LPAREN, IDENT, ASSIGN, STRING, RPAREN, SEMI,
+		EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[2].Int != 42 {
+		t.Errorf("int literal = %d", toks[2].Int)
+	}
+	if toks[6].Num != 3.14 {
+		t.Errorf("float literal = %v", toks[6].Num)
+	}
+	if toks[10].Str != "hi\n" {
+		t.Errorf("string literal = %q", toks[10].Str)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll(`== != <= >= < > && || ! + - * / % ++ -- += -= ~ $ .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{EQ, NE, LE, GE, LT, GT, ANDAND, OROR, NOT, PLUS, MINUS,
+		STAR, SLASH, PERCENT, PLUSPLUS, MINUSMINUS, PLUSEQ, MINUSEQ, TILDE,
+		DOLLAR, DOT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := LexAll(`if else while for break continue return func node end hop create delete nil hopper`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwIf, KwElse, KwWhile, KwFor, KwBreak, KwContinue,
+		KwReturn, KwFunc, KwNode, KwEnd, KwHop, KwCreate, KwDelete, KwNil,
+		IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[14].Text != "hopper" {
+		t.Errorf("ident text = %q", toks[14].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("a // line comment\n/* block\ncomment */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("line tracking across comments: %v", toks[1].Pos)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := LexAll("0 123 1.5 0.5 2e3 1.5e-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 0 || toks[1].Int != 123 {
+		t.Error("int literals wrong")
+	}
+	if toks[2].Num != 1.5 || toks[3].Num != 0.5 || toks[4].Num != 2000 || toks[5].Num != 0.015 {
+		t.Errorf("float literals wrong: %v %v %v %v", toks[2].Num, toks[3].Num, toks[4].Num, toks[5].Num)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		"\"newline\nin string\"",
+		`"bad \q escape"`,
+		`a & b`,
+		`a | b`,
+		`a @ b`,
+		"/* unterminated",
+	}
+	for _, src := range bad {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q) should fail", src)
+		} else if !strings.HasPrefix(err.Error(), "msl:") {
+			t.Errorf("error %q should carry a position", err)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}

@@ -1,0 +1,672 @@
+package script
+
+import "fmt"
+
+// Parser turns MSL source into a Script AST.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete MSL script.
+func Parse(src string) (*Script, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseScript()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) peek() Token { return p.peekAt(1) }
+
+func (p *Parser) peekAt(n int) Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %v, found %v", k, p.describe(p.cur()))
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) describe(t Token) string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT, FLOAT:
+		return fmt.Sprintf("literal %s", t.Text)
+	case STRING:
+		return fmt.Sprintf("string %q", t.Str)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}
+
+func (p *Parser) parseScript() (*Script, error) {
+	s := &Script{}
+	for !p.at(EOF) {
+		if p.at(KwFunc) {
+			if len(s.Body) > 0 {
+				return nil, errf(p.cur().Pos, "function declarations must appear before the main body")
+			}
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			for _, prev := range s.Funcs {
+				if prev.Name == f.Name {
+					return nil, errf(f.Pos, "function %q redeclared", f.Name)
+				}
+			}
+			s.Funcs = append(s.Funcs, f)
+			continue
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = append(s.Body, st)
+	}
+	return s, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	kw := p.next() // func
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Pos: kw.Pos, Name: name.Text}
+	if !p.at(RPAREN) {
+		for {
+			param, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			for _, prev := range f.Params {
+				if prev == param.Text {
+					return nil, errf(param.Pos, "duplicate parameter %q", param.Text)
+				}
+			}
+			f.Params = append(f.Params, param.Text)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at(RBRACE) {
+		if p.at(EOF) {
+			return nil, errf(p.cur().Pos, "unexpected end of file in block")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+// parseBody parses either a braced block or a single statement.
+func (p *Parser) parseBody() ([]Stmt, error) {
+	if p.at(LBRACE) {
+		return p.parseBlock()
+	}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{st}, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwFor:
+		return p.parseFor()
+	case KwBreak:
+		t := p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case KwContinue:
+		t := p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case KwReturn:
+		t := p.next()
+		var val Expr
+		if !p.at(SEMI) {
+			var err error
+			val, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: t.Pos, Value: val}, nil
+	case KwEnd:
+		t := p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &EndStmt{Pos: t.Pos}, nil
+	case KwHop, KwCreate, KwDelete:
+		return p.parseNav()
+	case KwFunc:
+		return nil, errf(p.cur().Pos, "function declarations must appear before the main body")
+	default:
+		st, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement
+// without the trailing semicolon (shared with for-headers).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if ae, ok := lhs.(*AssignExpr); ok {
+		// Plain assignment parsed as an expression; at statement level it
+		// is an AssignStmt.
+		return &AssignStmt{Pos: start, Target: ae.Target, Value: ae.Value}, nil
+	}
+	switch p.cur().Kind {
+	case PLUSEQ, MINUSEQ:
+		opTok := p.next()
+		if err := checkAssignable(lhs); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		op := PLUS
+		if opTok.Kind == MINUSEQ {
+			op = MINUS
+		}
+		return &AssignStmt{Pos: start, Target: lhs, Op: op, Value: rhs}, nil
+	case PLUSPLUS, MINUSMINUS:
+		opTok := p.next()
+		if err := checkAssignable(lhs); err != nil {
+			return nil, err
+		}
+		return &IncDecStmt{Pos: start, Target: lhs, Dec: opTok.Kind == MINUSMINUS}, nil
+	default:
+		return &ExprStmt{Pos: start, X: lhs}, nil
+	}
+}
+
+func checkAssignable(e Expr) error {
+	switch v := e.(type) {
+	case *VarExpr:
+		if v.Space == SpaceNet {
+			return errf(v.Pos, "network variable $%s is read-only", v.Name)
+		}
+		return nil
+	case *IndexExpr:
+		return checkAssignable(v.Base)
+	default:
+		return errf(e.StartPos(), "cannot assign to this expression")
+	}
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: kw.Pos, Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		if p.at(KwIf) {
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []Stmt{inner}
+		} else {
+			els, err := p.parseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: kw.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: kw.Pos}
+	if !p.at(SEMI) {
+		init, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if !p.at(SEMI) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if !p.at(RPAREN) {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// parseNav parses hop(...), create(...), and delete(...). The argument list
+// is semicolon-separated groups "field = v1, v2, ..." plus the bare word ALL
+// (create only). In value position the bare tokens *, +, -, ~ and the word
+// virtual are the calculus literals of the paper.
+func (p *Parser) parseNav() (Stmt, error) {
+	kw := p.next()
+	var kind NavKind
+	switch kw.Kind {
+	case KwHop:
+		kind = NavHop
+	case KwCreate:
+		kind = NavCreate
+	default:
+		kind = NavDelete
+	}
+	st := &NavStmt{Pos: kw.Pos, Kind: kind}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	for !p.at(RPAREN) {
+		if p.at(IDENT) && (p.cur().Text == "ALL" || p.cur().Text == "all") && p.peek().Kind != ASSIGN {
+			if kind != NavCreate {
+				return nil, errf(p.cur().Pos, "ALL is only valid in create")
+			}
+			p.next()
+			st.All = true
+		} else {
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			field, ok := navFieldNames[name.Text]
+			if !ok {
+				return nil, errf(name.Pos, "unknown %s parameter %q (want ln, ll, ldir, dn, dl, ddir, or ALL)", kind, name.Text)
+			}
+			if kind != NavCreate && field >= FieldDN {
+				return nil, errf(name.Pos, "%s only takes logical parameters (ln, ll, ldir)", kind)
+			}
+			if len(st.Fields[field]) > 0 {
+				return nil, errf(name.Pos, "duplicate %s parameter %q", kind, name.Text)
+			}
+			if _, err := p.expect(ASSIGN); err != nil {
+				return nil, err
+			}
+			for {
+				v, err := p.parseNavValue()
+				if err != nil {
+					return nil, err
+				}
+				st.Fields[field] = append(st.Fields[field], v)
+				// A comma continues this value list unless what follows is
+				// "field =" or "ALL", which starts the next group (both ";"
+				// and "," group separators are accepted).
+				if !p.at(COMMA) {
+					break
+				}
+				if n := p.peek(); n.Kind == IDENT && p.peekAt(2).Kind == ASSIGN {
+					if _, isField := navFieldNames[n.Text]; isField {
+						break
+					}
+				} else if n.Kind == IDENT && (n.Text == "ALL" || n.Text == "all") {
+					break
+				}
+				p.next() // consume the list comma
+			}
+		}
+		if !p.accept(SEMI) && !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseNavValue parses one destination-specification value, handling the
+// calculus literals that would otherwise be operators.
+func (p *Parser) parseNavValue() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case STAR, PLUS, MINUS, TILDE:
+		if nk := p.peek().Kind; nk == COMMA || nk == SEMI || nk == RPAREN {
+			p.next()
+			lit := map[Kind]string{STAR: "*", PLUS: "+", MINUS: "-", TILDE: "~"}[t.Kind]
+			return &StrLit{Pos: t.Pos, V: lit}, nil
+		}
+	case IDENT:
+		if t.Text == "virtual" {
+			if nk := p.peek().Kind; nk == COMMA || nk == SEMI || nk == RPAREN {
+				p.next()
+				return &StrLit{Pos: t.Pos, V: VirtualLink}, nil
+			}
+		}
+	}
+	return p.parseExpr()
+}
+
+// VirtualLink is the link-name constant denoting a direct jump to the named
+// node ("virtual link" in the paper's destination specifications).
+const VirtualLink = "#virtual"
+
+// --- Expressions: precedence climbing ---
+
+func (p *Parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(ASSIGN) {
+		if err := checkAssignable(lhs); err != nil {
+			return nil, err
+		}
+		eq := p.next()
+		rhs, err := p.parseExpr() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Pos: eq.Pos, Target: lhs, Value: rhs}, nil
+	}
+	return lhs, nil
+}
+
+// binding powers: ||=1, &&=2, ==/!= =3, relational=4, additive=5,
+// multiplicative=6.
+func binaryPower(k Kind) int {
+	switch k {
+	case OROR:
+		return 1
+	case ANDAND:
+		return 2
+	case EQ, NE:
+		return 3
+	case LT, LE, GT, GE:
+		return 4
+	case PLUS, MINUS:
+		return 5
+	case STAR, SLASH, PERCENT:
+		return 6
+	default:
+		return 0
+	}
+}
+
+func (p *Parser) parseBinary(minPower int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		power := binaryPower(p.cur().Kind)
+		if power < minPower {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(power + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case MINUS, NOT:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: op.Pos, Op: op.Kind, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(LBRACK) {
+		lb := p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{Pos: lb.Pos, Base: x, Idx: idx}
+	}
+	return x, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.next()
+		return &IntLit{Pos: t.Pos, V: t.Int}, nil
+	case FLOAT:
+		p.next()
+		return &NumLit{Pos: t.Pos, V: t.Num}, nil
+	case STRING:
+		p.next()
+		return &StrLit{Pos: t.Pos, V: t.Str}, nil
+	case KwNil:
+		p.next()
+		return &NilLit{Pos: t.Pos}, nil
+	case DOLLAR:
+		p.next()
+		// Keywords are valid network-variable names ($node).
+		if p.at(KwNode) {
+			p.next()
+			return &VarExpr{Pos: t.Pos, Space: SpaceNet, Name: "node"}, nil
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &VarExpr{Pos: t.Pos, Space: SpaceNet, Name: name.Text}, nil
+	case KwNode:
+		p.next()
+		if _, err := p.expect(DOT); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &VarExpr{Pos: t.Pos, Space: SpaceNode, Name: name.Text}, nil
+	case IDENT:
+		if t.Text == "msgr" && p.peek().Kind == DOT {
+			p.next()
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			return &VarExpr{Pos: t.Pos, Space: SpaceMsgr, Name: name.Text}, nil
+		}
+		p.next()
+		if p.at(LPAREN) {
+			p.next()
+			call := &CallExpr{Pos: t.Pos, Name: t.Text}
+			if !p.at(RPAREN) {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(COMMA) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &VarExpr{Pos: t.Pos, Space: SpaceAuto, Name: t.Text}, nil
+	case LPAREN:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case LBRACK:
+		p.next()
+		lit := &ArrayLit{Pos: t.Pos}
+		if !p.at(RBRACK) {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Elems = append(lit.Elems, e)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	default:
+		return nil, errf(t.Pos, "unexpected %s in expression", p.describe(t))
+	}
+}

@@ -1,0 +1,278 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseAssignments(t *testing.T) {
+	s := mustParse(t, `x = 1; node.y = x + 2; msgr.z = "s"; a[0] = 3; x += 1; x--;`)
+	if len(s.Body) != 6 {
+		t.Fatalf("got %d statements", len(s.Body))
+	}
+	a0 := s.Body[0].(*AssignStmt)
+	if v := a0.Target.(*VarExpr); v.Space != SpaceAuto || v.Name != "x" {
+		t.Errorf("stmt 0 target = %+v", v)
+	}
+	a1 := s.Body[1].(*AssignStmt)
+	if v := a1.Target.(*VarExpr); v.Space != SpaceNode || v.Name != "y" {
+		t.Errorf("stmt 1 target = %+v", v)
+	}
+	a2 := s.Body[2].(*AssignStmt)
+	if v := a2.Target.(*VarExpr); v.Space != SpaceMsgr || v.Name != "z" {
+		t.Errorf("stmt 2 target = %+v", v)
+	}
+	if _, ok := s.Body[3].(*AssignStmt).Target.(*IndexExpr); !ok {
+		t.Error("stmt 3 should assign to index")
+	}
+	if s.Body[4].(*AssignStmt).Op != PLUS {
+		t.Error("stmt 4 should be +=")
+	}
+	if !s.Body[5].(*IncDecStmt).Dec {
+		t.Error("stmt 5 should be decrement")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := mustParse(t, `r = 1 + 2 * 3 == 7 && !x || y < z;`)
+	// ((((1 + (2*3)) == 7) && (!x)) || (y < z))
+	root := s.Body[0].(*AssignStmt).Value.(*BinaryExpr)
+	if root.Op != OROR {
+		t.Fatalf("root op = %v, want ||", root.Op)
+	}
+	land := root.L.(*BinaryExpr)
+	if land.Op != ANDAND {
+		t.Fatalf("left op = %v, want &&", land.Op)
+	}
+	eq := land.L.(*BinaryExpr)
+	if eq.Op != EQ {
+		t.Fatalf("eq op = %v", eq.Op)
+	}
+	add := eq.L.(*BinaryExpr)
+	if add.Op != PLUS {
+		t.Fatalf("add op = %v", add.Op)
+	}
+	if mul := add.R.(*BinaryExpr); mul.Op != STAR {
+		t.Fatalf("mul op = %v", mul.Op)
+	}
+	if not := land.R.(*UnaryExpr); not.Op != NOT {
+		t.Fatalf("not op = %v", not.Op)
+	}
+	if rel := root.R.(*BinaryExpr); rel.Op != LT {
+		t.Fatalf("rel op = %v", rel.Op)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+		if (x > 0) { y = 1; } else if (x < 0) { y = -1; } else y = 0;
+		while (y) { y = y - 1; break; continue; }
+		for (i = 0; i < 10; i++) total = total + i;
+		for (;;) { end; }
+	`
+	s := mustParse(t, src)
+	iff := s.Body[0].(*IfStmt)
+	if len(iff.Then) != 1 || len(iff.Else) != 1 {
+		t.Errorf("if arms: then=%d else=%d", len(iff.Then), len(iff.Else))
+	}
+	if _, ok := iff.Else[0].(*IfStmt); !ok {
+		t.Error("else-if should nest an IfStmt")
+	}
+	wh := s.Body[1].(*WhileStmt)
+	if len(wh.Body) != 3 {
+		t.Errorf("while body = %d stmts", len(wh.Body))
+	}
+	f := s.Body[2].(*ForStmt)
+	if f.Init == nil || f.Cond == nil || f.Post == nil || len(f.Body) != 1 {
+		t.Error("for parts missing")
+	}
+	if _, ok := f.Post.(*IncDecStmt); !ok {
+		t.Error("for post should be i++")
+	}
+	inf := s.Body[3].(*ForStmt)
+	if inf.Init != nil || inf.Cond != nil || inf.Post != nil {
+		t.Error("for(;;) should have nil parts")
+	}
+}
+
+func TestParseHopDefaults(t *testing.T) {
+	s := mustParse(t, `hop();`)
+	nav := s.Body[0].(*NavStmt)
+	if nav.Kind != NavHop || nav.All {
+		t.Errorf("nav = %+v", nav)
+	}
+	for f := FieldLN; f < numNavFields; f++ {
+		if len(nav.Fields[f]) != 0 {
+			t.Errorf("field %d should be empty", f)
+		}
+	}
+}
+
+func TestParseHopPaperForms(t *testing.T) {
+	// The three example forms from §2.1 of the paper.
+	src := `
+		hop(ll = x);
+		hop(ll = x; ldir = -);
+		hop(ln = *; ll = *; ldir = *);
+		hop(ll = $last);
+		hop(ln = "init", ll = virtual);
+	`
+	s := mustParse(t, src)
+	h0 := s.Body[0].(*NavStmt)
+	if v := h0.Fields[FieldLL][0].(*VarExpr); v.Name != "x" {
+		t.Errorf("hop(ll=x): %+v", v)
+	}
+	h1 := s.Body[1].(*NavStmt)
+	if v := h1.Fields[FieldLDir][0].(*StrLit); v.V != "-" {
+		t.Errorf("ldir literal = %q", v.V)
+	}
+	h2 := s.Body[2].(*NavStmt)
+	for _, f := range []NavField{FieldLN, FieldLL, FieldLDir} {
+		if v := h2.Fields[f][0].(*StrLit); v.V != "*" {
+			t.Errorf("wildcard literal = %q", v.V)
+		}
+	}
+	h3 := s.Body[3].(*NavStmt)
+	if v := h3.Fields[FieldLL][0].(*VarExpr); v.Space != SpaceNet || v.Name != "last" {
+		t.Errorf("$last parse: %+v", v)
+	}
+	h4 := s.Body[4].(*NavStmt)
+	if v := h4.Fields[FieldLL][0].(*StrLit); v.V != VirtualLink {
+		t.Errorf("virtual link literal = %q", v.V)
+	}
+}
+
+func TestParseCreateForms(t *testing.T) {
+	src := `
+		create(ALL);
+		create(ln = "a", "b"; ll = "x", "y");
+		create(ln = ~; ll = ~; ldir = ~; dn = *; dl = *; ddir = *; ALL);
+	`
+	s := mustParse(t, src)
+	c0 := s.Body[0].(*NavStmt)
+	if !c0.All || c0.Kind != NavCreate {
+		t.Errorf("create(ALL): %+v", c0)
+	}
+	c1 := s.Body[1].(*NavStmt)
+	if len(c1.Fields[FieldLN]) != 2 || len(c1.Fields[FieldLL]) != 2 {
+		t.Errorf("multi-arm create: ln=%d ll=%d", len(c1.Fields[FieldLN]), len(c1.Fields[FieldLL]))
+	}
+	c2 := s.Body[2].(*NavStmt)
+	if !c2.All {
+		t.Error("trailing ALL not parsed")
+	}
+	if v := c2.Fields[FieldLN][0].(*StrLit); v.V != "~" {
+		t.Errorf("unnamed literal = %q", v.V)
+	}
+	if v := c2.Fields[FieldDN][0].(*StrLit); v.V != "*" {
+		t.Errorf("daemon wildcard = %q", v.V)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	s := mustParse(t, `delete(ll = "corridor"; ldir = +);`)
+	d := s.Body[0].(*NavStmt)
+	if d.Kind != NavDelete {
+		t.Errorf("kind = %v", d.Kind)
+	}
+	if v := d.Fields[FieldLDir][0].(*StrLit); v.V != "+" {
+		t.Errorf("ldir = %q", v.V)
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	src := `
+		func add(a, b) { return a + b; }
+		func main_helper() { msgr.total = add(1, 2); }
+		x = add(3, 4);
+	`
+	s := mustParse(t, src)
+	if len(s.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(s.Funcs))
+	}
+	if s.Funcs[0].Name != "add" || len(s.Funcs[0].Params) != 2 {
+		t.Errorf("func 0 = %+v", s.Funcs[0])
+	}
+	call := s.Body[0].(*AssignStmt).Value.(*CallExpr)
+	if call.Name != "add" || len(call.Args) != 2 {
+		t.Errorf("call = %+v", call)
+	}
+}
+
+func TestParseArraysAndIndexing(t *testing.T) {
+	s := mustParse(t, `a = [1, 2.5, "three", [4]]; b = a[3][0];`)
+	lit := s.Body[0].(*AssignStmt).Value.(*ArrayLit)
+	if len(lit.Elems) != 4 {
+		t.Fatalf("array elems = %d", len(lit.Elems))
+	}
+	idx := s.Body[1].(*AssignStmt).Value.(*IndexExpr)
+	if _, ok := idx.Base.(*IndexExpr); !ok {
+		t.Error("chained indexing should nest")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		`x = ;`:                     "unexpected",
+		`x = 1`:                     "expected",
+		`if x { }`:                  "expected",
+		`$last = 1;`:                "read-only",
+		`1 = 2;`:                    "cannot assign",
+		`f(1) = 2;`:                 "cannot assign",
+		`hop(bogus = 1);`:           "unknown hop parameter",
+		`hop(ALL);`:                 "ALL is only valid in create",
+		`hop(dn = *);`:              "only takes logical parameters",
+		`hop(ll = 1; ll = 2);`:      "duplicate",
+		`func f(a, a) { }`:          "duplicate parameter",
+		`func f() { } func f() { }`: "redeclared",
+		`x = 1; func late() { }`:    "before the main body",
+		`while (1) { x = 1;`:        "unexpected end of file",
+		`x = (1 + 2;`:               "expected",
+		`a = [1, 2;`:                "expected",
+	}
+	for src, want := range bad {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", src, err, want)
+		}
+	}
+}
+
+func TestParsePaperManagerWorkerScript(t *testing.T) {
+	// Figure 3 of the paper, in MSL syntax.
+	src := `
+		create(ALL);
+		hop(ll = $last);
+		while ((task = next_task()) != nil) {
+			hop(ll = $last);
+			res = compute(task);
+			hop(ll = $last);
+			deposit(res);
+		}
+	`
+	s := mustParse(t, src)
+	if len(s.Body) != 3 {
+		t.Fatalf("body = %d statements", len(s.Body))
+	}
+	wh := s.Body[2].(*WhileStmt)
+	if len(wh.Body) != 4 {
+		t.Errorf("while body = %d statements", len(wh.Body))
+	}
+	cond := wh.Cond.(*BinaryExpr)
+	if cond.Op != NE {
+		t.Errorf("cond op = %v", cond.Op)
+	}
+}

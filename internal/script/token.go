@@ -1,0 +1,141 @@
+// Package script implements the front end of MSL, the Messenger Script
+// Language: the lexer, the abstract syntax tree, and the parser.
+//
+// MSL is this reproduction's equivalent of the paper's "subset of C"
+// Messenger scripts (§2.1). A script is the complete behavior a Messenger
+// carries: computational statements (C-like expressions and control flow),
+// navigational statements (hop, create, delete), scheduling calls on global
+// virtual time, and invocations of registered native (Go) functions. Three
+// variable spaces mirror the paper exactly:
+//
+//   - bare identifiers are Messenger variables — private state that travels
+//     with the Messenger (inside functions, bare identifiers are locals and
+//     Messenger variables are reached as msgr.x);
+//   - node.x are node variables — resident at the current logical node and
+//     shared by all Messengers visiting it;
+//   - $x are read-only network variables ($address, $last, $node, ...).
+package script
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	FLOAT
+	STRING
+
+	// Punctuation and operators.
+	LPAREN     // (
+	RPAREN     // )
+	LBRACE     // {
+	RBRACE     // }
+	LBRACK     // [
+	RBRACK     // ]
+	COMMA      // ,
+	SEMI       // ;
+	DOT        // .
+	DOLLAR     // $
+	TILDE      // ~
+	ASSIGN     // =
+	PLUS       // +
+	MINUS      // -
+	STAR       // *
+	SLASH      // /
+	PERCENT    // %
+	NOT        // !
+	EQ         // ==
+	NE         // !=
+	LT         // <
+	LE         // <=
+	GT         // >
+	GE         // >=
+	ANDAND     // &&
+	OROR       // ||
+	PLUSEQ     // +=
+	MINUSEQ    // -=
+	PLUSPLUS   // ++
+	MINUSMINUS // --
+
+	// Keywords.
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwBreak
+	KwContinue
+	KwReturn
+	KwFunc
+	KwNode
+	KwEnd
+	KwHop
+	KwCreate
+	KwDelete
+	KwNil
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "int literal",
+	FLOAT: "float literal", STRING: "string literal",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACK: "[", RBRACK: "]", COMMA: ",", SEMI: ";", DOT: ".",
+	DOLLAR: "$", TILDE: "~", ASSIGN: "=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%", NOT: "!",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	ANDAND: "&&", OROR: "||", PLUSEQ: "+=", MINUSEQ: "-=",
+	PLUSPLUS: "++", MINUSMINUS: "--",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
+	KwBreak: "break", KwContinue: "continue", KwReturn: "return",
+	KwFunc: "func", KwNode: "node", KwEnd: "end",
+	KwHop: "hop", KwCreate: "create", KwDelete: "delete", KwNil: "nil",
+}
+
+// String returns a human-readable token kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
+	"break": KwBreak, "continue": KwContinue, "return": KwReturn,
+	"func": KwFunc, "node": KwNode, "end": KwEnd,
+	"hop": KwHop, "create": KwCreate, "delete": KwDelete, "nil": KwNil,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string  // identifier name or raw literal text
+	Int  int64   // value for INT
+	Num  float64 // value for FLOAT
+	Str  string  // decoded value for STRING
+}
+
+// Error is a positioned front-end error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("msl:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,198 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// It provides two complementary programming models on one virtual clock:
+//
+//   - an event API (At/After) for event-driven components such as the
+//     MESSENGERS daemons and the Ethernet model, and
+//   - a process API (Spawn + Proc.Advance/Park) in the style of process-based
+//     simulators, so sequentially written task code — notably the PVM
+//     baseline programs with their blocking receive calls — can run under
+//     simulated time without being rewritten as state machines.
+//
+// The kernel is single-threaded from the simulation's point of view: exactly
+// one event callback or one process is running at any moment, and events fire
+// in (time, insertion-sequence) order, so every run is deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, mirroring the time package for simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a simulated duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time in seconds for logs and tables.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// event is a scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	idx    int // heap index; -1 when removed
+	cancel bool
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	k *Kernel
+	e *event
+}
+
+// Cancel removes the event from the schedule; it is a no-op if the event
+// already fired or was cancelled.
+func (h Handle) Cancel() {
+	if h.e == nil || h.e.fn == nil {
+		return
+	}
+	h.e.cancel = true
+	h.e.fn = nil
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; use
+// New.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	procs   int // live (spawned, not yet finished) processes
+	parked  int // processes blocked in Park with no pending wake
+	stopped bool
+	failure any // panic value captured from a process
+
+	allProcs []*Proc
+}
+
+// New returns an empty kernel at time zero.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn at absolute time t. Scheduling in the past is an error in
+// the simulation logic and panics.
+func (k *Kernel) At(t Time, fn func()) Handle {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	e := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.pq, e)
+	return Handle{k: k, e: e}
+}
+
+// After schedules fn d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Pending reports the number of scheduled (uncancelled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.pq {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Parked reports how many processes are blocked with no pending wake-up.
+// A nonzero value when Run returns indicates a deadlock in the simulated
+// system (e.g. a PVM receive with no matching send).
+func (k *Kernel) Parked() int { return k.parked }
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step fires the single next event. It reports false when no events remain.
+func (k *Kernel) Step() bool {
+	for len(k.pq) > 0 {
+		e := heap.Pop(&k.pq).(*event)
+		if e.cancel {
+			continue
+		}
+		k.now = e.at
+		fn := e.fn
+		e.fn = nil
+		fn()
+		if k.failure != nil {
+			f := k.failure
+			k.failure = nil
+			panic(f)
+		}
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain or Stop is called. It returns the
+// final simulated time.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t.
+func (k *Kernel) RunUntil(t Time) Time {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.pq) == 0 || k.pq[0].at > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return k.now
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := New()
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if k.Now() != 30 {
+		t.Errorf("final time = %v, want 30", k.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	k := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	k := New()
+	var fired []Time
+	k.After(10, func() {
+		fired = append(fired, k.Now())
+		k.After(5, func() { fired = append(fired, k.Now()) })
+	})
+	k.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	k := New()
+	ran := false
+	k.After(-5, func() { ran = true })
+	k.Run()
+	if !ran || k.Now() != 0 {
+		t.Errorf("ran=%v now=%v", ran, k.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	ran := false
+	h := k.At(10, func() { ran = true })
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", k.Pending())
+	}
+	h.Cancel()
+	if k.Pending() != 0 {
+		t.Errorf("Pending after cancel = %d, want 0", k.Pending())
+	}
+	k.Run()
+	if ran {
+		t.Error("cancelled event fired")
+	}
+	h.Cancel() // double-cancel is a no-op
+}
+
+func TestStop(t *testing.T) {
+	k := New()
+	var count int
+	for i := 1; i <= 5; i++ {
+		k.At(Time(i), func() {
+			count++
+			if count == 2 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2 (stopped)", count)
+	}
+	k.Run() // resumes
+	if count != 5 {
+		t.Errorf("count after resume = %d, want 5", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.RunUntil(10)
+	if len(fired) != 2 {
+		t.Errorf("fired %v, want events at 5 and 10", fired)
+	}
+	if k.Now() != 10 {
+		t.Errorf("now = %v, want 10", k.Now())
+	}
+	k.RunUntil(12)
+	if k.Now() != 12 || len(fired) != 2 {
+		t.Errorf("now = %v fired = %v", k.Now(), fired)
+	}
+	k.Run()
+	if len(fired) != 3 {
+		t.Errorf("remaining event did not fire: %v", fired)
+	}
+}
+
+func TestPropRandomEventsFireInTimestampOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := New()
+		n := 50
+		times := make([]Time, n)
+		var fired []Time
+		for i := range times {
+			times[i] = Time(r.Intn(100))
+			at := times[i]
+			k.At(at, func() { fired = append(fired, at) })
+		}
+		k.Run()
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		if len(fired) != n {
+			return false
+		}
+		for i := range fired {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Millisecond).String(); got != "1.500000s" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v", got)
+	}
+}

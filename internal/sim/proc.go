@@ -1,0 +1,187 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: ordinary Go code that advances simulated time
+// with Advance and blocks with Park/Mailbox operations. Each Proc runs in its
+// own goroutine, but the kernel admits exactly one at a time, handing control
+// back and forth through unbuffered channels, so the simulation stays
+// deterministic.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	parked bool
+	dead   bool
+	killed bool
+}
+
+// procKilled is the panic payload used to unwind a killed process.
+type procKilled struct{}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn starts fn as a simulated process at the current time. fn begins
+// executing when the kernel reaches the start event; it must only touch the
+// simulation through p.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs++
+	k.allProcs = append(k.allProcs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					k.failure = fmt.Sprintf("sim: process %q panicked: %v", name, r)
+				}
+			}
+			p.dead = true
+			k.procs--
+			p.yield <- struct{}{}
+		}()
+		if p.killed {
+			panic(procKilled{})
+		}
+		fn(p)
+	}()
+	k.After(0, func() { k.runProc(p) })
+	return p
+}
+
+// Shutdown unwinds every live process so no goroutines leak after the
+// simulation ends. Parked processes are killed where they block; processes
+// with pending wake-ups are killed when resumed. Call it when a run is done
+// (typically with defer after New).
+func (k *Kernel) Shutdown() {
+	for _, p := range k.allProcs {
+		if p.dead {
+			continue
+		}
+		p.killed = true
+		if p.parked {
+			p.parked = false
+			k.parked--
+		}
+		// Every live process is blocked on <-p.resume (initial start,
+		// Advance, or Park); resuming it unwinds via procKilled.
+		k.runProc(p)
+	}
+	k.failure = nil
+}
+
+// runProc transfers control to p until it yields (parks, advances, or exits).
+func (k *Kernel) runProc(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// yieldToKernel suspends the calling process until the kernel resumes it.
+// Must be called from the process's own goroutine.
+func (p *Proc) yieldToKernel() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Advance consumes d nanoseconds of simulated time (e.g. modeled CPU work).
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic("sim: Advance with negative duration")
+	}
+	p.k.After(d, func() { p.k.runProc(p) })
+	p.yieldToKernel()
+}
+
+// Park blocks the process until another component calls Unpark. It is the
+// building block for condition-style waiting (mailboxes, barriers).
+func (p *Proc) Park() {
+	p.parked = true
+	p.k.parked++
+	p.yieldToKernel()
+}
+
+// Unpark schedules a parked process to resume at the current time. It may be
+// called from an event callback or from another process. Unparking a process
+// that is not parked panics: it indicates a lost-wakeup race in the caller.
+func (p *Proc) Unpark() {
+	if !p.parked {
+		panic(fmt.Sprintf("sim: Unpark of non-parked process %q", p.name))
+	}
+	p.parked = false
+	p.k.parked--
+	p.k.After(0, func() { p.k.runProc(p) })
+}
+
+// Parked reports whether the process is currently parked.
+func (p *Proc) Parked() bool { return p.parked }
+
+// Mailbox is an unbounded deterministic FIFO queue connecting simulated
+// components. Any event callback or process may Put; only processes may
+// block in Get.
+type Mailbox struct {
+	k      *Kernel
+	items  []any
+	waiter *Proc
+}
+
+// NewMailbox returns an empty mailbox on kernel k.
+func NewMailbox(k *Kernel) *Mailbox {
+	return &Mailbox{k: k}
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox) Len() int { return len(m.items) }
+
+// Put enqueues an item and wakes the waiting process, if any.
+func (m *Mailbox) Put(item any) {
+	m.items = append(m.items, item)
+	if m.waiter != nil {
+		w := m.waiter
+		m.waiter = nil
+		w.Unpark()
+	}
+}
+
+// Get dequeues the next item, parking p until one is available. At most one
+// process may wait on a mailbox at a time.
+func (m *Mailbox) Get(p *Proc) any {
+	for len(m.items) == 0 {
+		if m.waiter != nil && m.waiter != p {
+			panic("sim: multiple processes waiting on one mailbox")
+		}
+		m.waiter = p
+		p.Park()
+	}
+	item := m.items[0]
+	m.items = m.items[1:]
+	return item
+}
+
+// TryGet dequeues the next item without blocking.
+func (m *Mailbox) TryGet() (any, bool) {
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	item := m.items[0]
+	m.items = m.items[1:]
+	return item, true
+}

@@ -1,0 +1,329 @@
+// Package transport provides the TCP engine: daemons exchange Messengers
+// over real sockets using the framed binary wire format, exactly as the
+// paper's daemons exchange Messengers over a LAN.
+//
+// The engine drives the same daemon logic as the in-process channel engine;
+// what changes is that every inter-daemon message is actually encoded,
+// framed, written to a socket, read back, and decoded — so the full wire
+// path (vm snapshots, program hashes, link identities, GVT control
+// messages) is exercised for real. Daemons listen on per-daemon TCP
+// addresses (loopback by default) and dial peers lazily.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"messengers/internal/core"
+	"messengers/internal/lan"
+	"messengers/internal/sim"
+)
+
+// frameMagic guards against cross-protocol garbage.
+const frameMagic = 0x4d53 // "MS"
+
+// maxFrame bounds a single message frame (64 MB).
+const maxFrame = 64 << 20
+
+// WriteFrame writes one length-prefixed message frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
+	binary.LittleEndian.PutUint16(hdr[2:], 0)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint16(hdr[0:]) != frameMagic {
+		return nil, fmt.Errorf("transport: bad frame magic %#x", hdr[:2])
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	return payload, nil
+}
+
+// TCPEngine is a core.Engine whose daemon-to-daemon messages travel over
+// real TCP connections. Each daemon has a listener; connections to peers
+// are dialed on first use and kept open.
+type TCPEngine struct {
+	addrs   []string
+	daemons []*core.Daemon
+
+	executors []*executor
+	listeners []net.Listener
+
+	mu    sync.Mutex
+	conns map[connKey]*peerConn
+	errs  []error
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+type connKey struct{ from, to int }
+
+type peerConn struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+// executor is a daemon's serial work queue.
+type executor struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []func()
+	closed bool
+}
+
+func newExecutor() *executor {
+	e := &executor{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+func (e *executor) put(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.items = append(e.items, fn)
+	e.cond.Signal()
+}
+
+func (e *executor) run() {
+	for {
+		e.mu.Lock()
+		for len(e.items) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.items) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		fn := e.items[0]
+		e.items = e.items[1:]
+		e.mu.Unlock()
+		fn()
+	}
+}
+
+func (e *executor) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// NewTCPEngine starts listeners for n daemons on the given addresses (one
+// per daemon; use "127.0.0.1:0" entries for ephemeral ports).
+func NewTCPEngine(addrs []string) (*TCPEngine, error) {
+	e := &TCPEngine{
+		addrs:     make([]string, len(addrs)),
+		conns:     map[connKey]*peerConn{},
+		closed:    make(chan struct{}),
+		executors: make([]*executor, len(addrs)),
+		listeners: make([]net.Listener, len(addrs)),
+	}
+	for i, addr := range addrs {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("transport: daemon %d listen %s: %w", i, addr, err)
+		}
+		e.listeners[i] = l
+		e.addrs[i] = l.Addr().String()
+		e.executors[i] = newExecutor()
+	}
+	for i := range addrs {
+		i := i
+		e.wg.Add(2)
+		go func() {
+			defer e.wg.Done()
+			e.executors[i].run()
+		}()
+		go func() {
+			defer e.wg.Done()
+			e.acceptLoop(i)
+		}()
+	}
+	return e, nil
+}
+
+// Addrs returns the bound listener addresses, indexed by daemon ID.
+func (e *TCPEngine) Addrs() []string {
+	out := make([]string, len(e.addrs))
+	copy(out, e.addrs)
+	return out
+}
+
+// Bind implements the engine binder.
+func (e *TCPEngine) Bind(daemons []*core.Daemon) { e.daemons = daemons }
+
+// NumDaemons implements core.Engine.
+func (e *TCPEngine) NumDaemons() int { return len(e.addrs) }
+
+// Exec implements core.Engine (costs are ignored: real work, real time).
+func (e *TCPEngine) Exec(d int, _ sim.Time, fn func()) { e.executors[d].put(fn) }
+
+// Model implements core.Engine.
+func (e *TCPEngine) Model() *lan.CostModel { return nil }
+
+// HostSpec implements core.Engine.
+func (e *TCPEngine) HostSpec(int) lan.HostSpec { return lan.HostSpec{} }
+
+// SetTimer implements core.Engine with wall-clock timers.
+func (e *TCPEngine) SetTimer(d int, delay sim.Time, fn func()) {
+	time.AfterFunc(time.Duration(delay), func() {
+		select {
+		case <-e.closed:
+		default:
+			e.executors[d].put(fn)
+		}
+	})
+}
+
+// Send implements core.Engine: encode, frame, and ship over the (cached)
+// connection from src to dst.
+func (e *TCPEngine) Send(src, dst int, msg *core.Msg) {
+	payload := msg.Encode()
+	pc, err := e.conn(src, dst)
+	if err != nil {
+		e.recordError(err)
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := WriteFrame(pc.w, payload); err != nil {
+		e.recordError(err)
+		return
+	}
+	if err := pc.w.Flush(); err != nil {
+		e.recordError(err)
+	}
+}
+
+// conn returns the cached connection src->dst, dialing it if needed. A
+// dedicated connection per ordered pair preserves FIFO delivery.
+func (e *TCPEngine) conn(src, dst int) (*peerConn, error) {
+	key := connKey{from: src, to: dst}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if pc, ok := e.conns[key]; ok {
+		return pc, nil
+	}
+	c, err := net.DialTimeout("tcp", e.addrs[dst], 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial daemon %d: %w", dst, err)
+	}
+	// Identify the destination daemon on this listener (one listener per
+	// daemon, so the hello frame only carries the sender for diagnostics).
+	if err := WriteFrame(c, []byte{byte(src)}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	pc := &peerConn{c: c, w: bufio.NewWriter(c)}
+	e.conns[key] = pc
+	return pc, nil
+}
+
+// acceptLoop receives frames for daemon d and dispatches them on its
+// executor.
+func (e *TCPEngine) acceptLoop(d int) {
+	for {
+		c, err := e.listeners[d].Accept()
+		if err != nil {
+			select {
+			case <-e.closed:
+				return
+			default:
+				e.recordError(fmt.Errorf("transport: daemon %d accept: %w", d, err))
+				return
+			}
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer c.Close()
+			r := bufio.NewReader(c)
+			if _, err := ReadFrame(r); err != nil {
+				return // bad hello
+			}
+			for {
+				payload, err := ReadFrame(r)
+				if err != nil {
+					return // peer closed
+				}
+				msg, err := core.DecodeMsg(payload)
+				if err != nil {
+					e.recordError(fmt.Errorf("transport: daemon %d: %w", d, err))
+					return
+				}
+				e.executors[d].put(func() { e.daemons[d].HandleMsg(msg) })
+			}
+		}()
+	}
+}
+
+func (e *TCPEngine) recordError(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.errs = append(e.errs, err)
+}
+
+// Errors returns transport-level errors observed so far.
+func (e *TCPEngine) Errors() []error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]error, len(e.errs))
+	copy(out, e.errs)
+	return out
+}
+
+// Close shuts down listeners, connections, and executors.
+func (e *TCPEngine) Close() {
+	e.closeMu.Do(func() {
+		close(e.closed)
+		for _, l := range e.listeners {
+			if l != nil {
+				l.Close()
+			}
+		}
+		e.mu.Lock()
+		for _, pc := range e.conns {
+			pc.c.Close()
+		}
+		e.mu.Unlock()
+		for _, ex := range e.executors {
+			if ex != nil {
+				ex.close()
+			}
+		}
+		e.wg.Wait()
+	})
+}

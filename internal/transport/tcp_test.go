@@ -1,0 +1,256 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"messengers/internal/compile"
+	"messengers/internal/core"
+	"messengers/internal/sim"
+	"messengers/internal/value"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {1}, bytes.Repeat([]byte{7}, 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame corrupted: %d vs %d bytes", len(got), len(want))
+		}
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short header should fail")
+	}
+	bad := []byte{0xff, 0xff, 0, 0, 1, 0, 0, 0, 9}
+	if _, err := ReadFrame(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadFrame(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated body should fail")
+	}
+}
+
+// tcpSystem builds an n-daemon system over loopback TCP.
+func tcpSystem(t *testing.T, n int, opts ...core.Option) (*core.System, *TCPEngine) {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	eng, err := NewTCPEngine(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	sys := core.NewSystem(eng, core.FullMesh(n), opts...)
+	return sys, eng
+}
+
+func waitQuiesce(t *testing.T, sys *core.System, eng *TCPEngine) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		sys.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("no quiescence (live=%d, transport errs=%v)", sys.Live(), eng.Errors())
+	}
+	for _, err := range sys.Errors() {
+		t.Errorf("runtime error: %v", err)
+	}
+	for _, err := range eng.Errors() {
+		t.Errorf("transport error: %v", err)
+	}
+}
+
+func TestManagerWorkerOverTCP(t *testing.T) {
+	const nDaemons = 4
+	const nTasks = 25
+	sys, eng := tcpSystem(t, nDaemons)
+
+	sys.RegisterNative("next_task", func(ctx *core.NativeCtx, _ []value.Value) (value.Value, error) {
+		next := ctx.NodeVar("next").AsInt()
+		if next >= nTasks {
+			return value.Nil(), nil
+		}
+		ctx.SetNodeVar("next", value.Int(next+1))
+		return value.Int(next), nil
+	})
+	sys.RegisterNative("compute", func(_ *core.NativeCtx, args []value.Value) (value.Value, error) {
+		return value.Int(args[0].AsInt() * 7), nil
+	})
+	sys.RegisterNative("deposit", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		ctx.SetNodeVar("acc", value.Int(ctx.NodeVar("acc").AsInt()+args[0].AsInt()))
+		return value.Nil(), nil
+	})
+	prog, err := compile.Compile("mw", `
+		create(ALL);
+		hop(ll = $last);
+		while ((task = next_task()) != nil) {
+			hop(ll = $last);
+			res = compute(task);
+			hop(ll = $last);
+			deposit(res);
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Register(prog)
+	if err := sys.Inject(0, "mw", nil); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiesce(t, sys, eng)
+
+	got := make(chan int64, 1)
+	sys.Do(0, func(d *core.Daemon) { got <- d.Store().Init().Vars["acc"].AsInt() })
+	var want int64
+	for i := int64(0); i < nTasks; i++ {
+		want += i * 7
+	}
+	if v := <-got; v != want {
+		t.Errorf("acc = %d, want %d", v, want)
+	}
+}
+
+func TestGVTOverTCP(t *testing.T) {
+	sys, eng := tcpSystem(t, 3, core.WithGVTInterval(sim.Millisecond))
+	prog, err := compile.Compile("tick", `
+		for (k = 0; k < 4; k++) {
+			sched_abs(k * 1.0 + phase);
+			print(tag, k);
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Register(prog)
+	inj := func(d int, tag string, phase float64) {
+		t.Helper()
+		err := sys.Inject(d, "tick", map[string]value.Value{
+			"tag": value.Str(tag), "phase": value.Num(phase),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj(1, "A", 0.1)
+	inj(2, "B", 0.6)
+	waitQuiesce(t, sys, eng)
+	out := sys.Output()
+	if len(out) != 8 {
+		t.Fatalf("output = %v", out)
+	}
+	for i, line := range out {
+		want := "A"
+		if i%2 == 1 {
+			want = "B"
+		}
+		if !strings.HasPrefix(line, want) {
+			t.Errorf("line %d = %q, want prefix %q (GVT order broke over TCP)", i, line, want)
+		}
+	}
+}
+
+func TestAddrsAndDoubleClose(t *testing.T) {
+	eng, err := NewTCPEngine([]string{"127.0.0.1:0", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := eng.Addrs()
+	if len(addrs) != 2 || addrs[0] == addrs[1] {
+		t.Errorf("addrs = %v", addrs)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+}
+
+func TestListenFailure(t *testing.T) {
+	if _, err := NewTCPEngine([]string{"256.256.256.256:1"}); err == nil {
+		t.Error("bad address should fail")
+	}
+}
+
+func TestGarbageConnectionIsRejected(t *testing.T) {
+	// A rogue peer sending noise must not crash the engine or corrupt a
+	// running system.
+	sys, eng := tcpSystem(t, 2)
+	addr := eng.Addrs()[1]
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("definitely not a frame")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A well-formed hello followed by a garbage frame body.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn2, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn2, []byte("garbage message payload")); err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+
+	// The system must still work end to end.
+	prog, err := compile.Compile("ok", `
+		create(ALL);
+		hop(ll = $last);
+		node.done = node.done + 1;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Register(prog)
+	if err := sys.Inject(0, "ok", nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		sys.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("system wedged after garbage connection")
+	}
+	for _, err := range sys.Errors() {
+		t.Errorf("runtime error: %v", err)
+	}
+	result := make(chan int64, 1)
+	sys.Do(0, func(d *core.Daemon) { result <- d.Store().Init().Vars["done"].AsInt() })
+	if got := <-result; got != 1 {
+		t.Errorf("done = %d", got)
+	}
+}

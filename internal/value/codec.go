@@ -1,0 +1,195 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The binary wire format is what daemons ship between hosts when a Messenger
+// hops: little-endian, tag byte followed by the payload. It is also used by
+// the PVM baseline's pack/unpack buffers so both systems move the same bytes.
+
+// maxWireLen bounds a single decoded string/bytes/array/matrix so corrupt or
+// hostile frames cannot trigger huge allocations.
+const maxWireLen = 1 << 30
+
+// Append encodes v onto buf and returns the extended slice.
+func Append(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindNil:
+	case KindInt:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.i))
+	case KindNum:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.n))
+	case KindStr:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.s)))
+		buf = append(buf, v.s...)
+	case KindBytes:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.bytes)))
+		buf = append(buf, v.bytes...)
+	case KindArr:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.arr)))
+		for _, e := range v.arr {
+			buf = Append(buf, e)
+		}
+	case KindMat:
+		m := v.mat
+		if m == nil {
+			m = &Mat{}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
+		for _, f := range m.Data {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+	}
+	return buf
+}
+
+// Decode reads one value from buf, returning the value and the number of
+// bytes consumed.
+func Decode(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Nil(), 0, fmt.Errorf("value: decode: empty buffer")
+	}
+	k := Kind(buf[0])
+	p := 1
+	switch k {
+	case KindNil:
+		return Nil(), p, nil
+	case KindInt:
+		if len(buf) < p+8 {
+			return Nil(), 0, fmt.Errorf("value: decode int: short buffer")
+		}
+		return Int(int64(binary.LittleEndian.Uint64(buf[p:]))), p + 8, nil
+	case KindNum:
+		if len(buf) < p+8 {
+			return Nil(), 0, fmt.Errorf("value: decode num: short buffer")
+		}
+		return Num(math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))), p + 8, nil
+	case KindStr, KindBytes:
+		if len(buf) < p+4 {
+			return Nil(), 0, fmt.Errorf("value: decode %v: short buffer", k)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[p:]))
+		p += 4
+		if n > maxWireLen || len(buf) < p+n {
+			return Nil(), 0, fmt.Errorf("value: decode %v: length %d exceeds buffer", k, n)
+		}
+		if k == KindStr {
+			return Str(string(buf[p : p+n])), p + n, nil
+		}
+		b := make([]byte, n)
+		copy(b, buf[p:p+n])
+		return Bytes(b), p + n, nil
+	case KindArr:
+		if len(buf) < p+4 {
+			return Nil(), 0, fmt.Errorf("value: decode array: short buffer")
+		}
+		n := int(binary.LittleEndian.Uint32(buf[p:]))
+		p += 4
+		// Every element takes at least one byte; reject counts the buffer
+		// cannot possibly hold before allocating.
+		if n > maxWireLen || n > len(buf)-p {
+			return Nil(), 0, fmt.Errorf("value: decode array: length %d exceeds buffer", n)
+		}
+		a := make([]Value, n)
+		for i := 0; i < n; i++ {
+			e, c, err := Decode(buf[p:])
+			if err != nil {
+				return Nil(), 0, fmt.Errorf("value: decode array elem %d: %w", i, err)
+			}
+			a[i] = e
+			p += c
+		}
+		return Arr(a), p, nil
+	case KindMat:
+		if len(buf) < p+8 {
+			return Nil(), 0, fmt.Errorf("value: decode matrix: short buffer")
+		}
+		r := int(binary.LittleEndian.Uint32(buf[p:]))
+		c := int(binary.LittleEndian.Uint32(buf[p+4:]))
+		p += 8
+		if r < 0 || c < 0 || r*c > maxWireLen/8 || len(buf) < p+8*r*c {
+			return Nil(), 0, fmt.Errorf("value: decode matrix: %dx%d exceeds buffer", r, c)
+		}
+		m := NewMat(r, c)
+		for i := range m.Data {
+			m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+			p += 8
+		}
+		return Matrix(m), p, nil
+	default:
+		return Nil(), 0, fmt.Errorf("value: decode: unknown kind tag %d", buf[0])
+	}
+}
+
+// AppendEnv encodes a variable map in sorted key order (deterministic).
+func AppendEnv(buf []byte, env map[string]Value) []byte {
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+		buf = Append(buf, env[k])
+	}
+	return buf
+}
+
+// DecodeEnv reads a variable map encoded by AppendEnv.
+func DecodeEnv(buf []byte) (map[string]Value, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("value: decode env: short buffer")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	p := 4
+	// Each entry takes at least five bytes (key length + value tag).
+	if n > maxWireLen || n > (len(buf)-p)/5 {
+		return nil, 0, fmt.Errorf("value: decode env: %d entries exceed buffer", n)
+	}
+	env := make(map[string]Value, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < p+4 {
+			return nil, 0, fmt.Errorf("value: decode env key %d: short buffer", i)
+		}
+		kl := int(binary.LittleEndian.Uint32(buf[p:]))
+		p += 4
+		if kl > maxWireLen || len(buf) < p+kl {
+			return nil, 0, fmt.Errorf("value: decode env key %d: length %d exceeds buffer", i, kl)
+		}
+		key := string(buf[p : p+kl])
+		p += kl
+		v, c, err := Decode(buf[p:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("value: decode env %q: %w", key, err)
+		}
+		env[key] = v
+		p += c
+	}
+	return env, p, nil
+}
+
+// EnvWireSize estimates the encoded size of a variable map.
+func EnvWireSize(env map[string]Value) int {
+	n := 4
+	for k, v := range env {
+		n += 4 + len(k) + v.WireSize()
+	}
+	return n
+}
+
+// CloneEnv deep-copies a variable map.
+func CloneEnv(env map[string]Value) map[string]Value {
+	out := make(map[string]Value, len(env))
+	for k, v := range env {
+		out[k] = v.Clone()
+	}
+	return out
+}

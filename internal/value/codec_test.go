@@ -1,0 +1,167 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genValue builds a random value of bounded depth for property tests.
+func genValue(r *rand.Rand, depth int) Value {
+	max := 6
+	if depth <= 0 {
+		max = 4 // leaf kinds only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Nil()
+	case 1:
+		return Int(r.Int63() - r.Int63())
+	case 2:
+		return Num(r.NormFloat64())
+	case 3:
+		b := make([]byte, r.Intn(16))
+		r.Read(b)
+		if r.Intn(2) == 0 {
+			return Str(string(b))
+		}
+		return Bytes(b)
+	case 4:
+		a := make([]Value, r.Intn(5))
+		for i := range a {
+			a[i] = genValue(r, depth-1)
+		}
+		return Arr(a)
+	default:
+		rows, cols := r.Intn(4), r.Intn(4)
+		m := NewMat(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		return Matrix(m)
+	}
+}
+
+// arbitraryValue adapts genValue to testing/quick.
+type arbitraryValue struct{ V Value }
+
+// Generate implements quick.Generator.
+func (arbitraryValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(arbitraryValue{V: genValue(r, 3)})
+}
+
+func TestPropEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(av arbitraryValue) bool {
+		enc := Append(nil, av.V)
+		dec, n, err := Decode(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		return dec.Equal(av.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCloneEqualAndIndependent(t *testing.T) {
+	f := func(av arbitraryValue) bool {
+		return av.V.Clone().Equal(av.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropWireSizeIsExact(t *testing.T) {
+	f := func(av arbitraryValue) bool {
+		return av.V.WireSize() == len(Append(nil, av.V))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(KindInt)},                     // short int
+		{byte(KindNum), 1, 2},               // short num
+		{byte(KindStr)},                     // missing length
+		{byte(KindStr), 255, 255, 255, 255}, // absurd length
+		{byte(KindBytes), 10, 0, 0, 0, 1},   // truncated payload
+		{byte(KindArr)},                     // missing count
+		{byte(KindArr), 2, 0, 0, 0, byte(KindInt)}, // truncated element
+		{byte(KindMat), 1, 0, 0, 0},                // short dims
+		{byte(KindMat), 2, 0, 0, 0, 2, 0, 0, 0},    // missing data
+		{200},                                      // unknown tag
+	}
+	for i, c := range cases {
+		if _, _, err := Decode(c); err == nil {
+			t.Errorf("case %d: Decode(%v) should fail", i, c)
+		}
+	}
+}
+
+func TestEnvRoundTrip(t *testing.T) {
+	env := map[string]Value{
+		"x":     Int(1),
+		"name":  Str("worker"),
+		"block": Matrix(&Mat{Rows: 1, Cols: 2, Data: []float64{math.Pi, -1}}),
+		"":      Nil(),
+	}
+	enc := AppendEnv(nil, env)
+	if got := EnvWireSize(env); got != len(enc) {
+		t.Errorf("EnvWireSize = %d, encoded = %d", got, len(enc))
+	}
+	dec, n, err := DecodeEnv(enc)
+	if err != nil {
+		t.Fatalf("DecodeEnv: %v", err)
+	}
+	if n != len(enc) {
+		t.Errorf("consumed %d of %d bytes", n, len(enc))
+	}
+	if len(dec) != len(env) {
+		t.Fatalf("got %d entries, want %d", len(dec), len(env))
+	}
+	for k, v := range env {
+		if !dec[k].Equal(v) {
+			t.Errorf("env[%q]: got %v, want %v", k, dec[k], v)
+		}
+	}
+}
+
+func TestEnvEncodingIsDeterministic(t *testing.T) {
+	env := map[string]Value{"b": Int(2), "a": Int(1), "c": Int(3)}
+	first := AppendEnv(nil, env)
+	for i := 0; i < 10; i++ {
+		if got := AppendEnv(nil, env); string(got) != string(first) {
+			t.Fatal("AppendEnv is not deterministic across map iteration orders")
+		}
+	}
+}
+
+func TestEnvDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 0, 0, 0},                  // missing key
+		{1, 0, 0, 0, 3, 0, 0, 0},      // truncated key
+		{1, 0, 0, 0, 1, 0, 0, 0, 'k'}, // missing value
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeEnv(c); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestCloneEnv(t *testing.T) {
+	env := map[string]Value{"a": Bytes([]byte{1})}
+	cl := CloneEnv(env)
+	env["a"].AsBytes()[0] = 9
+	if cl["a"].AsBytes()[0] != 1 {
+		t.Error("CloneEnv must deep-copy values")
+	}
+}

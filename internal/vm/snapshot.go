@@ -1,0 +1,123 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"messengers/internal/bytecode"
+	"messengers/internal/value"
+)
+
+// Snapshot serializes the full execution state — Messenger variables, call
+// frames, and operand stack. Together with the program hash this is exactly
+// what a daemon ships when a Messenger hops to another daemon (the code
+// itself stays in the shared script registry).
+func (m *VM) Snapshot() []byte {
+	buf := value.AppendEnv(nil, m.vars)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.frames)))
+	for i := range m.frames {
+		f := &m.frames[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.fn))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.pc))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.locals)))
+		for _, lv := range f.locals {
+			buf = value.Append(buf, lv)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.stack)))
+	for _, v := range m.stack {
+		buf = value.Append(buf, v)
+	}
+	return buf
+}
+
+// WireSize estimates the snapshot's encoded size without building it, for
+// the simulator's transfer-cost accounting.
+func (m *VM) WireSize() int {
+	n := value.EnvWireSize(m.vars) + 4
+	for i := range m.frames {
+		n += 12
+		for _, lv := range m.frames[i].locals {
+			n += lv.WireSize()
+		}
+	}
+	n += 4
+	for _, v := range m.stack {
+		n += v.WireSize()
+	}
+	return n
+}
+
+// Restore rebuilds a VM from a snapshot against its program.
+func Restore(prog *bytecode.Program, buf []byte) (*VM, error) {
+	vars, p, err := value.DecodeEnv(buf)
+	if err != nil {
+		return nil, fmt.Errorf("vm: restore vars: %w", err)
+	}
+	u32 := func() (int, error) {
+		if p+4 > len(buf) {
+			return 0, fmt.Errorf("vm: truncated snapshot")
+		}
+		v := int(binary.LittleEndian.Uint32(buf[p:]))
+		p += 4
+		return v, nil
+	}
+	nframes, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nframes < 1 || nframes > maxCallDepth {
+		return nil, fmt.Errorf("vm: snapshot frame count %d out of range", nframes)
+	}
+	m := &VM{prog: prog, vars: vars, frames: make([]frame, nframes)}
+	for i := 0; i < nframes; i++ {
+		fn, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		pc, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		nloc, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if fn >= len(prog.Funcs) {
+			return nil, fmt.Errorf("vm: snapshot references function %d of %d", fn, len(prog.Funcs))
+		}
+		if pc > len(prog.Funcs[fn].Code) {
+			return nil, fmt.Errorf("vm: snapshot pc %d beyond code of %q", pc, prog.Funcs[fn].Name)
+		}
+		if nloc > 1<<20 || nloc > len(buf)-p {
+			return nil, fmt.Errorf("vm: snapshot local count %d exceeds buffer", nloc)
+		}
+		fr := frame{fn: fn, pc: pc, locals: make([]value.Value, nloc)}
+		for j := 0; j < nloc; j++ {
+			v, n, err := value.Decode(buf[p:])
+			if err != nil {
+				return nil, fmt.Errorf("vm: restore local: %w", err)
+			}
+			fr.locals[j] = v
+			p += n
+		}
+		m.frames[i] = fr
+	}
+	nstack, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nstack > 1<<20 || nstack > len(buf)-p {
+		return nil, fmt.Errorf("vm: snapshot stack size %d exceeds buffer", nstack)
+	}
+	m.stack = make([]value.Value, nstack)
+	for i := 0; i < nstack; i++ {
+		v, n, err := value.Decode(buf[p:])
+		if err != nil {
+			return nil, fmt.Errorf("vm: restore stack: %w", err)
+		}
+		m.stack[i] = v
+		p += n
+	}
+	return m, nil
+}

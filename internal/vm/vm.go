@@ -1,0 +1,469 @@
+// Package vm implements the resumable stack machine that executes compiled
+// Messenger scripts.
+//
+// The VM is the per-Messenger interpreter state: program counter, call
+// frames, operand stack, and the Messenger-variable area. It executes
+// bytecode until it reaches one of the paper's interruption points — a
+// navigational statement (hop/create/delete), a native-mode function call,
+// a virtual-time suspension, or termination — and returns control to the
+// daemon with a Result describing why it stopped. Everything in the VM is
+// serializable (Snapshot/Restore) and clonable (Clone), which is what lets
+// a Messenger hop between daemons mid-program and replicate itself across
+// multiple matching links.
+//
+// Between interruption points execution is atomic with respect to the
+// owning daemon (the paper's modified non-preemptive scheduling policy), so
+// script-level critical sections need no locks.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"messengers/internal/bytecode"
+	"messengers/internal/value"
+)
+
+// Pause says why the VM returned control to the daemon.
+type Pause uint8
+
+// Pause reasons.
+const (
+	// PauseEnd: the Messenger terminated (OpEnd or main-body return).
+	PauseEnd Pause = iota
+	// PauseHop: a hop statement; the daemon replicates the Messenger to
+	// all matching destinations and this instance ceases to exist.
+	PauseHop
+	// PauseCreate: a create statement.
+	PauseCreate
+	// PauseDelete: a delete statement (hop that deletes traversed links).
+	PauseDelete
+	// PauseNative: a native-function invocation; the daemon runs the
+	// function and resumes the VM with PushResult.
+	PauseNative
+	// PauseSchedAbs: M_sched_time_abs suspension until an absolute GVT.
+	PauseSchedAbs
+	// PauseSchedDlt: M_sched_time_dlt suspension for a GVT interval.
+	PauseSchedDlt
+)
+
+// String names the pause reason.
+func (p Pause) String() string {
+	switch p {
+	case PauseEnd:
+		return "end"
+	case PauseHop:
+		return "hop"
+	case PauseCreate:
+		return "create"
+	case PauseDelete:
+		return "delete"
+	case PauseNative:
+		return "native"
+	case PauseSchedAbs:
+		return "sched_abs"
+	case PauseSchedDlt:
+		return "sched_dlt"
+	default:
+		return fmt.Sprintf("pause(%d)", uint8(p))
+	}
+}
+
+// NavArm is one resolved destination specification triple (plus the daemon
+// triple for create).
+type NavArm struct {
+	LN, LL, LDir value.Value
+	DN, DL, DDir value.Value
+}
+
+// Result describes an interruption point.
+type Result struct {
+	Pause  Pause
+	Arms   []NavArm      // hop/create/delete
+	All    bool          // create ... ALL
+	Native string        // native function name
+	Args   []value.Value // native arguments
+	Time   float64       // sched_abs target or sched_dlt delta
+	Steps  int64         // instructions executed in this segment
+}
+
+// Host supplies the node-local context the VM needs while executing:
+// node variables of the current logical node, network variables, and an
+// output sink for print.
+type Host interface {
+	// NodeVar reads a node variable (nil Value when unset).
+	NodeVar(name string) value.Value
+	// SetNodeVar writes a node variable.
+	SetNodeVar(name string, v value.Value)
+	// NetVar reads a network variable such as $address or $last.
+	NetVar(name string) (value.Value, bool)
+	// Print receives output from the print builtin.
+	Print(s string)
+}
+
+// frame is one call-stack entry.
+type frame struct {
+	fn     int
+	pc     int
+	locals []value.Value
+}
+
+// VM is the execution state of one Messenger.
+type VM struct {
+	prog   *bytecode.Program
+	vars   map[string]value.Value
+	stack  []value.Value
+	frames []frame
+}
+
+// New returns a VM at the start of the program's main body with the given
+// initial Messenger variables (may be nil).
+func New(prog *bytecode.Program, vars map[string]value.Value) *VM {
+	if vars == nil {
+		vars = map[string]value.Value{}
+	}
+	return &VM{
+		prog:   prog,
+		vars:   vars,
+		frames: []frame{{fn: 0, locals: make([]value.Value, prog.Funcs[0].NumLocals)}},
+	}
+}
+
+// Program returns the program this VM executes.
+func (m *VM) Program() *bytecode.Program { return m.prog }
+
+// Vars exposes the Messenger-variable area (the state that travels with the
+// Messenger).
+func (m *VM) Vars() map[string]value.Value { return m.vars }
+
+// Var reads one Messenger variable.
+func (m *VM) Var(name string) value.Value { return m.vars[name] }
+
+// SetVar writes one Messenger variable (used for injection parameters).
+func (m *VM) SetVar(name string, v value.Value) { m.vars[name] = v }
+
+// PushResult delivers a native function's return value before resuming.
+func (m *VM) PushResult(v value.Value) { m.push(v) }
+
+// Clone deep-copies the VM (Messenger replication on multi-destination
+// hops).
+func (m *VM) Clone() *VM {
+	c := &VM{
+		prog:   m.prog,
+		vars:   value.CloneEnv(m.vars),
+		stack:  make([]value.Value, len(m.stack)),
+		frames: make([]frame, len(m.frames)),
+	}
+	for i, v := range m.stack {
+		c.stack[i] = v.Clone()
+	}
+	for i, fr := range m.frames {
+		nf := frame{fn: fr.fn, pc: fr.pc, locals: make([]value.Value, len(fr.locals))}
+		for j, lv := range fr.locals {
+			nf.locals[j] = lv.Clone()
+		}
+		c.frames[i] = nf
+	}
+	return c
+}
+
+func (m *VM) push(v value.Value) { m.stack = append(m.stack, v) }
+
+func (m *VM) pop() value.Value {
+	v := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	return v
+}
+
+func (m *VM) top() *frame { return &m.frames[len(m.frames)-1] }
+
+// runtimeError annotates an error with the current program location.
+func (m *VM) runtimeError(format string, args ...any) error {
+	f := m.top()
+	fname := m.prog.Funcs[f.fn].Name
+	return fmt.Errorf("msl runtime (%s@%d in %s): %s", m.prog.Name, f.pc-1, fname, fmt.Sprintf(format, args...))
+}
+
+// Run executes until the next interruption point or until maxSteps
+// instructions have executed (0 means no limit; exceeding the limit is a
+// runtime error — a runaway Messenger). On error the Messenger must be
+// destroyed by the daemon.
+func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
+	var steps int64
+	for {
+		f := m.top()
+		code := m.prog.Funcs[f.fn].Code
+		if f.pc < 0 || f.pc >= len(code) {
+			return Result{}, m.runtimeError("program counter out of range (%d)", f.pc)
+		}
+		ins := code[f.pc]
+		f.pc++
+		steps++
+		if maxSteps > 0 && steps > maxSteps {
+			return Result{}, m.runtimeError("instruction budget of %d exceeded (runaway Messenger?)", maxSteps)
+		}
+
+		switch ins.Op {
+		case bytecode.OpNop:
+
+		case bytecode.OpConst:
+			m.push(m.prog.Consts[ins.A].Clone())
+
+		case bytecode.OpLoadM:
+			m.push(m.vars[m.prog.Names[ins.A]])
+		case bytecode.OpStoreM:
+			m.vars[m.prog.Names[ins.A]] = m.pop()
+
+		case bytecode.OpLoadN:
+			m.push(host.NodeVar(m.prog.Names[ins.A]))
+		case bytecode.OpStoreN:
+			host.SetNodeVar(m.prog.Names[ins.A], m.pop())
+
+		case bytecode.OpLoadNet:
+			name := m.prog.Names[ins.A]
+			v, ok := host.NetVar(name)
+			if !ok {
+				return Result{}, m.runtimeError("unknown network variable $%s", name)
+			}
+			m.push(v)
+
+		case bytecode.OpLoadL:
+			m.push(f.locals[ins.A])
+		case bytecode.OpStoreL:
+			f.locals[ins.A] = m.pop()
+
+		case bytecode.OpPop:
+			m.pop()
+		case bytecode.OpDup:
+			m.push(m.stack[len(m.stack)-1])
+		case bytecode.OpDup2:
+			n := len(m.stack)
+			m.push(m.stack[n-2])
+			m.push(m.stack[n-1])
+
+		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod:
+			b, a := m.pop(), m.pop()
+			r, err := arith(ins.Op, a, b)
+			if err != nil {
+				return Result{}, m.runtimeError("%v", err)
+			}
+			m.push(r)
+
+		case bytecode.OpNeg:
+			a := m.pop()
+			switch a.Kind() {
+			case value.KindInt:
+				m.push(value.Int(-a.AsInt()))
+			case value.KindNum:
+				m.push(value.Num(-a.AsNum()))
+			default:
+				return Result{}, m.runtimeError("cannot negate %v", a.Kind())
+			}
+		case bytecode.OpNot:
+			m.push(value.Bool(!m.pop().Truthy()))
+
+		case bytecode.OpEq:
+			b, a := m.pop(), m.pop()
+			m.push(value.Bool(a.Equal(b)))
+		case bytecode.OpNe:
+			b, a := m.pop(), m.pop()
+			m.push(value.Bool(!a.Equal(b)))
+		case bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
+			b, a := m.pop(), m.pop()
+			cmp, ok := a.Compare(b)
+			if !ok {
+				return Result{}, m.runtimeError("cannot compare %v with %v", a.Kind(), b.Kind())
+			}
+			var r bool
+			switch ins.Op {
+			case bytecode.OpLt:
+				r = cmp < 0
+			case bytecode.OpLe:
+				r = cmp <= 0
+			case bytecode.OpGt:
+				r = cmp > 0
+			default:
+				r = cmp >= 0
+			}
+			m.push(value.Bool(r))
+
+		case bytecode.OpJmp:
+			f.pc = int(ins.A)
+		case bytecode.OpJz:
+			if !m.pop().Truthy() {
+				f.pc = int(ins.A)
+			}
+
+		case bytecode.OpIndex:
+			idx, base := m.pop(), m.pop()
+			if !idx.IsNumeric() {
+				return Result{}, m.runtimeError("index must be numeric, got %v", idx.Kind())
+			}
+			v, ok := base.Index(int(idx.AsInt()))
+			if !ok {
+				return Result{}, m.runtimeError("index %d out of range for %v of length %d", idx.AsInt(), base.Kind(), base.Len())
+			}
+			m.push(v)
+
+		case bytecode.OpSetIndex:
+			val, idx, base := m.pop(), m.pop(), m.pop()
+			if !idx.IsNumeric() {
+				return Result{}, m.runtimeError("index must be numeric, got %v", idx.Kind())
+			}
+			if !base.SetIndex(int(idx.AsInt()), val) {
+				return Result{}, m.runtimeError("cannot set index %d on %v of length %d", idx.AsInt(), base.Kind(), base.Len())
+			}
+			if ins.B != 0 {
+				m.push(val)
+			}
+
+		case bytecode.OpArr:
+			n := int(ins.A)
+			elems := make([]value.Value, n)
+			for i := n - 1; i >= 0; i-- {
+				elems[i] = m.pop()
+			}
+			m.push(value.Arr(elems))
+
+		case bytecode.OpCallFunc:
+			fi := int(ins.A)
+			argc := int(ins.B)
+			callee := &m.prog.Funcs[fi]
+			locals := make([]value.Value, callee.NumLocals)
+			for i := argc - 1; i >= 0; i-- {
+				locals[i] = m.pop()
+			}
+			if len(m.frames) >= maxCallDepth {
+				return Result{}, m.runtimeError("call depth exceeds %d (infinite recursion?)", maxCallDepth)
+			}
+			m.frames = append(m.frames, frame{fn: fi, locals: locals})
+
+		case bytecode.OpRet:
+			if len(m.frames) == 1 {
+				// Return from the main body terminates the Messenger.
+				return Result{Pause: PauseEnd, Steps: steps}, nil
+			}
+			ret := m.pop()
+			m.frames = m.frames[:len(m.frames)-1]
+			m.push(ret)
+
+		case bytecode.OpCallNative:
+			name := m.prog.Names[ins.A]
+			argc := int(ins.B)
+			args := make([]value.Value, argc)
+			for i := argc - 1; i >= 0; i-- {
+				args[i] = m.pop()
+			}
+			if fn, ok := builtins[name]; ok {
+				r, err := fn(m, host, args)
+				if err != nil {
+					return Result{}, m.runtimeError("%s: %v", name, err)
+				}
+				m.push(r)
+				continue
+			}
+			return Result{Pause: PauseNative, Native: name, Args: args, Steps: steps}, nil
+
+		case bytecode.OpHop, bytecode.OpDelete:
+			arms := make([]NavArm, ins.A)
+			for i := int(ins.A) - 1; i >= 0; i-- {
+				arms[i].LDir = m.pop()
+				arms[i].LL = m.pop()
+				arms[i].LN = m.pop()
+			}
+			p := PauseHop
+			if ins.Op == bytecode.OpDelete {
+				p = PauseDelete
+			}
+			return Result{Pause: p, Arms: arms, Steps: steps}, nil
+
+		case bytecode.OpCreate:
+			arms := make([]NavArm, ins.A)
+			for i := int(ins.A) - 1; i >= 0; i-- {
+				arms[i].DDir = m.pop()
+				arms[i].DL = m.pop()
+				arms[i].DN = m.pop()
+				arms[i].LDir = m.pop()
+				arms[i].LL = m.pop()
+				arms[i].LN = m.pop()
+			}
+			return Result{Pause: PauseCreate, Arms: arms, All: ins.B != 0, Steps: steps}, nil
+
+		case bytecode.OpSchedAbs, bytecode.OpSchedDlt:
+			t := m.pop()
+			if !t.IsNumeric() {
+				return Result{}, m.runtimeError("scheduling time must be numeric, got %v", t.Kind())
+			}
+			p := PauseSchedAbs
+			if ins.Op == bytecode.OpSchedDlt {
+				p = PauseSchedDlt
+			}
+			return Result{Pause: p, Time: t.AsNum(), Steps: steps}, nil
+
+		case bytecode.OpEnd:
+			return Result{Pause: PauseEnd, Steps: steps}, nil
+
+		default:
+			return Result{}, m.runtimeError("illegal opcode %v", ins.Op)
+		}
+	}
+}
+
+// maxCallDepth bounds script recursion.
+const maxCallDepth = 10000
+
+func arith(op bytecode.Op, a, b value.Value) (value.Value, error) {
+	// Unset variables behave like C's zero-initialized data: nil is 0 in
+	// arithmetic when the other operand is numeric (or nil).
+	if a.IsNil() && (b.IsNumeric() || b.IsNil()) {
+		a = value.Int(0)
+	}
+	if b.IsNil() && a.IsNumeric() {
+		b = value.Int(0)
+	}
+	if a.Kind() == value.KindStr || b.Kind() == value.KindStr {
+		if op != bytecode.OpAdd {
+			return value.Nil(), fmt.Errorf("operator not defined on strings")
+		}
+		return value.Str(a.Format() + b.Format()), nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return value.Nil(), fmt.Errorf("arithmetic on %v and %v", a.Kind(), b.Kind())
+	}
+	bothInt := a.Kind() == value.KindInt && b.Kind() == value.KindInt
+	switch op {
+	case bytecode.OpAdd:
+		if bothInt {
+			return value.Int(a.AsInt() + b.AsInt()), nil
+		}
+		return value.Num(a.AsNum() + b.AsNum()), nil
+	case bytecode.OpSub:
+		if bothInt {
+			return value.Int(a.AsInt() - b.AsInt()), nil
+		}
+		return value.Num(a.AsNum() - b.AsNum()), nil
+	case bytecode.OpMul:
+		if bothInt {
+			return value.Int(a.AsInt() * b.AsInt()), nil
+		}
+		return value.Num(a.AsNum() * b.AsNum()), nil
+	case bytecode.OpDiv:
+		if bothInt {
+			if b.AsInt() == 0 {
+				return value.Nil(), fmt.Errorf("integer division by zero")
+			}
+			return value.Int(a.AsInt() / b.AsInt()), nil
+		}
+		return value.Num(a.AsNum() / b.AsNum()), nil
+	case bytecode.OpMod:
+		if !bothInt {
+			return value.Num(math.Mod(a.AsNum(), b.AsNum())), nil
+		}
+		if b.AsInt() == 0 {
+			return value.Nil(), fmt.Errorf("integer modulo by zero")
+		}
+		return value.Int(a.AsInt() % b.AsInt()), nil
+	default:
+		return value.Nil(), fmt.Errorf("bad arithmetic opcode %v", op)
+	}
+}

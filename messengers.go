@@ -1,0 +1,268 @@
+// Package messengers is a Go implementation of MESSENGERS, the distributed
+// programming system of "Messages versus Messengers in Distributed
+// Programming" (Fukuda, Bic, Dillencourt, Cahill; ICDCS 1997).
+//
+// Applications are collections of autonomous self-migrating computations
+// (Messengers) written in MSL, a C-like script language with navigational
+// statements. A Messenger is injected into the init node of a daemon and
+// from there navigates an application-created logical network with hop,
+// extends it with create, and prunes it with delete; node variables provide
+// rendezvous-style communication between Messengers, and global virtual
+// time (sched_abs / sched_dlt) provides temporal coordination.
+//
+// Two runtimes execute the same daemon logic:
+//
+//   - a real concurrent runtime (NewRealSystem): one goroutine per daemon
+//     on this machine, suitable for actually running MESSENGERS programs;
+//   - a simulated cluster (NewSimSystem): a deterministic discrete-event
+//     model of SPARCstation-class hosts on a shared 10 Mb/s Ethernet, used
+//     by the benchmark harness to reproduce the paper's experiments.
+//
+// See README.md for a tour and examples/ for runnable programs.
+package messengers
+
+import (
+	"fmt"
+	"io"
+
+	"messengers/internal/compile"
+	"messengers/internal/core"
+	"messengers/internal/lan"
+	"messengers/internal/sim"
+	"messengers/internal/transport"
+	"messengers/internal/value"
+)
+
+// Re-exported value types: the dynamic values Messenger scripts, node
+// variables, and native functions exchange.
+type (
+	// Value is a dynamically typed MSL value.
+	Value = value.Value
+	// Mat is a dense float64 matrix Value payload.
+	Mat = value.Mat
+)
+
+// Value constructors.
+var (
+	// NilValue returns the nil Value.
+	NilValue = value.Nil
+	// IntValue returns an integer Value.
+	IntValue = value.Int
+	// NumValue returns a floating-point Value.
+	NumValue = value.Num
+	// StrValue returns a string Value.
+	StrValue = value.Str
+	// BytesValue returns a byte-block Value.
+	BytesValue = value.Bytes
+	// ArrValue returns an array Value.
+	ArrValue = value.Arr
+	// MatrixValue returns a matrix Value.
+	MatrixValue = value.Matrix
+	// NewMat allocates a zeroed matrix.
+	NewMat = value.NewMat
+)
+
+// Native-function interface: Go functions callable from MSL scripts (the
+// paper's native-mode C functions).
+type (
+	// NativeCtx is the execution context passed to native functions.
+	NativeCtx = core.NativeCtx
+	// NativeFunc is a registered native function.
+	NativeFunc = core.NativeFunc
+)
+
+// Daemon-network topologies.
+type Topology = core.Topology
+
+// Topology constructors.
+var (
+	// FullMesh connects every daemon pair (the default).
+	FullMesh = core.FullMesh
+	// Ring connects daemons in a directed ring.
+	Ring = core.Ring
+	// Grid connects daemons in a 2-D mesh.
+	Grid = core.Grid
+	// Star connects daemon 0 to all others.
+	Star = core.Star
+)
+
+// Static logical-network construction (the net_builder service).
+type (
+	// NetSpec describes a static logical network.
+	NetSpec = core.NetSpec
+	// NetNode declares one logical node.
+	NetNode = core.NetNode
+	// NetLink declares one logical link.
+	NetLink = core.NetLink
+)
+
+// Stats aggregates daemon activity counters.
+type Stats = core.Stats
+
+// Simulation cost modeling (used by NewSimSystem).
+type (
+	// CostModel holds the calibrated constants of the simulated testbed.
+	CostModel = lan.CostModel
+	// HostSpec describes a simulated workstation model.
+	HostSpec = lan.HostSpec
+	// SimTime is simulated time in nanoseconds.
+	SimTime = sim.Time
+)
+
+// Simulation defaults.
+var (
+	// DefaultCostModel returns the calibrated cost model.
+	DefaultCostModel = lan.DefaultCostModel
+	// SPARC110 is the 110 MHz SPARCstation 5 host model.
+	SPARC110 = lan.SPARC110
+	// SPARC170 is the 170 MHz SPARCstation 5 host model.
+	SPARC170 = lan.SPARC170
+)
+
+// Config configures a System.
+type Config struct {
+	// Daemons is the daemon count (one per host). Required, >= 1.
+	Daemons int
+	// Topology is the daemon network; FullMesh(Daemons) when nil.
+	Topology *Topology
+	// Output mirrors script print output as it happens (optional).
+	Output io.Writer
+	// GVTInterval overrides the conservative GVT round period (optional).
+	GVTInterval SimTime
+
+	// Model and Host configure the simulated engine (NewSimSystem only);
+	// DefaultCostModel() and SPARC110 when zero.
+	Model *CostModel
+	Host  HostSpec
+}
+
+func (c *Config) options() []core.Option {
+	var opts []core.Option
+	if c.Output != nil {
+		opts = append(opts, core.WithOutput(c.Output))
+	}
+	if c.GVTInterval > 0 {
+		opts = append(opts, core.WithGVTInterval(c.GVTInterval))
+	}
+	return opts
+}
+
+func (c *Config) topology() *Topology {
+	if c.Topology != nil {
+		return c.Topology
+	}
+	return FullMesh(c.Daemons)
+}
+
+// System is a running MESSENGERS installation: a set of daemons, their
+// script registry, native functions, and logical networks.
+type System struct {
+	*core.System
+	kernel  *sim.Kernel
+	chanEng *core.ChanEngine
+	tcpEng  *transport.TCPEngine
+	cluster *lan.Cluster
+}
+
+// NewRealSystem starts cfg.Daemons concurrent daemons (goroutines) on this
+// machine. Close the system when done.
+func NewRealSystem(cfg Config) (*System, error) {
+	if cfg.Daemons < 1 {
+		return nil, fmt.Errorf("messengers: config needs at least 1 daemon")
+	}
+	eng := core.NewChanEngine(cfg.Daemons)
+	sys := core.NewSystem(eng, cfg.topology(), cfg.options()...)
+	return &System{System: sys, chanEng: eng}, nil
+}
+
+// NewTCPSystem starts cfg.Daemons daemons whose inter-daemon traffic flows
+// over real TCP sockets on the given addresses (use "127.0.0.1:0" entries
+// for ephemeral loopback ports). The full binary wire format — Messenger
+// snapshots, program hashes, GVT control traffic — is exercised for real.
+// Close the system when done.
+func NewTCPSystem(cfg Config, addrs []string) (*System, error) {
+	if cfg.Daemons < 1 {
+		return nil, fmt.Errorf("messengers: config needs at least 1 daemon")
+	}
+	if len(addrs) == 0 {
+		addrs = make([]string, cfg.Daemons)
+		for i := range addrs {
+			addrs[i] = "127.0.0.1:0"
+		}
+	}
+	if len(addrs) != cfg.Daemons {
+		return nil, fmt.Errorf("messengers: %d addresses for %d daemons", len(addrs), cfg.Daemons)
+	}
+	eng, err := transport.NewTCPEngine(addrs)
+	if err != nil {
+		return nil, err
+	}
+	sys := core.NewSystem(eng, cfg.topology(), cfg.options()...)
+	return &System{System: sys, tcpEng: eng}, nil
+}
+
+// NewSimSystem builds a simulated cluster of cfg.Daemons hosts. Run the
+// computation with RunSim after injecting Messengers.
+func NewSimSystem(cfg Config) (*System, error) {
+	if cfg.Daemons < 1 {
+		return nil, fmt.Errorf("messengers: config needs at least 1 daemon")
+	}
+	model := cfg.Model
+	if model == nil {
+		model = DefaultCostModel()
+	}
+	host := cfg.Host
+	if host.MHz == 0 {
+		host = SPARC110
+	}
+	k := sim.New()
+	cluster := lan.NewCluster(k, model, cfg.Daemons, host)
+	sys := core.NewSystem(core.NewSimEngine(cluster), cfg.topology(), cfg.options()...)
+	return &System{System: sys, kernel: k, cluster: cluster}, nil
+}
+
+// CompileAndRegister compiles MSL source and installs it in every daemon's
+// script registry under the given name.
+func (s *System) CompileAndRegister(name, src string) error {
+	prog, err := compile.Compile(name, src)
+	if err != nil {
+		return err
+	}
+	s.Register(prog)
+	return nil
+}
+
+// RunSim drives the simulated cluster until the computation quiesces and
+// returns the simulated makespan. Panics if called on a real system.
+func (s *System) RunSim() SimTime {
+	if s.kernel == nil {
+		panic("messengers: RunSim on a real system (use Wait)")
+	}
+	return s.kernel.Run()
+}
+
+// Kernel exposes the simulation kernel (nil on real systems).
+func (s *System) Kernel() *sim.Kernel { return s.kernel }
+
+// Cluster exposes the simulated cluster (nil on real systems), for
+// utilization statistics.
+func (s *System) Cluster() *lan.Cluster { return s.cluster }
+
+// Addrs returns the TCP listener addresses of a TCP system (nil otherwise).
+func (s *System) Addrs() []string {
+	if s.tcpEng == nil {
+		return nil
+	}
+	return s.tcpEng.Addrs()
+}
+
+// Close shuts down a real system's daemons. It is a no-op for simulated
+// systems.
+func (s *System) Close() {
+	if s.chanEng != nil {
+		s.chanEng.Close()
+	}
+	if s.tcpEng != nil {
+		s.tcpEng.Close()
+	}
+}

@@ -1,0 +1,204 @@
+package messengers
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The quickstart program: the Fig. 1(b) pattern — create a node on every
+// neighboring daemon, shuttle back and forth over the created link, and
+// leave a mark.
+const quickstartScript = `
+	create(ALL);
+	node.visits = node.visits + 1;
+	hop(ll = $last);
+	node.center_hits = node.center_hits + 1;
+	hop(ll = $last);
+	node.visits = node.visits + 1;
+	print("worker on", $address, "visited twice");
+`
+
+func TestPublicAPIOnRealSystem(t *testing.T) {
+	sys, err := NewRealSystem(Config{Daemons: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.CompileAndRegister("quick", quickstartScript); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(0, "quick", nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		sys.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("system did not quiesce")
+	}
+	for _, err := range sys.Errors() {
+		t.Errorf("runtime error: %v", err)
+	}
+	if out := sys.Output(); len(out) != 3 {
+		t.Errorf("output = %v", out)
+	}
+}
+
+func TestPublicAPIOnSimSystem(t *testing.T) {
+	var log bytes.Buffer
+	sys, err := NewSimSystem(Config{Daemons: 3, Output: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompileAndRegister("quick", quickstartScript); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(0, "quick", nil); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := sys.RunSim()
+	if elapsed <= 0 {
+		t.Errorf("elapsed = %v", elapsed)
+	}
+	for _, err := range sys.Errors() {
+		t.Errorf("runtime error: %v", err)
+	}
+	if got := log.String(); strings.Count(got, "visited twice") != 2 {
+		t.Errorf("log = %q", got)
+	}
+	if sys.Kernel() == nil || sys.Cluster() == nil {
+		t.Error("sim accessors should be populated")
+	}
+	if sys.Cluster().Bus.Stats.Messages == 0 {
+		t.Error("no simulated traffic recorded")
+	}
+}
+
+func TestPublicAPIOnTCPSystem(t *testing.T) {
+	sys, err := NewTCPSystem(Config{Daemons: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if got := sys.Addrs(); len(got) != 3 {
+		t.Fatalf("addrs = %v", got)
+	}
+	if err := sys.CompileAndRegister("quick", quickstartScript); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(0, "quick", nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		sys.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("TCP system did not quiesce")
+	}
+	for _, err := range sys.Errors() {
+		t.Errorf("runtime error: %v", err)
+	}
+}
+
+func TestNativeFunctionsViaFacade(t *testing.T) {
+	sys, err := NewSimSystem(Config{Daemons: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RegisterNative("greet", func(ctx *NativeCtx, args []Value) (Value, error) {
+		return StrValue("hello " + args[0].AsStr()), nil
+	})
+	if err := sys.CompileAndRegister("g", `node.msg = greet(who);`); err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Inject(0, "g", map[string]Value{"who": StrValue("world")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunSim()
+	vars, ok := sys.ReadNodeVars(0, "init")
+	if !ok || vars["msg"].AsStr() != "hello world" {
+		t.Errorf("vars = %v", vars)
+	}
+}
+
+func TestBuildNetworkViaFacade(t *testing.T) {
+	sys, err := NewSimSystem(Config{Daemons: 2, Topology: Ring(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.BuildNetwork(NetSpec{
+		Nodes: []NetNode{{Name: "a", Daemon: 0}, {Name: "b", Daemon: 1}},
+		Links: []NetLink{{A: "a", B: "b", Name: "ab"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompileAndRegister("walk", `hop(ll = "ab"); node.here = 1;`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InjectAt(0, "walk", "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunSim()
+	vars, ok := sys.ReadNodeVars(1, "b")
+	if !ok || vars["here"].AsInt() != 1 {
+		t.Errorf("vars = %v, ok=%v", vars, ok)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewRealSystem(Config{}); err == nil {
+		t.Error("0 daemons should fail")
+	}
+	if _, err := NewSimSystem(Config{}); err == nil {
+		t.Error("0 daemons should fail")
+	}
+	if _, err := NewTCPSystem(Config{}, nil); err == nil {
+		t.Error("0 daemons should fail")
+	}
+	if _, err := NewTCPSystem(Config{Daemons: 2}, []string{"127.0.0.1:0"}); err == nil {
+		t.Error("address count mismatch should fail")
+	}
+	if err := func() (err error) {
+		defer func() {
+			if recover() != nil {
+				err = nil
+			} else {
+				err = errRunSimNoPanic
+			}
+		}()
+		sys, _ := NewRealSystem(Config{Daemons: 1})
+		defer sys.Close()
+		sys.RunSim()
+		return nil
+	}(); err != nil {
+		t.Error("RunSim on a real system should panic")
+	}
+}
+
+var errRunSimNoPanic = &compileError{"RunSim did not panic"}
+
+type compileError struct{ s string }
+
+func (e *compileError) Error() string { return e.s }
+
+func TestCompileErrorSurface(t *testing.T) {
+	sys, err := NewSimSystem(Config{Daemons: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompileAndRegister("bad", `x = ;`); err == nil {
+		t.Error("syntax error should surface")
+	}
+}

@@ -1,0 +1,124 @@
+package messengers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"messengers/internal/compile"
+)
+
+// TestAllScriptsCompile keeps every sample script in scripts/ compiling.
+func TestAllScriptsCompile(t *testing.T) {
+	entries, err := os.ReadDir("scripts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".msl") {
+			continue
+		}
+		n++
+		src, err := os.ReadFile(filepath.Join("scripts", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := compile.Compile(e.Name(), string(src)); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+	if n < 4 {
+		t.Errorf("only %d sample scripts found", n)
+	}
+}
+
+// runScriptFile executes one sample script on a fresh real system and
+// returns its print output.
+func runScriptFile(t *testing.T, file string, daemons int) []string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("scripts", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewRealSystem(Config{Daemons: daemons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	name := strings.TrimSuffix(file, ".msl")
+	if err := sys.CompileAndRegister(name, string(src)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(0, name, nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		sys.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not quiesce", file)
+	}
+	for _, err := range sys.Errors() {
+		t.Errorf("%s: %v", file, err)
+	}
+	return sys.Output()
+}
+
+func TestHelloScript(t *testing.T) {
+	out := runScriptFile(t, "hello.msl", 4)
+	greets := 0
+	for _, line := range out {
+		if strings.HasPrefix(line, "hello from d") {
+			greets++
+		}
+	}
+	if greets != 3 {
+		t.Errorf("greetings = %d, want 3; output %v", greets, out)
+	}
+	if !strings.Contains(strings.Join(out, "\n"), "all 3 replicas reported back") {
+		t.Errorf("missing final report: %v", out)
+	}
+}
+
+func TestFibScript(t *testing.T) {
+	out := strings.Join(runScriptFile(t, "fib.msl", 1), "\n")
+	for _, want := range []string{"fib(10) = 55", "fib(14) = 377", "sum of first 15 numbers: 986"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestClockScript(t *testing.T) {
+	out := runScriptFile(t, "clock.msl", 2)
+	if len(out) != 8 {
+		t.Fatalf("output = %v", out)
+	}
+	// Strict virtual-time interleaving: tick k, tock k, ...
+	for i, line := range out {
+		want := "tick"
+		if i%2 == 1 {
+			want = "tock"
+		}
+		if !strings.HasPrefix(line, want) {
+			t.Errorf("line %d = %q, want prefix %q", i, line, want)
+		}
+	}
+}
+
+func TestCensusScript(t *testing.T) {
+	out := strings.Join(runScriptFile(t, "census.msl", 5), "\n")
+	if !strings.Contains(out, "census complete: 4 workers:") {
+		t.Errorf("output = %q", out)
+	}
+	if strings.Contains(out, "never runs") {
+		t.Error("code after the self-destructing delete must not execute")
+	}
+}
