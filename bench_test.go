@@ -293,3 +293,49 @@ func BenchmarkMatmulKernels(b *testing.B) {
 	}
 	b.SetBytes(int64(3 * 8 * 128 * 128))
 }
+
+// BenchmarkTraceOverhead measures the cost the observability hooks add to a
+// fixed simulated workload: "off" runs with a nil tracer and nil registry
+// (the no-op fast path every production run takes), "on" records a full
+// trace and metrics. The off case must track BenchmarkFig4Mandel320-era
+// numbers — the hooks compile to a nil check when disabled.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		for i := 0; i < b.N; i++ {
+			tr := NewTracer()
+			var reg *Metrics
+			cfg := Config{Daemons: 4}
+			if traced {
+				reg = NewMetrics()
+				cfg.Trace, cfg.Metrics = tr, reg
+			}
+			sys, err := NewSimSystem(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = sys.CompileAndRegister("work", `
+				create(ALL);
+				hop(ll = $last);
+				for (k = 0; k < 50; k++) {
+					node.acc = node.acc + k;
+					hop(ll = $last);
+				}
+			`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Inject(0, "work", nil); err != nil {
+				b.Fatal(err)
+			}
+			sys.RunSim()
+			if errs := sys.Errors(); len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+			if traced && tr.Len() == 0 {
+				b.Fatal("traced run recorded nothing")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,266 @@
+// mtrace runs a MESSENGERS workload with the observability subsystem
+// attached and writes a Chrome trace_event JSON file (load it in Perfetto
+// or chrome://tracing: one track per daemon plus the shared-bus track on
+// simulated runs) along with a metrics summary.
+//
+// Workloads are either a named benchmark or an MSL script file:
+//
+//	mtrace -bench ringtoken -o trace.json          # sim engine (default)
+//	mtrace -bench ringtoken -engine real           # goroutine daemons
+//	mtrace -bench mandel -workers 4 -size 64       # paper app, sim only
+//	mtrace -bench matmul -m 2 -s 8                 # paper app, sim only
+//	mtrace -script prog.msl -daemons 3             # your own script
+//
+// The metrics registry (the same counters the benchmark harness reads) is
+// printed as an aligned table, or written as CSV with -metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"messengers"
+	"messengers/internal/apps"
+	"messengers/internal/lan"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mtrace: ")
+	var (
+		engine  = flag.String("engine", "sim", "engine: sim (simulated cluster) or real (goroutine daemons)")
+		bench   = flag.String("bench", "ringtoken", "workload: ringtoken, mandel, or matmul")
+		script  = flag.String("script", "", "run this MSL script file instead of a named benchmark")
+		daemons = flag.Int("daemons", 4, "daemon count (ringtoken and -script)")
+		laps    = flag.Int("laps", 2, "token laps (ringtoken)")
+		size    = flag.Int("size", 64, "image size (mandel)")
+		grid    = flag.Int("grid", 4, "block grid (mandel)")
+		workers = flag.Int("workers", 4, "worker count (mandel)")
+		mdim    = flag.Int("m", 2, "processor grid dimension (matmul)")
+		sdim    = flag.Int("s", 8, "block size (matmul)")
+		out     = flag.String("o", "trace.json", "Chrome trace output file")
+		metOut  = flag.String("metrics", "", "metrics CSV output file (default: print a table)")
+	)
+	flag.Parse()
+
+	tr := messengers.NewTracer()
+	reg := messengers.NewMetrics()
+
+	var err error
+	switch {
+	case *script != "":
+		err = runScript(tr, reg, *engine, *script, *daemons)
+	case *bench == "ringtoken":
+		err = runRingToken(tr, reg, *engine, *daemons, *laps)
+	case *bench == "mandel":
+		err = runMandel(tr, reg, *engine, *size, *grid, *workers)
+	case *bench == "matmul":
+		err = runMatmul(tr, reg, *engine, *mdim, *sdim)
+	default:
+		err = fmt.Errorf("unknown benchmark %q (want ringtoken, mandel, or matmul)", *bench)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := messengers.WriteChromeTrace(f, tr); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d events, %d tracks)\n", *out, tr.Len(), len(tr.Tracks()))
+
+	if *metOut != "" {
+		mf, err := os.Create(*metOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := messengers.WriteMetricsCSV(mf, reg); err != nil {
+			log.Fatal(err)
+		}
+		if err := mf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metOut)
+	} else {
+		fmt.Print(messengers.FormatMetrics(reg))
+	}
+}
+
+// newSystem builds a traced system on the requested engine.
+func newSystem(tr *messengers.Tracer, reg *messengers.Metrics, engine string, daemons int) (*messengers.System, error) {
+	cfg := messengers.Config{Daemons: daemons, Trace: tr, Metrics: reg}
+	switch engine {
+	case "sim":
+		return messengers.NewSimSystem(cfg)
+	case "real":
+		return messengers.NewRealSystem(cfg)
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want sim or real)", engine)
+	}
+}
+
+// run drives a system to quiescence on either engine and reports the run's
+// errors.
+func run(sys *messengers.System) error {
+	if sys.Kernel() != nil {
+		elapsed := sys.RunSim()
+		fmt.Printf("simulated time: %v\n", elapsed)
+	} else {
+		sys.Wait()
+		sys.FlushVMProfiles()
+	}
+	if errs := sys.Errors(); len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// runScript compiles an MSL file and injects one Messenger of it into
+// daemon 0's init node.
+func runScript(tr *messengers.Tracer, reg *messengers.Metrics, engine, path string, daemons int) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sys, err := newSystem(tr, reg, engine, daemons)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if err := sys.CompileAndRegister("main", string(src)); err != nil {
+		return err
+	}
+	if err := sys.Inject(0, "main", nil); err != nil {
+		return err
+	}
+	return run(sys)
+}
+
+// tokenScript circulates the ring stamping every node, then injects the
+// auditor (adapted from examples/ringtoken).
+const tokenScript = `
+	for (k = 0; k < laps * $ndaemons; k++) {
+		node.stamps = node.stamps + 1;
+		hop(ll = "ring", ldir = +);
+	}
+	inject("auditor", "r0");
+`
+
+// auditorScript walks one lap tallying stamps, reports the total, and
+// dismantles the ring with delete.
+const auditorScript = `
+	total = 0;
+	for (k = 0; k < $ndaemons; k++) {
+		total = total + node.stamps;
+		if (k < $ndaemons - 1) { hop(ll = "ring", ldir = +); }
+	}
+	report(total);
+	for (k = 0; k < $ndaemons; k++) {
+		delete(ll = "ring", ldir = +);
+	}
+`
+
+// runRingToken exercises the full Messenger lifecycle — net_builder, hops,
+// runtime injection, native calls, delete-teardown — on either engine.
+func runRingToken(tr *messengers.Tracer, reg *messengers.Metrics, engine string, daemons, laps int) error {
+	sys, err := newSystem(tr, reg, engine, daemons)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	spec := messengers.NetSpec{}
+	for i := 0; i < daemons; i++ {
+		spec.Nodes = append(spec.Nodes, messengers.NetNode{
+			Name: fmt.Sprintf("r%d", i), Daemon: i,
+		})
+		spec.Links = append(spec.Links, messengers.NetLink{
+			A:    fmt.Sprintf("r%d", i),
+			B:    fmt.Sprintf("r%d", (i+1)%daemons),
+			Name: "ring", Dir: 1,
+		})
+	}
+	if err := sys.BuildNetwork(spec); err != nil {
+		return err
+	}
+
+	var total int64
+	sys.RegisterNative("report", func(_ *messengers.NativeCtx, args []messengers.Value) (messengers.Value, error) {
+		total = args[0].AsInt()
+		return messengers.NilValue(), nil
+	})
+	if err := sys.CompileAndRegister("token", tokenScript); err != nil {
+		return err
+	}
+	if err := sys.CompileAndRegister("auditor", auditorScript); err != nil {
+		return err
+	}
+	err = sys.InjectAt(0, "token", "r0", map[string]messengers.Value{
+		"laps": messengers.IntValue(int64(laps)),
+	})
+	if err != nil {
+		return err
+	}
+	if err := run(sys); err != nil {
+		return err
+	}
+	if want := int64(laps * daemons); total != want {
+		return fmt.Errorf("ringtoken audited %d stamps, want %d", total, want)
+	}
+	return nil
+}
+
+func runMandel(tr *messengers.Tracer, reg *messengers.Metrics, engine string, size, grid, workers int) error {
+	if engine != "sim" {
+		return fmt.Errorf("the mandel benchmark runs on the simulated engine only")
+	}
+	p := apps.PaperMandelParams(size, grid, workers)
+	p.Trace = tr
+	r, err := apps.MandelMessengers(lan.DefaultCostModel(), p)
+	if err != nil {
+		return err
+	}
+	merge(reg, r.Obs)
+	fmt.Printf("simulated time: %v, checksum %x\n", r.Elapsed, r.Checksum)
+	return nil
+}
+
+func runMatmul(tr *messengers.Tracer, reg *messengers.Metrics, engine string, m, s int) error {
+	if engine != "sim" {
+		return fmt.Errorf("the matmul benchmark runs on the simulated engine only")
+	}
+	p := apps.MatmulParams{M: m, S: s, Host: lan.SPARC110, Seed: 7, Trace: tr}
+	r, err := apps.MatmulMessengers(lan.DefaultCostModel(), p)
+	if err != nil {
+		return err
+	}
+	merge(reg, r.Obs)
+	fmt.Printf("simulated time: %v\n", r.Elapsed)
+	return nil
+}
+
+// merge folds a run's private registry into the one mtrace reports (the
+// paper apps build their own registry per run).
+func merge(dst, src *messengers.Metrics) {
+	for _, s := range src.Snapshot() {
+		switch s.Kind.String() {
+		case "counter":
+			dst.Counter(s.Name).Add(s.Value)
+		case "gauge":
+			dst.Gauge(s.Name).Set(s.Value)
+		default:
+			// Histograms cannot be reconstructed from a snapshot; carry
+			// the count and bounds as gauges.
+			dst.Gauge(s.Name + ".count").Set(s.Count)
+			dst.Gauge(s.Name + ".max").Set(s.Max)
+		}
+	}
+}

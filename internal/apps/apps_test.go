@@ -40,7 +40,7 @@ func TestMandelAllImplementationsAgree(t *testing.T) {
 	if pvmRes.Elapsed >= seq.Elapsed {
 		t.Errorf("pvm (%v) not faster than sequential (%v)", pvmRes.Elapsed, seq.Elapsed)
 	}
-	if msgr.BusBytes == 0 || pvmRes.BusBytes == 0 {
+	if msgr.Obs.CounterValue("bus.bytes") == 0 || pvmRes.Obs.CounterValue("bus.bytes") == 0 {
 		t.Error("no bus traffic recorded for a distributed run")
 	}
 }
@@ -56,8 +56,8 @@ func TestMandelSingleWorker(t *testing.T) {
 	if msgr.Checksum != seq.Checksum {
 		t.Error("single-worker image differs")
 	}
-	if msgr.Deposits != 4 {
-		t.Errorf("deposits = %d", msgr.Deposits)
+	if got := msgr.Obs.CounterValue("mandel.deposits"); got != 4 {
+		t.Errorf("deposits = %d", got)
 	}
 }
 
@@ -94,7 +94,7 @@ func TestMatmulAllImplementationsAgree(t *testing.T) {
 		if d := matmul.MaxAbsDiff(naive.C, pvmRes.C); d > 1e-9 {
 			t.Errorf("m=%d s=%d: PVM result wrong by %g", tc.m, tc.s, d)
 		}
-		if msgr.GVTRounds == 0 {
+		if msgr.Obs.CounterValue("gvt.rounds") == 0 {
 			t.Error("MESSENGERS matmul should exercise GVT rounds")
 		}
 	}
@@ -141,8 +141,9 @@ func TestMatmulDeterministicElapsed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Elapsed != r2.Elapsed || r1.BusMessages != r2.BusMessages {
-		t.Errorf("nondeterministic: %v/%d vs %v/%d", r1.Elapsed, r1.BusMessages, r2.Elapsed, r2.BusMessages)
+	m1, m2 := r1.Obs.CounterValue("bus.msgs"), r2.Obs.CounterValue("bus.msgs")
+	if r1.Elapsed != r2.Elapsed || m1 != m2 {
+		t.Errorf("nondeterministic: %v/%d vs %v/%d", r1.Elapsed, m1, r2.Elapsed, m2)
 	}
 }
 

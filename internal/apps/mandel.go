@@ -15,6 +15,7 @@ import (
 	"messengers/internal/core"
 	"messengers/internal/lan"
 	"messengers/internal/mandel"
+	"messengers/internal/obs"
 	"messengers/internal/pvm"
 	"messengers/internal/sim"
 	"messengers/internal/value"
@@ -31,6 +32,9 @@ type MandelParams struct {
 	// MaxIter is the color count (512 in the paper).
 	MaxIter int
 	Region  mandel.Region
+	// Trace, when non-nil, receives the run's events: one track per
+	// daemon/host plus the shared-bus track, stamped with simulated time.
+	Trace *obs.Tracer
 }
 
 // PaperMandelParams returns the paper's configuration for a given image
@@ -51,18 +55,11 @@ type MandelResult struct {
 	Checksum uint64
 	// Image is the assembled image.
 	Image *mandel.Image
-	// BusMessages and BusBytes summarize network traffic.
-	BusMessages int64
-	BusBytes    int64
-	// BusBusy is total bus occupancy.
-	BusBusy sim.Time
-	// CenterBusy is CPU busy time on the central host (manager funnel).
-	CenterBusy sim.Time
-	// Drops counts PVM fragments dropped at full pvmd buffers (PVM runs
-	// only).
-	Drops int64
-	// Deposits counts result blocks collected.
-	Deposits int64
+	// Obs is the run's metrics registry — the single source of truth for
+	// traffic and occupancy counters: bus.msgs, bus.bytes, bus.busy_ns,
+	// host.<i>.busy_ns, pvm.drops, mandel.deposits, and (MESSENGERS runs)
+	// the msgr.*/vm.*/gvt.* counters. Nil for the sequential baseline.
+	Obs *obs.Metrics
 }
 
 // MsgrMandelScript is the paper's Figure 3 program in MSL. The single
@@ -92,7 +89,10 @@ func MandelMessengers(cm *lan.CostModel, p MandelParams) (*MandelResult, error) 
 	k := sim.New()
 	n := p.Workers + 1
 	cluster := lan.NewCluster(k, cm, n, lan.SPARC110)
-	sys := core.NewSystem(core.NewSimEngine(cluster), core.Star(n))
+	metrics := obs.NewMetrics()
+	cluster.Observe(p.Trace, metrics)
+	sys := core.NewSystem(core.NewSimEngine(cluster), core.Star(n),
+		core.WithTracer(p.Trace), core.WithMetrics(metrics))
 
 	blocks := mandel.Blocks(p.Width, p.Height, p.Grid)
 	img := mandel.NewImage(p.Width, p.Height)
@@ -135,15 +135,13 @@ func MandelMessengers(cm *lan.CostModel, p MandelParams) (*MandelResult, error) 
 	if deposits != int64(len(blocks)) {
 		return nil, fmt.Errorf("apps: mandel messengers deposited %d of %d blocks", deposits, len(blocks))
 	}
+	sys.FlushVMProfiles()
+	metrics.Counter("mandel.deposits").Add(deposits)
 	return &MandelResult{
-		Elapsed:     elapsed,
-		Checksum:    img.Checksum(),
-		Image:       img,
-		BusMessages: cluster.Bus.Stats.Messages,
-		BusBytes:    cluster.Bus.Stats.Bytes,
-		BusBusy:     cluster.Bus.Stats.BusyTime,
-		CenterBusy:  cluster.Hosts[0].Stats.BusyTime,
-		Deposits:    deposits,
+		Elapsed:  elapsed,
+		Checksum: img.Checksum(),
+		Image:    img,
+		Obs:      metrics,
 	}, nil
 }
 
@@ -171,7 +169,10 @@ func MandelPVM(cm *lan.CostModel, p MandelParams) (*MandelResult, error) {
 	k := sim.New()
 	n := p.Workers + 1
 	cluster := lan.NewCluster(k, cm, n, lan.SPARC110)
+	metrics := obs.NewMetrics()
+	cluster.Observe(p.Trace, metrics)
 	m := pvm.NewSimMachine(cluster)
+	m.Observe(p.Trace, metrics)
 
 	blocks := mandel.Blocks(p.Width, p.Height, p.Grid)
 	img := mandel.NewImage(p.Width, p.Height)
@@ -241,16 +242,12 @@ func MandelPVM(cm *lan.CostModel, p MandelParams) (*MandelResult, error) {
 	if deposits != int64(len(blocks)) {
 		return nil, fmt.Errorf("apps: mandel pvm deposited %d of %d blocks", deposits, len(blocks))
 	}
+	metrics.Counter("mandel.deposits").Add(deposits)
 	return &MandelResult{
-		Elapsed:     elapsed,
-		Checksum:    img.Checksum(),
-		Image:       img,
-		BusMessages: cluster.Bus.Stats.Messages,
-		BusBytes:    cluster.Bus.Stats.Bytes,
-		BusBusy:     cluster.Bus.Stats.BusyTime,
-		CenterBusy:  cluster.Hosts[0].Stats.BusyTime,
-		Drops:       m.Stats().Drops,
-		Deposits:    deposits,
+		Elapsed:  elapsed,
+		Checksum: img.Checksum(),
+		Image:    img,
+		Obs:      metrics,
 	}, nil
 }
 

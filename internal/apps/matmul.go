@@ -8,6 +8,7 @@ import (
 	"messengers/internal/core"
 	"messengers/internal/lan"
 	"messengers/internal/matmul"
+	"messengers/internal/obs"
 	"messengers/internal/pvm"
 	"messengers/internal/sim"
 	"messengers/internal/value"
@@ -34,6 +35,9 @@ type MatmulParams struct {
 	// multiplications, whose simulated cost depends only on block sizes.
 	// Timing results are identical; use it for large parameter sweeps.
 	SkipArithmetic bool
+	// Trace, when non-nil, receives the run's events (one track per
+	// daemon/host plus the bus track, simulated-time timestamps).
+	Trace *obs.Tracer
 }
 
 // N returns the full matrix dimension.
@@ -41,11 +45,11 @@ func (p MatmulParams) N() int { return p.M * p.S }
 
 // MatmulResult is the outcome of one run.
 type MatmulResult struct {
-	Elapsed     sim.Time
-	C           *value.Mat // assembled result (zeros under SkipArithmetic)
-	BusMessages int64
-	BusBytes    int64
-	GVTRounds   int64
+	Elapsed sim.Time
+	C       *value.Mat // assembled result (zeros under SkipArithmetic)
+	// Obs is the run's metrics registry (bus.*, host.*, gvt.rounds, ...);
+	// nil for the sequential baselines.
+	Obs *obs.Metrics
 }
 
 // macsCost is the CPU cost of `macs` multiply-accumulates at block size s.
@@ -92,7 +96,10 @@ func MatmulMessengers(cm *lan.CostModel, p MatmulParams) (*MatmulResult, error) 
 	k := sim.New()
 	n := m * m
 	cluster := lan.NewCluster(k, cm, n, p.Host)
-	sys := core.NewSystem(core.NewSimEngine(cluster), core.FullMesh(n))
+	metrics := obs.NewMetrics()
+	cluster.Observe(p.Trace, metrics)
+	sys := core.NewSystem(core.NewSimEngine(cluster), core.FullMesh(n),
+		core.WithTracer(p.Trace), core.WithMetrics(metrics))
 
 	// Fig. 10 logical network.
 	spec := core.NetSpec{}
@@ -195,12 +202,11 @@ func MatmulMessengers(cm *lan.CostModel, p MatmulParams) (*MatmulResult, error) 
 			matmul.SetBlock(c, i, j, blk)
 		}
 	}
+	sys.FlushVMProfiles()
 	return &MatmulResult{
-		Elapsed:     elapsed,
-		C:           c,
-		BusMessages: cluster.Bus.Stats.Messages,
-		BusBytes:    cluster.Bus.Stats.Bytes,
-		GVTRounds:   sys.Daemon(0).Stats.GVTRounds,
+		Elapsed: elapsed,
+		C:       c,
+		Obs:     metrics,
 	}, nil
 }
 
@@ -220,7 +226,10 @@ func MatmulPVM(cm *lan.CostModel, p MatmulParams) (*MatmulResult, error) {
 	k := sim.New()
 	n := m * m
 	cluster := lan.NewCluster(k, cm, n, p.Host)
+	metrics := obs.NewMetrics()
+	cluster.Observe(p.Trace, metrics)
 	mach := pvm.NewSimMachine(cluster)
+	mach.Observe(p.Trace, metrics)
 	// The measured phase in the paper's Fig. 12 is the multiplication
 	// itself: workers are already running (just as the MESSENGERS side's
 	// logical network is already built), so spawning is free here.
@@ -289,10 +298,9 @@ func MatmulPVM(cm *lan.CostModel, p MatmulParams) (*MatmulResult, error) {
 		return nil, fmt.Errorf("apps: matmul pvm: %v", errs[0])
 	}
 	return &MatmulResult{
-		Elapsed:     elapsed,
-		C:           cOut,
-		BusMessages: cluster.Bus.Stats.Messages,
-		BusBytes:    cluster.Bus.Stats.Bytes,
+		Elapsed: elapsed,
+		C:       cOut,
+		Obs:     metrics,
 	}, nil
 }
 

@@ -218,8 +218,8 @@ func RunA4CodeCarrying(cm *lan.CostModel, size, grid, procs int) (*Table, error)
 		Columns: []string{"mode", "time", "bus bytes", "slowdown"},
 	}
 	t.Rows = append(t.Rows,
-		[]string{"shared registry (hash only)", secs(base.Elapsed), fmt.Sprintf("%d", base.BusBytes), "1.00"},
-		[]string{"bytecode on every hop", secs(carried.Elapsed), fmt.Sprintf("%d", carried.BusBytes), ratio(carried.Elapsed, base.Elapsed)},
+		[]string{"shared registry (hash only)", secs(base.Elapsed), fmt.Sprintf("%d", base.Obs.CounterValue("bus.bytes")), "1.00"},
+		[]string{"bytecode on every hop", secs(carried.Elapsed), fmt.Sprintf("%d", carried.Obs.CounterValue("bus.bytes")), ratio(carried.Elapsed, base.Elapsed)},
 	)
 	return t, nil
 }

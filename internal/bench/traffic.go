@@ -5,6 +5,7 @@ import (
 
 	"messengers/internal/apps"
 	"messengers/internal/lan"
+	"messengers/internal/sim"
 )
 
 // RunTrafficTable breaks down the network behavior behind Figure 7: bus
@@ -27,13 +28,15 @@ func RunTrafficTable(cm *lan.CostModel, size, grid int, procs []int) (*Table, er
 		if err != nil {
 			return nil, err
 		}
+		// All traffic columns come straight from the run's metrics
+		// registry — the same counters the tracer and mtrace report.
 		row := func(system string, r *apps.MandelResult) []string {
 			return []string{
 				fmt.Sprintf("%d", p), system, secs(r.Elapsed),
-				fmt.Sprintf("%d", r.BusMessages),
-				fmt.Sprintf("%.2f", float64(r.BusBytes)/1e6),
-				fmt.Sprintf("%d", r.Drops),
-				secs(r.CenterBusy),
+				fmt.Sprintf("%d", r.Obs.CounterValue("bus.msgs")),
+				fmt.Sprintf("%.2f", float64(r.Obs.CounterValue("bus.bytes"))/1e6),
+				fmt.Sprintf("%d", r.Obs.CounterValue("pvm.drops")),
+				secs(sim.Time(r.Obs.CounterValue("host.0.busy_ns"))),
 			}
 		}
 		t.Rows = append(t.Rows, row("MESSENGERS", mr), row("PVM", pr))

@@ -8,6 +8,7 @@ import (
 	"messengers/internal/bytecode"
 	"messengers/internal/lan"
 	"messengers/internal/logical"
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 	"messengers/internal/value"
 	"messengers/internal/vm"
@@ -118,6 +119,12 @@ type Daemon struct {
 
 	coord *coordinator // non-nil on daemon 0
 
+	// Observability: tr/om are nil when tracing/metrics are off (one
+	// branch per site); prof is this daemon's interpreter profile.
+	tr   *obs.Tracer
+	om   *sysObs
+	prof *vm.Profile
+
 	Stats Stats
 }
 
@@ -131,6 +138,11 @@ func newDaemon(id int, eng Engine, topo *Topology, sys *System) *Daemon {
 		programs:   map[bytecode.Hash]*bytecode.Program{},
 		byName:     map[string]*bytecode.Program{},
 		activeLVTs: map[uint64]float64{},
+		tr:         sys.trace,
+		om:         sys.om,
+	}
+	if sys.metrics != nil {
+		d.prof = &vm.Profile{}
 	}
 	if id == 0 {
 		d.coord = &coordinator{d: d}
@@ -173,9 +185,34 @@ func (d *Daemon) modelTime(f func(cm *lan.CostModel) sim.Time) sim.Time {
 	return f(cm)
 }
 
+// msgrID renders a Messenger ID for trace arguments, unpacking the
+// allocation scheme (top bit: injected; else daemon<<40 | seq) so the
+// trace shows "inj-3" or "d2-17" instead of a raw 64-bit pattern.
+func msgrID(id uint64) obs.Field {
+	if id>>63 == 1 {
+		return obs.S("msgr", fmt.Sprintf("inj-%d", id&(1<<63-1)))
+	}
+	return obs.S("msgr", fmt.Sprintf("d%d-%d", id>>40, id&(1<<40-1)))
+}
+
+// netSend ships a message to another daemon, accounting wire traffic.
+func (d *Daemon) netSend(dst int, msg *Msg) {
+	if d.om != nil {
+		d.om.netMsgs.Inc()
+		d.om.netBytes.Add(int64(msg.WireSize()))
+	}
+	d.eng.Send(d.id, dst, msg)
+}
+
 // fail destroys a Messenger due to a runtime error.
 func (d *Daemon) fail(m *Messenger, err error) {
 	d.Stats.Errors++
+	if d.om != nil {
+		d.om.errs.Inc()
+	}
+	if d.tr != nil {
+		d.tr.Instant(d.id, "msgr", "error", msgrID(m.ID), obs.S("err", err.Error()))
+	}
 	delete(d.activeLVTs, m.ID)
 	d.sys.recordError(fmt.Errorf("daemon %d, messenger %d: %w", d.id, m.ID, err))
 	d.sys.workDone(1)
@@ -186,6 +223,12 @@ func (d *Daemon) fail(m *Messenger, err error) {
 // the Messenger ceases to exist).
 func (d *Daemon) die(m *Messenger) {
 	d.Stats.Died++
+	if d.om != nil {
+		d.om.died.Inc()
+	}
+	if d.tr != nil {
+		d.tr.Instant(d.id, "msgr", "die", msgrID(m.ID))
+	}
 	delete(d.activeLVTs, m.ID)
 	d.sys.workDone(1)
 }
@@ -193,6 +236,12 @@ func (d *Daemon) die(m *Messenger) {
 // finish completes a Messenger normally.
 func (d *Daemon) finish(m *Messenger) {
 	d.Stats.Finished++
+	if d.om != nil {
+		d.om.finished.Inc()
+	}
+	if d.tr != nil {
+		d.tr.Instant(d.id, "msgr", "terminate", msgrID(m.ID))
+	}
 	delete(d.activeLVTs, m.ID)
 	d.sys.workDone(1)
 }
@@ -213,6 +262,11 @@ func (d *Daemon) step(m *Messenger) {
 		return
 	}
 	host := &msgrHost{d: d, m: m, node: node}
+	m.VM.SetProfile(d.prof)
+	var segStart int64
+	if d.tr != nil {
+		segStart = int64(d.eng.Now())
+	}
 	res, err := m.VM.Run(host, maxSegmentSteps)
 	if err != nil {
 		d.fail(m, err)
@@ -221,6 +275,21 @@ func (d *Daemon) step(m *Messenger) {
 	d.Stats.Segments++
 	d.Stats.Steps += res.Steps
 	cost := d.instrCost(res.Steps)
+	if d.om != nil {
+		d.om.segments.Inc()
+		d.om.steps.Add(res.Steps)
+		d.om.segSteps.Observe(res.Steps)
+	}
+	if d.tr != nil {
+		// Simulated engines: the span covers the modeled CPU cost from the
+		// current instant. Real engines: the measured wall time of the run.
+		start, dur := int64(d.eng.Now()), int64(cost)
+		if dur == 0 {
+			start, dur = segStart, int64(d.eng.Now())-segStart
+		}
+		d.tr.Span(d.id, "vm", "segment", start, dur,
+			msgrID(m.ID), obs.I("steps", res.Steps), obs.S("pause", res.Pause.String()))
+	}
 
 	switch res.Pause {
 	case vm.PauseEnd:
@@ -233,13 +302,25 @@ func (d *Daemon) step(m *Messenger) {
 			return
 		}
 		ctx := &NativeCtx{d: d, m: m, node: node}
+		var natStart int64
+		if d.tr != nil {
+			natStart = int64(d.eng.Now())
+		}
 		v, err := fn(ctx, res.Args)
 		if err != nil {
 			d.fail(m, fmt.Errorf("native %s: %w", res.Native, err))
 			return
 		}
 		m.VM.PushResult(v)
-		cost += ctx.charge + d.modelTime(func(cm *lan.CostModel) sim.Time { return cm.CallFixed })
+		natCost := ctx.charge + d.modelTime(func(cm *lan.CostModel) sim.Time { return cm.CallFixed })
+		if d.tr != nil {
+			start, dur := int64(d.eng.Now()), int64(natCost)
+			if dur == 0 {
+				start, dur = natStart, int64(d.eng.Now())-natStart
+			}
+			d.tr.Span(d.id, "vm", "native:"+res.Native, start, dur, msgrID(m.ID))
+		}
+		cost += natCost
 		d.exec(cost, func() { d.step(m) })
 
 	case vm.PauseHop, vm.PauseDelete:
@@ -282,6 +363,9 @@ func (d *Daemon) doHop(m *Messenger, node *logical.Node, arms []vm.NavArm, isDel
 			if match.Link != nil {
 				d.store.DetachHalf(node, match.Link.ID)
 				d.Stats.Deletes++
+				if d.om != nil {
+					d.om.deletes.Inc()
+				}
 			}
 		}
 	}
@@ -305,7 +389,13 @@ func (d *Daemon) doHop(m *Messenger, node *logical.Node, arms []vm.NavArm, isDel
 func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via string, removeLink logical.LinkID) {
 	if dest.Daemon == d.id {
 		d.Stats.LocalHops++
+		if d.om != nil {
+			d.om.localHops.Inc()
+		}
 		nm := &Messenger{ID: d.newMsgrID(), VM: mvm, Node: dest.Node, Last: via, LVT: lvt}
+		if d.tr != nil {
+			d.tr.Instant(d.id, "msgr", "hop.local", msgrID(nm.ID))
+		}
 		if removeLink != (logical.LinkID{}) {
 			if n, ok := d.store.Node(dest.Node); ok {
 				d.store.DetachHalf(n, removeLink)
@@ -317,6 +407,9 @@ func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via 
 		return
 	}
 	d.Stats.RemoteHops++
+	if d.om != nil {
+		d.om.remoteHops.Inc()
+	}
 	msg := &Msg{
 		Kind:       MsgMessenger,
 		From:       d.id,
@@ -334,8 +427,15 @@ func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via 
 	if cm := d.eng.Model(); cm != nil && !cm.MsgrCodeCached {
 		msg.ProgBytes = mvm.Program().Encode()
 	}
+	if d.om != nil {
+		d.om.msgrBytes.Observe(int64(len(msg.Snapshot)))
+	}
+	if d.tr != nil {
+		d.tr.Instant(d.id, "msgr", "hop.depart",
+			msgrID(msg.MsgrID), obs.I("to", int64(dest.Daemon)), obs.I("bytes", int64(msg.WireSize())))
+	}
 	d.sent++
-	d.eng.Send(d.id, dest.Daemon, msg)
+	d.netSend(dest.Daemon, msg)
 }
 
 // doCreate resolves a create statement: one new node (and connecting link)
@@ -390,6 +490,12 @@ func (d *Daemon) doCreate(m *Messenger, node *logical.Node, arms []vm.NavArm, al
 		if tg.daemon == d.id {
 			nn := d.store.CreateNode(nodeName)
 			d.Stats.Creates++
+			if d.om != nil {
+				d.om.creates.Inc()
+			}
+			if d.tr != nil {
+				d.tr.Instant(d.id, "msgr", "create.local", msgrID(m.ID), obs.S("node", nn.Name))
+			}
 			d.store.AttachHalf(node, linkID, linkName, directed, dir == 1, d.store.Addr(nn), nn.Name)
 			d.store.AttachHalf(nn, linkID, linkName, directed, dir == 2, origin, node.Name)
 			nm := &Messenger{ID: d.newMsgrID(), VM: clone, Node: nn.ID,
@@ -415,8 +521,15 @@ func (d *Daemon) doCreate(m *Messenger, node *logical.Node, arms []vm.NavArm, al
 			Origin:     origin,
 			OriginName: node.Name,
 		}
+		if d.om != nil {
+			d.om.msgrBytes.Observe(int64(len(msg.Snapshot)))
+		}
+		if d.tr != nil {
+			d.tr.Instant(d.id, "msgr", "create.depart",
+				msgrID(msg.MsgrID), obs.I("to", int64(tg.daemon)), obs.I("bytes", int64(msg.WireSize())))
+		}
 		d.sent++
-		d.eng.Send(d.id, tg.daemon, msg)
+		d.netSend(tg.daemon, msg)
 	}
 }
 
@@ -459,6 +572,12 @@ func (d *Daemon) suspend(m *Messenger, wake float64) {
 		return
 	}
 	d.Stats.Suspends++
+	if d.om != nil {
+		d.om.suspends.Inc()
+	}
+	if d.tr != nil {
+		d.tr.Instant(d.id, "gvt", "suspend", msgrID(m.ID), obs.F("wake", wake))
+	}
 	delete(d.activeLVTs, m.ID)
 	heap.Push(&d.waitQ, wakeEntry{at: wake, seq: m.ID, m: m})
 	if !d.notified {
@@ -473,7 +592,7 @@ func (d *Daemon) sendGVT(dst int, msg *Msg) {
 		d.HandleMsg(msg)
 		return
 	}
-	d.eng.Send(d.id, dst, msg)
+	d.netSend(dst, msg)
 }
 
 // localMin is this daemon's lower bound on any future virtual-time event it
@@ -499,6 +618,9 @@ func (d *Daemon) advanceGVT(gvt float64) {
 		return
 	}
 	d.gvt = gvt
+	if d.tr != nil {
+		d.tr.Instant(d.id, "gvt", "gvt.advance", obs.F("gvt", gvt))
+	}
 	for len(d.waitQ) > 0 && d.waitQ[0].at <= gvt {
 		e := heap.Pop(&d.waitQ).(wakeEntry)
 		m := e.m
@@ -520,11 +642,17 @@ func (d *Daemon) HandleMsg(msg *Msg) {
 	case MsgMessenger:
 		d.recv++
 		d.Stats.Arrived++
+		if d.om != nil {
+			d.om.arrived.Inc()
+		}
 		d.handleArrival(msg)
 
 	case MsgCreate:
 		d.recv++
 		d.Stats.Arrived++
+		if d.om != nil {
+			d.om.arrived.Inc()
+		}
 		d.handleCreate(msg)
 
 	case MsgCreateAck:
@@ -595,17 +723,36 @@ func (d *Daemon) handleArrival(msg *Msg) {
 	if !ok {
 		// Destination node deleted while in flight.
 		d.Stats.Died++
+		if d.om != nil {
+			d.om.died.Inc()
+		}
+		if d.tr != nil {
+			d.tr.Instant(d.id, "msgr", "die", msgrID(msg.MsgrID))
+		}
 		d.sys.workDone(1)
 		return
+	}
+	if d.tr != nil {
+		d.tr.Instant(d.id, "msgr", "hop.arrive",
+			msgrID(msg.MsgrID), obs.I("from", int64(msg.From)))
 	}
 	if msg.RemoveLink != (logical.LinkID{}) {
 		d.store.DetachHalf(node, msg.RemoveLink)
 		d.Stats.Deletes++
+		if d.om != nil {
+			d.om.deletes.Inc()
+		}
 		// Deleting the traversed link may have removed the node itself if
 		// it became a singleton; the Messenger still executes in it per
 		// hop semantics only if it survived.
 		if _, ok := d.store.Node(node.ID); !ok {
 			d.Stats.Died++
+			if d.om != nil {
+				d.om.died.Inc()
+			}
+			if d.tr != nil {
+				d.tr.Instant(d.id, "msgr", "die", msgrID(msg.MsgrID))
+			}
 			d.sys.workDone(1)
 			return
 		}
@@ -623,6 +770,13 @@ func (d *Daemon) handleCreate(msg *Msg) {
 	}
 	nn := d.store.CreateNode(msg.CreateName)
 	d.Stats.Creates++
+	if d.om != nil {
+		d.om.creates.Inc()
+	}
+	if d.tr != nil {
+		d.tr.Instant(d.id, "msgr", "create.arrive",
+			msgrID(msg.MsgrID), obs.I("from", int64(msg.From)), obs.S("node", nn.Name))
+	}
 	d.store.AttachHalf(nn, msg.LinkID, msg.LinkName, msg.LinkDir != 0, msg.LinkDir == 2,
 		msg.Origin, msg.OriginName)
 	d.sendGVT(msg.From, &Msg{
@@ -654,6 +808,13 @@ func (d *Daemon) handleInject(msg *Msg) {
 	lvt := msg.LVT
 	if lvt < d.gvt {
 		lvt = d.gvt
+	}
+	if d.om != nil {
+		d.om.injected.Inc()
+	}
+	if d.tr != nil {
+		d.tr.Instant(d.id, "msgr", "inject",
+			msgrID(msg.MsgrID), obs.S("script", mvm.Program().Name), obs.S("node", target.Name))
 	}
 	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: target.ID, Last: "", LVT: lvt}
 	d.spawnLocal(m)

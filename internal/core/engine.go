@@ -24,6 +24,10 @@ type Engine interface {
 	Send(src, dst int, msg *Msg)
 	// SetTimer runs fn on d's executor after delay of engine time.
 	SetTimer(d int, delay sim.Time, fn func())
+	// Now returns the engine clock: simulated time on the simulated
+	// engine, monotonic wall time since start on real engines. Trace
+	// events are stamped with this clock.
+	Now() sim.Time
 	// Model returns the cost model, or nil on real engines.
 	Model() *lan.CostModel
 	// HostSpec describes daemon d's host (zero value on real engines).
@@ -88,6 +92,9 @@ func (e *SimEngine) SetTimer(d int, delay sim.Time, fn func()) {
 	})
 }
 
+// Now implements Engine with the simulation clock.
+func (e *SimEngine) Now() sim.Time { return e.Cluster.Kernel.Now() }
+
 // Model implements Engine.
 func (e *SimEngine) Model() *lan.CostModel { return e.Cluster.Model }
 
@@ -102,12 +109,13 @@ func (e *SimEngine) HostSpec(d int) lan.HostSpec { return e.Cluster.Hosts[d].Spe
 type ChanEngine struct {
 	daemons []*Daemon
 	inboxes []*workQueue
+	start   time.Time
 	wg      sync.WaitGroup
 }
 
 // NewChanEngine starts n daemon executors.
 func NewChanEngine(n int) *ChanEngine {
-	e := &ChanEngine{inboxes: make([]*workQueue, n)}
+	e := &ChanEngine{inboxes: make([]*workQueue, n), start: time.Now()}
 	for i := range e.inboxes {
 		e.inboxes[i] = newWorkQueue()
 	}
@@ -154,6 +162,9 @@ func (e *ChanEngine) SetTimer(d int, delay sim.Time, fn func()) {
 
 // Model implements Engine: no cost model on the real engine.
 func (e *ChanEngine) Model() *lan.CostModel { return nil }
+
+// Now implements Engine with monotonic wall time since engine start.
+func (e *ChanEngine) Now() sim.Time { return sim.Time(time.Since(e.start)) }
 
 // HostSpec implements Engine.
 func (e *ChanEngine) HostSpec(int) lan.HostSpec { return lan.HostSpec{} }

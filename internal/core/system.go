@@ -9,6 +9,7 @@ import (
 
 	"messengers/internal/bytecode"
 	"messengers/internal/logical"
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 	"messengers/internal/value"
 	"messengers/internal/vm"
@@ -29,6 +30,9 @@ type System struct {
 	natives     map[string]NativeFunc
 	programs    map[string]*bytecode.Program
 	gvtInterval sim.Time
+	trace       *obs.Tracer
+	metrics     *obs.Metrics
+	om          *sysObs
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -52,6 +56,53 @@ func WithGVTInterval(d sim.Time) Option {
 	return func(s *System) { s.gvtInterval = d }
 }
 
+// WithTracer attaches a tracer: daemons emit messenger-lifecycle, VM
+// segment/native, and GVT events onto it, one track per daemon. A nil
+// tracer (the default) costs one untaken branch per emission site.
+func WithTracer(t *obs.Tracer) Option {
+	return func(s *System) { s.trace = t }
+}
+
+// WithMetrics attaches a metrics registry: daemons count every lifecycle
+// transition, hop, network send, and executed opcode into it (the registry
+// is the single source of truth the bench harness reads).
+func WithMetrics(m *obs.Metrics) Option {
+	return func(s *System) { s.metrics = m }
+}
+
+// sysObs caches the registry instruments the daemons update on hot paths;
+// nil when no registry is attached (one branch disables everything).
+type sysObs struct {
+	injected, arrived, segments, steps     *obs.Counter
+	localHops, remoteHops                  *obs.Counter
+	creates, deletes, finished, died, errs *obs.Counter
+	suspends, gvtRounds                    *obs.Counter
+	netMsgs, netBytes                      *obs.Counter
+	segSteps, msgrBytes                    *obs.Histogram
+}
+
+func newSysObs(m *obs.Metrics) *sysObs {
+	return &sysObs{
+		injected:   m.Counter("msgr.injected"),
+		arrived:    m.Counter("msgr.arrived"),
+		segments:   m.Counter("vm.segments"),
+		steps:      m.Counter("vm.steps"),
+		localHops:  m.Counter("msgr.hops.local"),
+		remoteHops: m.Counter("msgr.hops.remote"),
+		creates:    m.Counter("msgr.creates"),
+		deletes:    m.Counter("msgr.deletes"),
+		finished:   m.Counter("msgr.finished"),
+		died:       m.Counter("msgr.died"),
+		errs:       m.Counter("msgr.errors"),
+		suspends:   m.Counter("gvt.suspends"),
+		gvtRounds:  m.Counter("gvt.rounds"),
+		netMsgs:    m.Counter("net.msgs"),
+		netBytes:   m.Counter("net.bytes"),
+		segSteps:   m.Histogram("vm.segment.steps"),
+		msgrBytes:  m.Histogram("net.msgr.bytes"),
+	}
+}
+
 // NewSystem creates one daemon per engine slot over the given daemon
 // network topology.
 func NewSystem(eng Engine, topo *Topology, opts ...Option) *System {
@@ -69,6 +120,12 @@ func NewSystem(eng Engine, topo *Topology, opts ...Option) *System {
 	s.cond = sync.NewCond(&s.mu)
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.metrics != nil {
+		s.om = newSysObs(s.metrics)
+	}
+	for i := 0; i < eng.NumDaemons(); i++ {
+		s.trace.NameTrack(i, fmt.Sprintf("daemon %d", i))
 	}
 	s.daemons = make([]*Daemon, eng.NumDaemons())
 	for i := range s.daemons {
@@ -119,6 +176,33 @@ func (s *System) registerSystemNatives() {
 
 // Engine returns the engine driving this system.
 func (s *System) Engine() Engine { return s.eng }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (s *System) Tracer() *obs.Tracer { return s.trace }
+
+// Metrics returns the attached metrics registry (nil when off).
+func (s *System) Metrics() *obs.Metrics { return s.metrics }
+
+// FlushVMProfiles folds each daemon's per-opcode interpreter profile into
+// the metrics registry as vm.op.<mnemonic> counters. Call post-run (daemon
+// profiles are executor-confined during a run); flushing zeroes the
+// per-daemon counts so repeated calls never double-count.
+func (s *System) FlushVMProfiles() {
+	if s.metrics == nil {
+		return
+	}
+	for _, d := range s.daemons {
+		if d.prof == nil {
+			continue
+		}
+		for op, n := range d.prof.Counts {
+			if n > 0 {
+				s.metrics.Counter("vm.op." + vm.OpName(op)).Add(n)
+				d.prof.Counts[op] = 0
+			}
+		}
+	}
+}
 
 // Daemon returns daemon i for post-run inspection. During a run its state
 // must only be touched from its executor (use Do).
@@ -396,6 +480,12 @@ func (c *coordinator) handle(msg *Msg) {
 func (c *coordinator) startRound() {
 	c.epoch++
 	c.d.Stats.GVTRounds++
+	if c.d.om != nil {
+		c.d.om.gvtRounds.Inc()
+	}
+	if c.d.tr != nil {
+		c.d.tr.Instant(c.d.id, "gvt", "gvt.round", obs.I("epoch", c.epoch))
+	}
 	c.reports = make(map[int]*Msg, c.d.eng.NumDaemons())
 	for i := 0; i < c.d.eng.NumDaemons(); i++ {
 		c.d.sendGVT(i, &Msg{Kind: MsgGVTQuery, From: c.d.id, GEpoch: c.epoch})

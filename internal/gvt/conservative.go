@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 )
 
@@ -94,6 +95,9 @@ func (cs *conservative) scheduleRound(after sim.Time) {
 // every host executes exactly the events at that timestamp.
 func (cs *conservative) round() {
 	cs.stats.Rounds++
+	if cs.cfg.Trace != nil {
+		cs.cfg.Trace.Instant(0, "gvt", "gvt.round", obs.I("round", cs.stats.Rounds))
+	}
 	cm := cs.cfg.Cluster.Model
 	n := len(cs.hosts)
 	replies := 0
@@ -134,6 +138,9 @@ func (cs *conservative) concludeRound(min float64) {
 		return // quiescent: stop
 	}
 	cs.gvt = min
+	if cs.cfg.Trace != nil {
+		cs.cfg.Trace.Instant(0, "gvt", "gvt.epoch", obs.F("gvt", min))
+	}
 	// Broadcast the epoch; each host executes its events at exactly this
 	// timestamp.
 	for hid := range cs.hosts {

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"messengers/internal/lan"
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 )
 
@@ -110,6 +111,11 @@ type Config struct {
 	// SyncInterval is the GVT round period (conservative barriers /
 	// optimistic fossil collection). Default 5 ms.
 	SyncInterval sim.Time
+	// Trace receives synchronization events when non-nil: rounds and epoch
+	// advances on host 0's track, rollbacks and anti-messages on the track
+	// of the host they occur on. Bind the tracer clock to the kernel (e.g.
+	// via Cluster.Observe) for simulated-time timestamps.
+	Trace *obs.Tracer
 	// Window bounds optimism (Time Warp only): an LP may execute an event
 	// only while its timestamp is below GVT + Window. 0 means unbounded
 	// optimism, which on workloads with little lookahead can thrash in

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 )
 
@@ -283,6 +284,10 @@ func (tw *timeWarp) rollback(lp *twLP, ts float64) {
 	tw.stats.Rollbacks++
 	undone := lp.history[cut:]
 	lp.history = lp.history[:cut]
+	if tw.cfg.Trace != nil {
+		tw.cfg.Trace.Instant(lp.host, "gvt", "tw.rollback",
+			obs.I("lp", int64(lp.id)), obs.F("to", ts), obs.I("undone", int64(len(undone))))
+	}
 	var cost sim.Time
 	for i := len(undone) - 1; i >= 0; i-- {
 		rec := undone[i]
@@ -293,6 +298,10 @@ func (tw *timeWarp) rollback(lp *twLP, ts float64) {
 		for _, out := range rec.sent {
 			anti := &tsEvent{Event: out.Event, id: out.id, anti: true}
 			tw.stats.AntiMessages++
+			if tw.cfg.Trace != nil {
+				tw.cfg.Trace.Instant(lp.host, "gvt", "tw.antimsg",
+					obs.I("lp", int64(lp.id)), obs.F("at", out.At))
+			}
 			tw.transmit(lp.host, anti)
 		}
 	}
@@ -325,6 +334,9 @@ func (tw *timeWarp) scheduleRound(after sim.Time) {
 // the same message-cost accounting as the runtime uses.
 func (tw *timeWarp) round() {
 	tw.stats.Rounds++
+	if tw.cfg.Trace != nil {
+		tw.cfg.Trace.Instant(0, "gvt", "gvt.round", obs.I("round", tw.stats.Rounds))
+	}
 	cm := tw.cfg.Cluster.Model
 	n := len(tw.hosts)
 	replies := 0
@@ -366,6 +378,9 @@ func (tw *timeWarp) concludeRound(min float64) {
 	}
 	if min > tw.gvt {
 		tw.gvt = min
+		if tw.cfg.Trace != nil {
+			tw.cfg.Trace.Instant(0, "gvt", "gvt.epoch", obs.F("gvt", min))
+		}
 		tw.fossilCollect()
 		// A moving window may have released work.
 		for _, h := range tw.hosts {

@@ -3,6 +3,7 @@ package lan
 import (
 	"fmt"
 
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 )
 
@@ -14,6 +15,12 @@ type Bus struct {
 	cm *CostModel
 
 	busyUntil sim.Time
+
+	// Observability (nil when off): every frame becomes a span on the bus
+	// track and updates the bus.* counters.
+	tr                *obs.Tracer
+	track             int
+	msgs, bytes, busy *obs.Counter
 
 	// Stats accumulates utilization counters for the experiment reports.
 	Stats BusStats
@@ -45,6 +52,14 @@ func (b *Bus) Transmit(size int, deliver func()) sim.Time {
 	b.Stats.Messages++
 	b.Stats.Bytes += int64(size)
 	b.Stats.BusyTime += tx
+	if b.msgs != nil {
+		b.msgs.Inc()
+		b.bytes.Add(int64(size))
+		b.busy.Add(int64(tx))
+	}
+	if b.tr != nil {
+		b.tr.Span(b.track, "lan", "frame", int64(start), int64(tx), obs.I("bytes", int64(size)))
+	}
 	if deliver != nil {
 		b.k.At(done+b.cm.PropDelay, deliver)
 	}
@@ -59,6 +74,9 @@ type Host struct {
 
 	k       *sim.Kernel
 	cpuFree sim.Time
+
+	// busy mirrors Stats.BusyTime into the metrics registry (nil when off).
+	busy *obs.Counter
 
 	// Stats accumulates CPU busy time for utilization reports.
 	Stats HostStats
@@ -82,6 +100,9 @@ func (h *Host) Exec(cost sim.Time, fn func()) sim.Time {
 	done := start + cost
 	h.cpuFree = done
 	h.Stats.BusyTime += cost
+	if h.busy != nil {
+		h.busy.Add(int64(cost))
+	}
 	if fn != nil {
 		h.k.At(done, fn)
 	}
@@ -132,6 +153,30 @@ func NewCluster(k *sim.Kernel, cm *CostModel, n int, spec HostSpec) *Cluster {
 		c.Hosts[i] = &Host{ID: i, Spec: spec, k: k}
 	}
 	return c
+}
+
+// Observe wires a tracer and metrics registry into the cluster: bus frames
+// become spans on a dedicated bus track (one past the last host), bus.* and
+// host.<i>.busy_ns counters mirror the Stats fields. Also binds the tracer's
+// clock to the simulation kernel so every trace timestamp is simulated time
+// (two identical runs then export byte-identical traces). Either argument
+// may be nil.
+func (c *Cluster) Observe(tr *obs.Tracer, m *obs.Metrics) {
+	busTrack := len(c.Hosts)
+	if tr != nil {
+		tr.SetClock(func() int64 { return int64(c.Kernel.Now()) })
+		tr.NameTrack(busTrack, obs.BusTrackName)
+		c.Bus.tr = tr
+		c.Bus.track = busTrack
+	}
+	if m != nil {
+		c.Bus.msgs = m.Counter("bus.msgs")
+		c.Bus.bytes = m.Counter("bus.bytes")
+		c.Bus.busy = m.Counter("bus.busy_ns")
+		for _, h := range c.Hosts {
+			h.busy = m.Counter(fmt.Sprintf("host.%d.busy_ns", h.ID))
+		}
+	}
 }
 
 // Send models a full message transfer from host src to host dst:

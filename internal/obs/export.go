@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteChromeTrace renders the tracer's event stream as Chrome trace_event
+// JSON (the "JSON Array Format" wrapped in a traceEvents object), loadable
+// in chrome://tracing and Perfetto. One process (pid 0) holds one thread
+// per track — daemons, hosts, the shared bus — named via thread_name
+// metadata records. Timestamps are microseconds with nanosecond precision.
+//
+// Output is deterministic: metadata records sorted by track, then events in
+// emission order. Two identical simulated runs therefore produce
+// byte-identical files.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	events := t.Events()
+	tracks := t.Tracks()
+
+	// Every referenced track gets a metadata record even if unnamed.
+	for _, ev := range events {
+		if _, ok := tracks[ev.Track]; !ok {
+			tracks[ev.Track] = fmt.Sprintf("track %d", ev.Track)
+		}
+	}
+	ids := make([]int, 0, len(tracks))
+	for id := range tracks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+	emit(`{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"messengers"}}`)
+	for _, id := range ids {
+		emit(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			id, quote(tracks[id])))
+		emit(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			id, id))
+	}
+	for i := range events {
+		emit(chromeEvent(&events[i]))
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// chromeEvent renders one event as a trace_event JSON object.
+func chromeEvent(ev *Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"ph":%q,"pid":0,"tid":%d,"ts":%s`, string(ev.Ph), ev.Track, usec(ev.TS))
+	if ev.Ph == PhaseSpan {
+		fmt.Fprintf(&b, `,"dur":%s`, usec(ev.Dur))
+	}
+	if ev.Ph == PhaseInstant {
+		b.WriteString(`,"s":"t"`) // thread-scoped instant
+	}
+	fmt.Fprintf(&b, `,"cat":%s,"name":%s`, quote(ev.Cat), quote(ev.Name))
+	b.WriteString(`,"args":{`)
+	for i, f := range ev.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(quote(f.Key))
+		b.WriteByte(':')
+		switch f.kind {
+		case fieldInt:
+			b.WriteString(strconv.FormatInt(f.i, 10))
+		case fieldFloat:
+			b.WriteString(jsonFloat(f.f))
+		case fieldStr:
+			b.WriteString(quote(f.s))
+		}
+	}
+	b.WriteString("}}")
+	return b.String()
+}
+
+// usec renders nanoseconds as a microsecond decimal with up to ns
+// precision and no float rounding artifacts.
+func usec(ns int64) string {
+	whole, frac := ns/1000, ns%1000
+	if frac == 0 {
+		return strconv.FormatInt(whole, 10)
+	}
+	return strings.TrimRight(fmt.Sprintf("%d.%03d", whole, frac), "0")
+}
+
+// jsonFloat renders a float compactly but losslessly.
+func jsonFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// JSON has no Inf/NaN; clamp to strings chrome ignores gracefully.
+	if strings.ContainsAny(s, "IN") {
+		return quote(s)
+	}
+	return s
+}
+
+func quote(s string) string { return strconv.Quote(s) }
+
+// WriteMetricsCSV renders a registry snapshot as CSV with a fixed schema:
+// name,kind,value,count,min,max,mean,p50,p99 (histogram columns empty for
+// counters and gauges).
+func WriteMetricsCSV(w io.Writer, m *Metrics) error {
+	var b strings.Builder
+	b.WriteString("name,kind,value,count,min,max,mean,p50,p99\n")
+	for _, s := range m.Snapshot() {
+		if s.Kind == KindHistogram {
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%.3f,%d,%d\n",
+				csvField(s.Name), s.Kind, s.Value, s.Count, s.Min, s.Max, s.Mean, s.P50, s.P99)
+		} else {
+			fmt.Fprintf(&b, "%s,%s,%d,,,,,,\n", csvField(s.Name), s.Kind, s.Value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// FormatMetrics renders a registry snapshot as an aligned text table.
+func FormatMetrics(m *Metrics) string {
+	snap := m.Snapshot()
+	rows := make([][3]string, 0, len(snap))
+	for _, s := range snap {
+		detail := ""
+		if s.Kind == KindHistogram {
+			detail = fmt.Sprintf("n=%d min=%d max=%d mean=%.1f p50=%d p99=%d",
+				s.Count, s.Min, s.Max, s.Mean, s.P50, s.P99)
+		}
+		rows = append(rows, [3]string{s.Name, fmt.Sprintf("%d", s.Value), detail})
+	}
+	w0, w1 := len("metric"), len("value")
+	for _, r := range rows {
+		if len(r[0]) > w0 {
+			w0 = len(r[0])
+		}
+		if len(r[1]) > w1 {
+			w1 = len(r[1])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %*s\n", w0, "metric", w1, "value")
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat("-", w0), strings.Repeat("-", w1))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %*s", w0, r[0], w1, r[1])
+		if r[2] != "" {
+			fmt.Fprintf(&b, "  %s", r[2])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

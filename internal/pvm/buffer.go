@@ -43,8 +43,16 @@ func (p *Proc) send() *Buffer {
 	return p.sendBuf
 }
 
-// chargeCopy charges a user-level copy of n bytes (pack or unpack).
-func (p *Proc) chargeCopy(n int, perByte func(cm *lan.CostModel) sim.Time) {
+// chargeCopy charges a user-level copy of n bytes and accounts it to the
+// pack or unpack byte counter when metrics are attached.
+func (p *Proc) chargeCopy(n int, perByte func(cm *lan.CostModel) sim.Time, unpack bool) {
+	if mo := p.m.mo; mo != nil && n > 0 {
+		if unpack {
+			mo.unpackBytes.Add(int64(n))
+		} else {
+			mo.packBytes.Add(int64(n))
+		}
+	}
 	if p.m.Sim() && n > 0 {
 		p.Compute(sim.Time(n) * perByte(p.m.cm))
 	}
@@ -57,7 +65,7 @@ func (p *Proc) PkInt(vs ...int64) {
 	for _, v := range vs {
 		b.data = binary.LittleEndian.AppendUint64(b.data, uint64(v))
 	}
-	p.chargeCopy(8*len(vs), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte })
+	p.chargeCopy(8*len(vs), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte }, false)
 }
 
 // PkDouble packs float64s (pvm_pkdouble).
@@ -67,7 +75,7 @@ func (p *Proc) PkDouble(vs ...float64) {
 	for _, v := range vs {
 		b.data = binary.LittleEndian.AppendUint64(b.data, math.Float64bits(v))
 	}
-	p.chargeCopy(8*len(vs), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte })
+	p.chargeCopy(8*len(vs), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte }, false)
 }
 
 // PkBytes packs a byte block (pvm_pkbyte).
@@ -76,7 +84,7 @@ func (p *Proc) PkBytes(bs []byte) {
 	b := p.send()
 	b.data = binary.LittleEndian.AppendUint32(b.data, uint32(len(bs)))
 	b.data = append(b.data, bs...)
-	p.chargeCopy(len(bs), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte })
+	p.chargeCopy(len(bs), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte }, false)
 }
 
 // PkStr packs a string (pvm_pkstr).
@@ -91,7 +99,7 @@ func (p *Proc) PkMat(m *value.Mat) {
 	for _, f := range m.Data {
 		b.data = binary.LittleEndian.AppendUint64(b.data, math.Float64bits(f))
 	}
-	p.chargeCopy(8*len(m.Data), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte })
+	p.chargeCopy(8*len(m.Data), func(cm *lan.CostModel) sim.Time { return cm.PVMPackPerByte }, false)
 }
 
 // unpack helpers; PVM's upk calls abort the task on type/size mismatch,
@@ -109,14 +117,14 @@ func (p *Proc) upkN(b *Buffer, n int) []byte {
 // UpkInt unpacks one int64.
 func (p *Proc) UpkInt(b *Buffer) int64 {
 	v := int64(binary.LittleEndian.Uint64(p.upkN(b, 8)))
-	p.chargeCopy(8, func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte })
+	p.chargeCopy(8, func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte }, true)
 	return v
 }
 
 // UpkDouble unpacks one float64.
 func (p *Proc) UpkDouble(b *Buffer) float64 {
 	v := math.Float64frombits(binary.LittleEndian.Uint64(p.upkN(b, 8)))
-	p.chargeCopy(8, func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte })
+	p.chargeCopy(8, func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte }, true)
 	return v
 }
 
@@ -126,7 +134,7 @@ func (p *Proc) UpkBytes(b *Buffer) []byte {
 	src := p.upkN(b, n)
 	out := make([]byte, n)
 	copy(out, src)
-	p.chargeCopy(n, func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte })
+	p.chargeCopy(n, func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte }, true)
 	return out
 }
 
@@ -144,6 +152,6 @@ func (p *Proc) UpkMat(b *Buffer) *value.Mat {
 	for i := range m.Data {
 		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(p.upkN(b, 8)))
 	}
-	p.chargeCopy(8*len(m.Data), func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte })
+	p.chargeCopy(8*len(m.Data), func(cm *lan.CostModel) sim.Time { return cm.PVMUnpackPerByte }, true)
 	return m
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"messengers/internal/lan"
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 )
 
@@ -56,6 +57,10 @@ type Machine struct {
 	// experiments that time only a post-startup phase).
 	spawnCost sim.Time
 
+	// Observability (nil when off). Events land on the host's track.
+	tr *obs.Tracer
+	mo *pvmObs
+
 	mu       sync.Mutex
 	nextTID  TID
 	tasks    map[TID]*Proc
@@ -75,6 +80,35 @@ type Stats struct {
 
 // Stats returns transport statistics (post-run).
 func (m *Machine) Stats() Stats { return m.stats }
+
+// pvmObs caches the registry instruments the transport updates.
+type pvmObs struct {
+	sends, sendBytes, recvs, drops *obs.Counter
+	packBytes, unpackBytes         *obs.Counter
+}
+
+// Observe wires a tracer and metrics registry into the machine: sends,
+// deliveries, drops, and pack/unpack copies are counted (pvm.* metrics) and
+// emitted as instants on the involved host's track. On a simulated machine
+// the tracer clock is bound to the kernel. Either argument may be nil; call
+// before spawning tasks.
+func (m *Machine) Observe(tr *obs.Tracer, reg *obs.Metrics) {
+	m.tr = tr
+	if tr != nil && m.cluster != nil {
+		k := m.cluster.Kernel
+		tr.SetClock(func() int64 { return int64(k.Now()) })
+	}
+	if reg != nil {
+		m.mo = &pvmObs{
+			sends:       reg.Counter("pvm.sends"),
+			sendBytes:   reg.Counter("pvm.send.bytes"),
+			recvs:       reg.Counter("pvm.recvs"),
+			drops:       reg.Counter("pvm.drops"),
+			packBytes:   reg.Counter("pvm.pack.bytes"),
+			unpackBytes: reg.Counter("pvm.unpack.bytes"),
+		}
+	}
+}
 
 // SetSpawnCost overrides the modeled pvm_spawn cost (use 0 for experiments
 // whose timed phase begins after the workers are already running).

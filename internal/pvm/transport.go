@@ -3,6 +3,7 @@ package pvm
 import (
 	"fmt"
 
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 )
 
@@ -40,7 +41,22 @@ func (p *Proc) deliver(dst TID, msg *Buffer) {
 		// PVM reports an error code; messages to dead tasks vanish.
 		return
 	}
+	if p.m.mo != nil {
+		p.m.mo.sends.Inc()
+		p.m.mo.sendBytes.Add(int64(len(msg.data)))
+	}
+	if p.m.tr != nil {
+		p.m.tr.Instant(p.host, "pvm", "pvm.send",
+			obs.I("dst", int64(dst)), obs.I("bytes", int64(len(msg.data))))
+	}
 	if !p.m.Sim() {
+		if p.m.mo != nil {
+			p.m.mo.recvs.Inc()
+		}
+		if p.m.tr != nil {
+			p.m.tr.Instant(target.host, "pvm", "pvm.recv",
+				obs.I("src", int64(msg.src)), obs.I("bytes", int64(len(msg.data))))
+		}
 		target.mbox.deliver(msg)
 		return
 	}
@@ -111,6 +127,12 @@ func (t *transfer) sendFrag(i int) {
 		// retransmitted after the fixed timeout.
 		if cm.PVMRxBuffer > 0 && t.m.rxBacklog[t.dstHost]+size > cm.PVMRxBuffer {
 			t.m.stats.Drops++
+			if t.m.mo != nil {
+				t.m.mo.drops.Inc()
+			}
+			if t.m.tr != nil {
+				t.m.tr.Instant(t.dstHost, "pvm", "pvm.drop", obs.I("bytes", int64(size)))
+			}
 			t.m.cluster.Kernel.After(cm.PVMRetransmit, func() { t.sendFrag(i) })
 			return
 		}
@@ -136,6 +158,13 @@ func (t *transfer) fragProcessed() {
 		// Reassembled: hand to the task (the user-level unpack copy is
 		// charged when the task unpacks).
 		t.m.cluster.Hosts[t.dstHost].ExecScaled(t.m.cm.PVMRecvFixed, func() {
+			if t.m.mo != nil {
+				t.m.mo.recvs.Inc()
+			}
+			if t.m.tr != nil {
+				t.m.tr.Instant(t.dstHost, "pvm", "pvm.recv",
+					obs.I("src", int64(t.msg.src)), obs.I("bytes", int64(len(t.msg.data))))
+			}
 			t.dst.mbox.deliver(t.msg)
 		})
 	}

@@ -21,6 +21,7 @@ import (
 
 	"messengers/internal/core"
 	"messengers/internal/lan"
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 )
 
@@ -74,6 +75,9 @@ type TCPEngine struct {
 
 	executors []*executor
 	listeners []net.Listener
+
+	start time.Time
+	tr    *obs.Tracer
 
 	mu    sync.Mutex
 	conns map[connKey]*peerConn
@@ -149,6 +153,7 @@ func NewTCPEngine(addrs []string) (*TCPEngine, error) {
 		closed:    make(chan struct{}),
 		executors: make([]*executor, len(addrs)),
 		listeners: make([]net.Listener, len(addrs)),
+		start:     time.Now(),
 	}
 	for i, addr := range addrs {
 		l, err := net.Listen("tcp", addr)
@@ -185,6 +190,13 @@ func (e *TCPEngine) Addrs() []string {
 // Bind implements the engine binder.
 func (e *TCPEngine) Bind(daemons []*core.Daemon) { e.daemons = daemons }
 
+// SetTracer attaches a tracer: every frame send and receive emits a "net"
+// event on the involved daemon's track. Call before any traffic flows.
+func (e *TCPEngine) SetTracer(t *obs.Tracer) { e.tr = t }
+
+// Now implements core.Engine with monotonic wall time since engine start.
+func (e *TCPEngine) Now() sim.Time { return sim.Time(time.Since(e.start)) }
+
 // NumDaemons implements core.Engine.
 func (e *TCPEngine) NumDaemons() int { return len(e.addrs) }
 
@@ -212,6 +224,10 @@ func (e *TCPEngine) SetTimer(d int, delay sim.Time, fn func()) {
 // connection from src to dst.
 func (e *TCPEngine) Send(src, dst int, msg *core.Msg) {
 	payload := msg.Encode()
+	if e.tr != nil {
+		e.tr.Instant(src, "net", "net.send",
+			obs.I("to", int64(dst)), obs.I("bytes", int64(len(payload))))
+	}
 	pc, err := e.conn(src, dst)
 	if err != nil {
 		e.recordError(err)
@@ -283,6 +299,10 @@ func (e *TCPEngine) acceptLoop(d int) {
 				if err != nil {
 					e.recordError(fmt.Errorf("transport: daemon %d: %w", d, err))
 					return
+				}
+				if e.tr != nil {
+					e.tr.Instant(d, "net", "net.recv",
+						obs.I("from", int64(msg.From)), obs.I("bytes", int64(len(payload))))
 				}
 				e.executors[d].put(func() { e.daemons[d].HandleMsg(msg) })
 			}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"net"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"messengers/internal/compile"
 	"messengers/internal/core"
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 	"messengers/internal/value"
 )
@@ -252,5 +254,154 @@ func TestGarbageConnectionIsRejected(t *testing.T) {
 	sys.Do(0, func(d *core.Daemon) { result <- d.Store().Init().Vars["done"].AsInt() })
 	if got := <-result; got != 1 {
 		t.Errorf("done = %d", got)
+	}
+}
+
+func TestZeroLengthFrame(t *testing.T) {
+	// An empty payload is a legal frame: header only, body absent. Both nil
+	// and empty-slice spellings must round-trip and not desync the stream.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("frame %d: %d bytes, want empty", i, len(got))
+		}
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Errorf("stream desynced after empty frames: %v %v", got, err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	// A header advertising more than maxFrame must be rejected before any
+	// allocation, not after attempting to read gigabytes.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], maxFrame+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame: %v", err)
+	}
+	// Exactly maxFrame is allowed through to the body read (which then
+	// fails on the empty reader, proving the limit check passed).
+	binary.LittleEndian.PutUint32(hdr[4:], maxFrame)
+	_, err = ReadFrame(bytes.NewReader(hdr[:]))
+	if err == nil || strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("frame at the limit should pass the size check: %v", err)
+	}
+}
+
+func TestMidFrameConnectionClose(t *testing.T) {
+	// A peer dying mid-frame must surface as a read error on the live side,
+	// never a short frame silently handed to the decoder.
+	client, server := net.Pipe()
+	go func() {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], 100)
+		client.Write(hdr[:])
+		client.Write(make([]byte, 10)) // 10 of the promised 100 bytes
+		client.Close()
+	}()
+	if _, err := ReadFrame(server); err == nil {
+		t.Error("mid-frame close should fail the read")
+	}
+	server.Close()
+
+	// Close between the header and the body of the NEXT frame: the first
+	// frame reads fine, the second errors.
+	client2, server2 := net.Pipe()
+	go func() {
+		WriteFrame(client2, []byte("whole frame"))
+		var hdr [8]byte
+		binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], 5)
+		client2.Write(hdr[:])
+		client2.Close()
+	}()
+	if got, err := ReadFrame(server2); err != nil || string(got) != "whole frame" {
+		t.Fatalf("first frame: %q, %v", got, err)
+	}
+	if _, err := ReadFrame(server2); err == nil {
+		t.Error("headerless body should fail the read")
+	}
+	server2.Close()
+}
+
+func TestTCPTraceEvents(t *testing.T) {
+	// A traced TCP run must record the wire activity (net.send / net.recv
+	// with byte counts) interleaved with the messenger lifecycle events the
+	// daemons emit on the same tracer.
+	tr := obs.NewTracer()
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	eng, err := NewTCPEngine(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	eng.SetTracer(tr)
+	sys := core.NewSystem(eng, core.FullMesh(2), core.WithTracer(tr))
+
+	prog, err := compile.Compile("hopper", `
+		create(ALL);
+		hop(ll = $last);
+		node.done = 1;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Register(prog)
+	if err := sys.Inject(0, "hopper", nil); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiesce(t, sys, eng)
+
+	count := func(name string) (n int) {
+		for _, e := range tr.Events() {
+			if e.Name == name {
+				n++
+			}
+		}
+		return
+	}
+	sends, recvs := count("net.send"), count("net.recv")
+	if sends == 0 || recvs == 0 {
+		t.Fatalf("net.send = %d, net.recv = %d, want both > 0", sends, recvs)
+	}
+	// Loopback delivers everything that was sent.
+	if sends != recvs {
+		t.Errorf("net.send = %d but net.recv = %d", sends, recvs)
+	}
+	for _, name := range []string{"inject", "create.depart", "hop.depart", "hop.arrive", "terminate"} {
+		if count(name) == 0 {
+			t.Errorf("traced TCP run has no %q event", name)
+		}
+	}
+	for _, e := range tr.Events() {
+		if e.Name != "net.send" && e.Name != "net.recv" {
+			continue
+		}
+		ok := false
+		for _, f := range e.Args {
+			if f.Key == "bytes" && f.Int() > 0 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("%s event missing positive bytes arg: %+v", e.Name, e.Args)
+		}
 	}
 }

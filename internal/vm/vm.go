@@ -108,13 +108,34 @@ type frame struct {
 	locals []value.Value
 }
 
+// NumOps is the size of the opcode space, for Profile arrays.
+const NumOps = int(bytecode.OpEnd) + 1
+
+// Profile accumulates per-opcode execution counts — the interpreter
+// profile behind the paper's §2.3 interpretation-overhead discussion. A
+// profile is attached per daemon (execution is daemon-confined) and summed
+// into the obs metrics registry post-run; a nil profile costs the
+// interpreter loop one predictable branch.
+type Profile struct {
+	Counts [NumOps]int64
+}
+
+// OpName names profile slot i for metric labels.
+func OpName(i int) string { return bytecode.Op(i).String() }
+
 // VM is the execution state of one Messenger.
 type VM struct {
 	prog   *bytecode.Program
 	vars   map[string]value.Value
 	stack  []value.Value
 	frames []frame
+	prof   *Profile
 }
+
+// SetProfile attaches (or detaches, with nil) an opcode profile. The
+// daemon re-attaches its own profile before every segment, so a Messenger
+// hopping between daemons is counted where it executes.
+func (m *VM) SetProfile(p *Profile) { m.prof = p }
 
 // New returns a VM at the start of the program's main body with the given
 // initial Messenger variables (may be nil).
@@ -190,6 +211,7 @@ func (m *VM) runtimeError(format string, args ...any) error {
 // destroyed by the daemon.
 func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
 	var steps int64
+	prof := m.prof
 	for {
 		f := m.top()
 		code := m.prog.Funcs[f.fn].Code
@@ -199,6 +221,9 @@ func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
 		ins := code[f.pc]
 		f.pc++
 		steps++
+		if prof != nil && int(ins.Op) < NumOps {
+			prof.Counts[ins.Op]++
+		}
 		if maxSteps > 0 && steps > maxSteps {
 			return Result{}, m.runtimeError("instruction budget of %d exceeded (runaway Messenger?)", maxSteps)
 		}

@@ -28,6 +28,7 @@ import (
 	"messengers/internal/compile"
 	"messengers/internal/core"
 	"messengers/internal/lan"
+	"messengers/internal/obs"
 	"messengers/internal/sim"
 	"messengers/internal/transport"
 	"messengers/internal/value"
@@ -99,6 +100,36 @@ type (
 // Stats aggregates daemon activity counters.
 type Stats = core.Stats
 
+// Observability: attach a Tracer and/or Metrics registry via Config to
+// record what a run did — Messenger lifecycle, VM segments, GVT, and
+// network events on one track per daemon, plus named counters.
+type (
+	// Tracer records structured trace events (Chrome trace_event
+	// exportable). A nil *Tracer is a valid no-op.
+	Tracer = obs.Tracer
+	// Metrics is a registry of named counters/gauges/histograms. A nil
+	// *Metrics hands out nil (no-op) instruments.
+	Metrics = obs.Metrics
+	// TraceEvent is one recorded trace event.
+	TraceEvent = obs.Event
+)
+
+// Observability constructors and exporters.
+var (
+	// NewTracer returns an empty tracer (wall-clock timestamps until a
+	// run binds it to an engine clock).
+	NewTracer = obs.NewTracer
+	// NewMetrics returns an empty metrics registry.
+	NewMetrics = obs.NewMetrics
+	// WriteChromeTrace writes a tracer's events as Chrome trace_event
+	// JSON (load in Perfetto or chrome://tracing).
+	WriteChromeTrace = obs.WriteChromeTrace
+	// WriteMetricsCSV writes a registry snapshot as CSV.
+	WriteMetricsCSV = obs.WriteMetricsCSV
+	// FormatMetrics renders a registry snapshot as an aligned table.
+	FormatMetrics = obs.FormatMetrics
+)
+
 // Simulation cost modeling (used by NewSimSystem).
 type (
 	// CostModel holds the calibrated constants of the simulated testbed.
@@ -129,6 +160,14 @@ type Config struct {
 	Output io.Writer
 	// GVTInterval overrides the conservative GVT round period (optional).
 	GVTInterval SimTime
+	// Trace, when non-nil, receives the run's events: one track per
+	// daemon (plus a bus track on simulated systems). Simulated systems
+	// stamp events with simulated time; real systems with wall time since
+	// engine start.
+	Trace *Tracer
+	// Metrics, when non-nil, receives the run's counters (msgr.*, vm.*,
+	// gvt.*, net.*; bus.* and host.* on simulated systems).
+	Metrics *Metrics
 
 	// Model and Host configure the simulated engine (NewSimSystem only);
 	// DefaultCostModel() and SPARC110 when zero.
@@ -143,6 +182,12 @@ func (c *Config) options() []core.Option {
 	}
 	if c.GVTInterval > 0 {
 		opts = append(opts, core.WithGVTInterval(c.GVTInterval))
+	}
+	if c.Trace != nil {
+		opts = append(opts, core.WithTracer(c.Trace))
+	}
+	if c.Metrics != nil {
+		opts = append(opts, core.WithMetrics(c.Metrics))
 	}
 	return opts
 }
@@ -197,6 +242,9 @@ func NewTCPSystem(cfg Config, addrs []string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Trace != nil {
+		eng.SetTracer(cfg.Trace)
+	}
 	sys := core.NewSystem(eng, cfg.topology(), cfg.options()...)
 	return &System{System: sys, tcpEng: eng}, nil
 }
@@ -217,6 +265,10 @@ func NewSimSystem(cfg Config) (*System, error) {
 	}
 	k := sim.New()
 	cluster := lan.NewCluster(k, model, cfg.Daemons, host)
+	// Bus frames and host busy time land in the same tracer/registry,
+	// and the tracer clock is bound to the simulation kernel so two
+	// identical runs export byte-identical traces.
+	cluster.Observe(cfg.Trace, cfg.Metrics)
 	sys := core.NewSystem(core.NewSimEngine(cluster), cfg.topology(), cfg.options()...)
 	return &System{System: sys, kernel: k, cluster: cluster}, nil
 }
@@ -238,7 +290,9 @@ func (s *System) RunSim() SimTime {
 	if s.kernel == nil {
 		panic("messengers: RunSim on a real system (use Wait)")
 	}
-	return s.kernel.Run()
+	t := s.kernel.Run()
+	s.FlushVMProfiles()
+	return t
 }
 
 // Kernel exposes the simulation kernel (nil on real systems).

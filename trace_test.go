@@ -1,0 +1,201 @@
+package messengers
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// ringTokenScripts are the examples/ringtoken programs in miniature: a token
+// circulates the ring stamping nodes, then an auditor tallies the stamps and
+// deletes the ring — together they exercise inject, hop, runtime inject,
+// native calls, delete, and termination, so a trace of one run contains
+// every messenger-lifecycle event kind.
+const (
+	ringTokenScript = `
+		for (k = 0; k < laps * $ndaemons; k++) {
+			node.stamps = node.stamps + 1;
+			hop(ll = "ring", ldir = +);
+		}
+		inject("auditor", "r0");
+	`
+	ringAuditorScript = `
+		total = 0;
+		for (k = 0; k < $ndaemons; k++) {
+			total = total + node.stamps;
+			if (k < $ndaemons - 1) { hop(ll = "ring", ldir = +); }
+		}
+		for (k = 0; k < $ndaemons; k++) {
+			delete(ll = "ring", ldir = +);
+		}
+	`
+)
+
+// runTracedRing runs the ring-token program on a simulated cluster with a
+// fresh tracer and registry attached and returns both.
+func runTracedRing(t *testing.T, daemons, laps int) (*Tracer, *Metrics) {
+	t.Helper()
+	tr := NewTracer()
+	reg := NewMetrics()
+	sys, err := NewSimSystem(Config{Daemons: daemons, Trace: tr, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NetSpec{}
+	for i := 0; i < daemons; i++ {
+		spec.Nodes = append(spec.Nodes, NetNode{Name: fmt.Sprintf("r%d", i), Daemon: i})
+		spec.Links = append(spec.Links, NetLink{
+			A: fmt.Sprintf("r%d", i), B: fmt.Sprintf("r%d", (i+1)%daemons),
+			Name: "ring", Dir: 1,
+		})
+	}
+	if err := sys.BuildNetwork(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompileAndRegister("token", ringTokenScript); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompileAndRegister("auditor", ringAuditorScript); err != nil {
+		t.Fatal(err)
+	}
+	err = sys.InjectAt(0, "token", "r0", map[string]Value{"laps": IntValue(int64(laps))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunSim()
+	for _, err := range sys.Errors() {
+		t.Fatalf("runtime error: %v", err)
+	}
+	return tr, reg
+}
+
+// TestTraceDeterminism is the determinism guard: two identical simulated
+// runs must export byte-identical Chrome traces. Trace timestamps come from
+// the simulation kernel and the exporter emits events in recording order,
+// so any divergence means the simulation itself has become nondeterministic.
+func TestTraceDeterminism(t *testing.T) {
+	export := func() []byte {
+		tr, _ := runTracedRing(t, 4, 2)
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two identical sim runs exported different traces (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// chromeEvent mirrors the trace_event fields the exporter writes.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Cat  string          `json:"cat"`
+	PID  int             `json:"pid"`
+	TID  int             `json:"tid"`
+	TS   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+// TestTraceExportGolden pins the Chrome exporter's output for a small
+// ring-token run against testdata/ringtoken_trace.json (refresh with
+// go test -run TraceExportGolden -update) and validates the trace_event
+// schema: known phases, in-range tids, timestamps on every non-metadata
+// event, and the event categories a full messenger lifecycle must produce.
+func TestTraceExportGolden(t *testing.T) {
+	tr, _ := runTracedRing(t, 3, 1)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "ringtoken_trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exported trace differs from %s (run with -update after intentional changes)", golden)
+	}
+
+	var doc struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	cats := map[string]bool{}
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X", "i", "C", "M":
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, e.Ph)
+		}
+		if e.Name == "" {
+			t.Fatalf("event %d: empty name", i)
+		}
+		// 3 daemons + the shared-bus track.
+		if e.TID < 0 || e.TID > 3 {
+			t.Fatalf("event %d: tid %d out of range", i, e.TID)
+		}
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS == nil {
+			t.Fatalf("event %d (%s): missing ts", i, e.Name)
+		}
+		if e.Ph == "X" && (e.Dur == nil || *e.Dur < 0) {
+			t.Fatalf("event %d (%s): complete event needs dur >= 0", i, e.Name)
+		}
+		cats[e.Cat] = true
+	}
+	// net.send/net.recv events are TCP-transport-only; a simulated run
+	// models the wire as lan "frame" spans on the bus track instead.
+	for _, want := range []string{"msgr", "vm", "lan"} {
+		if !cats[want] {
+			t.Errorf("trace has no %q events (got %v)", want, cats)
+		}
+	}
+}
+
+// TestTraceMetricsAgree cross-checks the two observability surfaces: the
+// event stream and the counter registry must describe the same run.
+func TestTraceMetricsAgree(t *testing.T) {
+	tr, reg := runTracedRing(t, 4, 2)
+	count := func(name string) int64 {
+		var n int64
+		for _, e := range tr.Events() {
+			if e.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+	if got, want := count("hop.depart"), reg.CounterValue("msgr.hops.remote"); got != want {
+		t.Errorf("hop.depart events = %d, msgr.hops.remote = %d", got, want)
+	}
+	if got, want := count("inject"), reg.CounterValue("msgr.injected"); got != want {
+		t.Errorf("inject events = %d, msgr.injected = %d", got, want)
+	}
+	if got, want := count("frame"), reg.CounterValue("bus.msgs"); got != want {
+		t.Errorf("frame spans = %d, bus.msgs = %d", got, want)
+	}
+}
