@@ -179,7 +179,10 @@ func (p *Program) encodeForHash() []byte {
 	buf = appendString(buf, p.Name)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Consts)))
 	for _, c := range p.Consts {
-		buf = value.Append(buf, c)
+		// Constants come from script literals (or a decoded program, whose
+		// codec enforces the same bound), so they can never exceed the
+		// encoder's length limit.
+		buf, _ = value.Append(buf, c)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Names)))
 	for _, n := range p.Names {

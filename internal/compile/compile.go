@@ -124,7 +124,10 @@ func (f *fnCtx) emitConst(v value.Value) {
 }
 
 func (c *compiler) constRef(v value.Value) int32 {
-	key := v.Kind().String() + "\x00" + string(value.Append(nil, v))
+	// Literals are bounded by the source text, far below the codec's
+	// length limit, so the encode error is unreachable here.
+	enc, _ := value.Append(nil, v)
+	key := v.Kind().String() + "\x00" + string(enc)
 	if i, ok := c.constIdx[key]; ok {
 		return i
 	}

@@ -414,7 +414,7 @@ func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via 
 		Kind:       MsgMessenger,
 		From:       d.id,
 		ProgHash:   mvm.Program().Hash(),
-		Snapshot:   mvm.Snapshot(),
+		XferVM:     mvm,
 		MsgrID:     d.newMsgrID(),
 		LVT:        lvt,
 		DestNode:   dest.Node,
@@ -428,7 +428,7 @@ func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via 
 		msg.ProgBytes = mvm.Program().Encode()
 	}
 	if d.om != nil {
-		d.om.msgrBytes.Observe(int64(len(msg.Snapshot)))
+		d.om.msgrBytes.Observe(int64(msg.SnapshotLen()))
 	}
 	if d.tr != nil {
 		d.tr.Instant(d.id, "msgr", "hop.depart",
@@ -511,7 +511,7 @@ func (d *Daemon) doCreate(m *Messenger, node *logical.Node, arms []vm.NavArm, al
 			Kind:       MsgCreate,
 			From:       d.id,
 			ProgHash:   clone.Program().Hash(),
-			Snapshot:   clone.Snapshot(),
+			XferVM:     clone,
 			MsgrID:     d.newMsgrID(),
 			LVT:        m.LVT,
 			CreateName: nodeName,
@@ -522,7 +522,7 @@ func (d *Daemon) doCreate(m *Messenger, node *logical.Node, arms []vm.NavArm, al
 			OriginName: node.Name,
 		}
 		if d.om != nil {
-			d.om.msgrBytes.Observe(int64(len(msg.Snapshot)))
+			d.om.msgrBytes.Observe(int64(msg.SnapshotLen()))
 		}
 		if d.tr != nil {
 			d.tr.Instant(d.id, "msgr", "create.depart",
@@ -705,6 +705,17 @@ func (d *Daemon) HandleMsg(msg *Msg) {
 }
 
 func (d *Daemon) restore(msg *Msg) (*vm.VM, error) {
+	if msg.XferVM != nil {
+		// In-process delivery: the VM arrived by ownership transfer — the
+		// paper's "ship the Messenger-variable area as-is" hop, with no
+		// serialize/deserialize round trip. Consume it exactly once.
+		mvm := msg.XferVM
+		msg.XferVM = nil
+		if d.om != nil {
+			d.om.zeroCopyHops.Inc()
+		}
+		return mvm, nil
+	}
 	prog, ok := d.programs[msg.ProgHash]
 	if !ok {
 		return nil, fmt.Errorf("program %s not in registry", msg.ProgHash)

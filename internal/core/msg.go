@@ -7,6 +7,8 @@ import (
 
 	"messengers/internal/bytecode"
 	"messengers/internal/logical"
+	"messengers/internal/vm"
+	"messengers/internal/wire"
 )
 
 // MsgKind discriminates daemon-to-daemon messages.
@@ -63,6 +65,17 @@ type Msg struct {
 	// Messenger payload (MsgMessenger, MsgCreate, MsgInject).
 	ProgHash bytecode.Hash
 	Snapshot []byte
+	// XferVM, when non-nil, carries the hopping Messenger's VM by ownership
+	// transfer instead of Snapshot: in-process engines deliver the pointer
+	// as-is (zero-copy — the paper's Messenger-variable-area transfer), and
+	// the TCP transport serializes it lazily, straight into the pooled
+	// frame. At most one of XferVM and Snapshot is set. The sender must not
+	// touch the VM after handing the message to the engine; the receiver
+	// consumes it (or the decoded Snapshot) exactly once.
+	XferVM *vm.VM
+	// snapSize caches XferVM.SnapshotSize (the VM is frozen in transit, so
+	// the size cannot change between send and delivery).
+	snapSize int
 	MsgrID   uint64
 	LVT      float64
 	// DestNode is the target logical node (MsgMessenger).
@@ -103,34 +116,93 @@ func (m *Msg) CarriesMessenger() bool {
 	return m.Kind == MsgMessenger || m.Kind == MsgCreate || m.Kind == MsgInject
 }
 
-// Encode serializes the message.
+// SnapshotLen is the length in bytes of the Messenger state this message
+// carries: the materialized snapshot, or the exact encoded size of the VM
+// travelling by ownership transfer (computed without serializing it).
+func (m *Msg) SnapshotLen() int {
+	if m.XferVM != nil {
+		if m.snapSize == 0 {
+			m.snapSize = m.XferVM.SnapshotSize()
+		}
+		return m.snapSize
+	}
+	return len(m.Snapshot)
+}
+
+// EncodedSize is the exact length of the Encode output, implementing
+// wire.Sizer. The previous 64+len(Snapshot)+len(ProgBytes) heuristic
+// undercounted the variable-length header fields, forcing a mid-encode
+// regrow (and full copy) on every large hop.
+func (m *Msg) EncodedSize() int {
+	return 1 + 4 + len(m.ProgHash) + // Kind, From, ProgHash
+		4 + m.SnapshotLen() + // snapshot blob
+		8 + 8 + 8 + // MsgrID, LVT, DestNode
+		4 + len(m.Last) + 12 + // Last, RemoveLink
+		4 + len(m.CreateName) + 12 + 4 + len(m.LinkName) + 1 + // create request
+		12 + 4 + len(m.OriginName) + // Origin
+		12 + 4 + len(m.AckPeerName) + // AckPeer
+		4 + len(m.ProgBytes) + // program blob
+		6*8 // GVT fields
+}
+
+// AppendTo serializes the message into e in one pass. A Messenger carried
+// by XferVM is encoded directly into the frame through a reserved length
+// slot — no intermediate snapshot slice is ever built.
+func (m *Msg) AppendTo(e *wire.Encoder) {
+	e.U8(byte(m.Kind))
+	e.U32(uint32(m.From))
+	e.Raw(m.ProgHash[:])
+	if m.XferVM != nil {
+		off := e.Reserve(4)
+		start := e.Len()
+		m.XferVM.AppendSnapshot(e)
+		n := e.Len() - start
+		if n > wire.MaxLen {
+			e.Fail(fmt.Errorf("core: snapshot of %d bytes exceeds limit (%d)", n, wire.MaxLen))
+			return
+		}
+		e.PatchU32(off, uint32(n))
+	} else {
+		e.Blob(m.Snapshot)
+	}
+	e.U64(m.MsgrID)
+	e.F64(m.LVT)
+	e.U64(uint64(m.DestNode))
+	e.Str(m.Last)
+	appendLinkIDTo(e, m.RemoveLink)
+	e.Str(m.CreateName)
+	appendLinkIDTo(e, m.LinkID)
+	e.Str(m.LinkName)
+	e.U8(m.LinkDir)
+	appendAddrTo(e, m.Origin)
+	e.Str(m.OriginName)
+	appendAddrTo(e, m.AckPeer)
+	e.Str(m.AckPeerName)
+	e.Blob(m.ProgBytes)
+	e.U64(uint64(m.GEpoch))
+	e.F64(m.GMin)
+	e.U64(uint64(m.GSent))
+	e.U64(uint64(m.GRecv))
+	e.U64(uint64(m.GActive))
+	e.F64(m.GVT)
+}
+
+// Encode serializes the message into a standalone slice, allocated at its
+// exact encoded size. The TCP transport uses EncodeFrame (pooled, framed)
+// instead.
 func (m *Msg) Encode() []byte {
-	buf := make([]byte, 0, 64+len(m.Snapshot)+len(m.ProgBytes))
-	buf = append(buf, byte(m.Kind))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.From))
-	buf = append(buf, m.ProgHash[:]...)
-	buf = appendBytes(buf, m.Snapshot)
-	buf = binary.LittleEndian.AppendUint64(buf, m.MsgrID)
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.LVT))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.DestNode))
-	buf = appendStr(buf, m.Last)
-	buf = appendLinkID(buf, m.RemoveLink)
-	buf = appendStr(buf, m.CreateName)
-	buf = appendLinkID(buf, m.LinkID)
-	buf = appendStr(buf, m.LinkName)
-	buf = append(buf, m.LinkDir)
-	buf = appendAddr(buf, m.Origin)
-	buf = appendStr(buf, m.OriginName)
-	buf = appendAddr(buf, m.AckPeer)
-	buf = appendStr(buf, m.AckPeerName)
-	buf = appendBytes(buf, m.ProgBytes)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GEpoch))
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.GMin))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GSent))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GRecv))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GActive))
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.GVT))
-	return buf
+	e := wire.AppendingTo(make([]byte, 0, m.EncodedSize()))
+	m.AppendTo(e)
+	return e.Bytes()
+}
+
+// EncodeFrame serializes the message as one transport frame — header and
+// payload in a single buffer — into e (typically a pooled encoder). It
+// returns the encoder's sticky error, if any.
+func (m *Msg) EncodeFrame(e *wire.Encoder) error {
+	off := e.BeginFrame()
+	m.AppendTo(e)
+	return e.EndFrame(off)
 }
 
 // WireSize is the size charged on the simulated network. Control messages
@@ -138,7 +210,7 @@ func (m *Msg) Encode() []byte {
 func (m *Msg) WireSize() int {
 	switch m.Kind {
 	case MsgMessenger, MsgCreate, MsgInject:
-		return 48 + len(m.Snapshot) + len(m.Last) + len(m.CreateName) + len(m.LinkName) + len(m.ProgBytes)
+		return 48 + m.SnapshotLen() + len(m.Last) + len(m.CreateName) + len(m.LinkName) + len(m.ProgBytes)
 	case MsgProgram:
 		return 32 + len(m.ProgBytes)
 	default:
@@ -146,7 +218,12 @@ func (m *Msg) WireSize() int {
 	}
 }
 
-// DecodeMsg deserializes a message produced by Encode.
+// DecodeMsg deserializes a message produced by Encode. The returned Msg
+// aliases buf — Snapshot and ProgBytes are subslices of it — so the caller
+// must keep buf untouched (and must not recycle it into a pool) for as long
+// as the message or state decoded from it is live. Consumers that retain
+// data past that point (value.Decode, bytecode decoding) copy what they
+// keep.
 func DecodeMsg(buf []byte) (*Msg, error) {
 	r := &msgReader{buf: buf}
 	m := &Msg{}
@@ -180,24 +257,14 @@ func DecodeMsg(buf []byte) (*Msg, error) {
 	return m, nil
 }
 
-func appendStr(buf []byte, s string) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
-	return append(buf, s...)
+func appendLinkIDTo(e *wire.Encoder, id logical.LinkID) {
+	e.U32(uint32(id.Daemon))
+	e.U64(id.Seq)
 }
 
-func appendBytes(buf, b []byte) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
-	return append(buf, b...)
-}
-
-func appendLinkID(buf []byte, id logical.LinkID) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(id.Daemon))
-	return binary.LittleEndian.AppendUint64(buf, id.Seq)
-}
-
-func appendAddr(buf []byte, a logical.Addr) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.Daemon))
-	return binary.LittleEndian.AppendUint64(buf, uint64(a.Node))
+func appendAddrTo(e *wire.Encoder, a logical.Addr) {
+	e.U32(uint32(a.Daemon))
+	e.U64(uint64(a.Node))
 }
 
 type msgReader struct {
@@ -271,8 +338,11 @@ func (r *msgReader) bytes() []byte {
 	if n == 0 {
 		return nil
 	}
-	b := make([]byte, n)
-	copy(b, r.buf[r.pos:])
+	// Alias the frame instead of copying: decode consumers copy whatever
+	// they retain, and the frame buffer stays live per the DecodeMsg
+	// contract. The capped subslice keeps appends from clobbering the rest
+	// of the frame.
+	b := r.buf[r.pos : r.pos+n : r.pos+n]
 	r.pos += n
 	return b
 }

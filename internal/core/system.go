@@ -11,6 +11,7 @@ import (
 	"messengers/internal/logical"
 	"messengers/internal/obs"
 	"messengers/internal/sim"
+	"messengers/internal/wire"
 	"messengers/internal/value"
 	"messengers/internal/vm"
 )
@@ -74,7 +75,7 @@ func WithMetrics(m *obs.Metrics) Option {
 // nil when no registry is attached (one branch disables everything).
 type sysObs struct {
 	injected, arrived, segments, steps     *obs.Counter
-	localHops, remoteHops                  *obs.Counter
+	localHops, remoteHops, zeroCopyHops    *obs.Counter
 	creates, deletes, finished, died, errs *obs.Counter
 	suspends, gvtRounds                    *obs.Counter
 	netMsgs, netBytes                      *obs.Counter
@@ -89,6 +90,9 @@ func newSysObs(m *obs.Metrics) *sysObs {
 		steps:      m.Counter("vm.steps"),
 		localHops:  m.Counter("msgr.hops.local"),
 		remoteHops: m.Counter("msgr.hops.remote"),
+		// zeroCopyHops counts remote hops whose Messenger state travelled
+		// by in-process ownership transfer (no serialization at all).
+		zeroCopyHops: m.Counter("msgr.hops.zerocopy"),
 		creates:    m.Counter("msgr.creates"),
 		deletes:    m.Counter("msgr.deletes"),
 		finished:   m.Counter("msgr.finished"),
@@ -202,6 +206,18 @@ func (s *System) FlushVMProfiles() {
 			}
 		}
 	}
+	s.publishWireStats()
+}
+
+// publishWireStats copies the process-wide wire pool counters into the
+// registry as wire.* gauges. Gauges, not counters: the totals are monotonic
+// and process-wide, so repeated flushes overwrite instead of double-count.
+func (s *System) publishWireStats() {
+	st := wire.ReadStats()
+	s.metrics.Gauge("wire.pool.gets").Set(st.PoolGets)
+	s.metrics.Gauge("wire.pool.hits").Set(st.PoolHits)
+	s.metrics.Gauge("wire.pool.misses").Set(st.PoolMisses)
+	s.metrics.Gauge("wire.bytes.encoded").Set(st.BytesEncoded)
 }
 
 // Daemon returns daemon i for post-run inspection. During a run its state
@@ -270,7 +286,7 @@ func (s *System) injectAt(d int, script, node string, vars map[string]value.Valu
 		Kind:       MsgInject,
 		From:       d,
 		ProgHash:   prog.Hash(),
-		Snapshot:   fresh.Snapshot(),
+		XferVM:     fresh,
 		MsgrID:     1<<63 | seq, // top bit marks injected Messengers
 		LVT:        lvt,
 		CreateName: node,

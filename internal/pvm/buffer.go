@@ -4,21 +4,51 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"messengers/internal/lan"
 	"messengers/internal/sim"
 	"messengers/internal/value"
+	"messengers/internal/wire"
 )
 
 // Buffer is a PVM message buffer. Packing copies data in at the sender;
 // unpacking copies it out at the receiver — the two explicit copies the
 // paper contrasts with MESSENGERS' direct state transfer (§2.1). In
-// simulation each copy is charged at the corresponding per-byte rate.
+// simulation each copy is charged at the corresponding per-byte rate
+// (chargeCopy): the modeled cost is independent of whether this
+// implementation physically pays it, so pooling the backing storage below
+// does not change any figure.
 type Buffer struct {
 	data []byte
 	pos  int
 	src  TID
 	tag  int
+	// refs counts live references to pooled backing storage — Mcast shares
+	// one data slice across every destination's Buffer — and is nil for
+	// unpooled buffers. The last release recycles data into the wire pool.
+	refs *atomic.Int32
+}
+
+// release drops this buffer's claim on pooled storage, recycling it once no
+// other reference remains. Unpacking from the buffer afterwards panics
+// (message end), mirroring PVM's freed-receive-buffer behavior.
+func (b *Buffer) release() {
+	if b == nil || b.refs == nil {
+		return
+	}
+	if b.refs.Add(-1) == 0 {
+		wire.PutBuf(b.data)
+	}
+	b.refs = nil
+	b.data = nil
+}
+
+// newSendBuf draws a pack buffer from the wire pool, holding one reference.
+func newSendBuf() *Buffer {
+	b := &Buffer{data: wire.GetBuf(), refs: new(atomic.Int32)}
+	b.refs.Store(1)
+	return b
 }
 
 // Sender returns the sending task (after Recv).
@@ -30,15 +60,17 @@ func (b *Buffer) Tag() int { return b.tag }
 // Len returns the packed payload size in bytes.
 func (b *Buffer) Len() int { return len(b.data) }
 
-// InitSend clears the task's send buffer (pvm_initsend).
+// InitSend clears the task's send buffer (pvm_initsend), recycling any
+// packed-but-unsent storage.
 func (p *Proc) InitSend() {
 	p.checkKilled()
-	p.sendBuf = &Buffer{}
+	p.sendBuf.release()
+	p.sendBuf = newSendBuf()
 }
 
 func (p *Proc) send() *Buffer {
 	if p.sendBuf == nil {
-		p.sendBuf = &Buffer{}
+		p.sendBuf = newSendBuf()
 	}
 	return p.sendBuf
 }

@@ -232,6 +232,7 @@ type Proc struct {
 
 	mbox             *mailbox
 	sendBuf          *Buffer
+	recvBuf          *Buffer  // active receive buffer, freed by the next Recv/NRecv
 	killed           bool     // guarded by condMu in real mode; kernel thread in sim
 	releasedBarriers []string // barriers released for this task, same guard
 

@@ -13,8 +13,10 @@ import (
 func (p *Proc) Send(dst TID, tag int) {
 	p.checkKilled()
 	buf := p.send()
-	msg := &Buffer{data: buf.data, src: p.tid, tag: tag}
-	p.sendBuf = &Buffer{}
+	// The message inherits the send buffer's pool reference; the receiver's
+	// side releases it (next Recv) and recycles the storage.
+	msg := &Buffer{data: buf.data, src: p.tid, tag: tag, refs: buf.refs}
+	p.sendBuf = nil
 	p.deliver(dst, msg)
 }
 
@@ -23,12 +25,29 @@ func (p *Proc) Send(dst TID, tag int) {
 func (p *Proc) Mcast(dsts []TID, tag int) {
 	p.checkKilled()
 	buf := p.send()
-	p.sendBuf = &Buffer{}
+	p.sendBuf = nil
+	n := 0
+	for _, dst := range dsts {
+		if dst != p.tid {
+			n++
+		}
+	}
+	if n == 0 {
+		buf.release()
+		return
+	}
+	// Every destination's Buffer shares one backing array; retarget the
+	// sender's single reference to the destination count so the storage is
+	// recycled only after the last receiver is done with it. No other
+	// goroutine holds refs yet, so the plain store is safe.
+	if buf.refs != nil {
+		buf.refs.Store(int32(n))
+	}
 	for _, dst := range dsts {
 		if dst == p.tid {
 			continue
 		}
-		msg := &Buffer{data: buf.data, src: p.tid, tag: tag}
+		msg := &Buffer{data: buf.data, src: p.tid, tag: tag, refs: buf.refs}
 		p.deliver(dst, msg)
 	}
 }
@@ -39,6 +58,7 @@ func (p *Proc) deliver(dst TID, msg *Buffer) {
 	p.m.mu.Unlock()
 	if !ok {
 		// PVM reports an error code; messages to dead tasks vanish.
+		msg.release()
 		return
 	}
 	if p.m.mo != nil {
@@ -181,7 +201,10 @@ func (t *transfer) fragProcessed() {
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns it
-// (pvm_recv); -1 wildcards match anything.
+// (pvm_recv); -1 wildcards match anything. The returned buffer is the
+// task's active receive buffer, exactly as in PVM: the next Recv/NRecv
+// frees it, so unpack what you need before receiving again (Sender and Tag
+// remain valid; the payload does not).
 func (p *Proc) Recv(src TID, tag int) *Buffer {
 	p.checkKilled()
 	var got *Buffer
@@ -192,20 +215,28 @@ func (p *Proc) Recv(src TID, tag int) *Buffer {
 		}
 		return ok
 	})
+	p.recvBuf.release()
+	p.recvBuf = got
 	return got
 }
 
 // NRecv is the non-blocking receive (pvm_nrecv): it returns nil when no
-// matching message is queued.
+// matching message is queued. A successful NRecv replaces the active
+// receive buffer like Recv does.
 func (p *Proc) NRecv(src TID, tag int) *Buffer {
 	p.checkKilled()
+	var b *Buffer
 	if p.m.Sim() {
-		b, _ := p.mbox.match(src, tag)
-		return b
+		b, _ = p.mbox.match(src, tag)
+	} else {
+		p.condMu.Lock()
+		b, _ = p.mbox.match(src, tag)
+		p.condMu.Unlock()
 	}
-	p.condMu.Lock()
-	defer p.condMu.Unlock()
-	b, _ := p.mbox.match(src, tag)
+	if b != nil {
+		p.recvBuf.release()
+		p.recvBuf = b
+	}
 	return b
 }
 

@@ -23,19 +23,23 @@ import (
 	"messengers/internal/lan"
 	"messengers/internal/obs"
 	"messengers/internal/sim"
+	"messengers/internal/wire"
 )
 
-// frameMagic guards against cross-protocol garbage.
-const frameMagic = 0x4d53 // "MS"
+// Frame constants now live in internal/wire (the layout is shared with the
+// pooled encoder); these aliases keep the transport's vocabulary.
+const (
+	frameMagic = wire.FrameMagic
+	maxFrame   = wire.MaxFrame
+)
 
-// maxFrame bounds a single message frame (64 MB).
-const maxFrame = 64 << 20
-
-// WriteFrame writes one length-prefixed message frame.
+// WriteFrame writes one length-prefixed message frame. The message send
+// path encodes header and payload into a single pooled buffer instead (see
+// Send); this helper remains for hello frames and out-of-band uses.
 func WriteFrame(w io.Writer, payload []byte) error {
-	var hdr [8]byte
+	var hdr [wire.FrameHeaderLen]byte
 	binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
-	binary.LittleEndian.PutUint16(hdr[2:], 0)
+	binary.LittleEndian.PutUint16(hdr[2:], wire.FrameVersion)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("transport: write frame header: %w", err)
@@ -46,9 +50,11 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame written by WriteFrame.
+// ReadFrame reads one frame written by WriteFrame (or by Msg.EncodeFrame).
+// The returned payload is a fresh slice the caller owns — decoded messages
+// may alias it, so it is never pooled.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [8]byte
+	var hdr [wire.FrameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
@@ -220,13 +226,20 @@ func (e *TCPEngine) SetTimer(d int, delay sim.Time, fn func()) {
 	})
 }
 
-// Send implements core.Engine: encode, frame, and ship over the (cached)
+// Send implements core.Engine: encode header and payload into one pooled
+// frame (a Messenger carried by XferVM is serialized here, in a single
+// pass, with no intermediate snapshot slice) and ship it over the (cached)
 // connection from src to dst.
 func (e *TCPEngine) Send(src, dst int, msg *core.Msg) {
-	payload := msg.Encode()
+	enc := wire.NewEncoder()
+	defer enc.Release()
+	if err := msg.EncodeFrame(enc); err != nil {
+		e.recordError(fmt.Errorf("transport: encode %v message to daemon %d: %w", msg.Kind, dst, err))
+		return
+	}
 	if e.tr != nil {
 		e.tr.Instant(src, "net", "net.send",
-			obs.I("to", int64(dst)), obs.I("bytes", int64(len(payload))))
+			obs.I("to", int64(dst)), obs.I("bytes", int64(enc.Len()-wire.FrameHeaderLen)))
 	}
 	pc, err := e.conn(src, dst)
 	if err != nil {
@@ -235,8 +248,10 @@ func (e *TCPEngine) Send(src, dst int, msg *core.Msg) {
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if err := WriteFrame(pc.w, payload); err != nil {
-		e.recordError(err)
+	// bufio either copies into its buffer or writes straight through before
+	// returning, so the pooled frame can be recycled after the flush.
+	if _, err := pc.w.Write(enc.Bytes()); err != nil {
+		e.recordError(fmt.Errorf("transport: write frame: %w", err))
 		return
 	}
 	if err := pc.w.Flush(); err != nil {

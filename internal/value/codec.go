@@ -5,48 +5,77 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"messengers/internal/wire"
 )
 
 // The binary wire format is what daemons ship between hosts when a Messenger
 // hops: little-endian, tag byte followed by the payload. It is also used by
 // the PVM baseline's pack/unpack buffers so both systems move the same bytes.
 
-// maxWireLen bounds a single decoded string/bytes/array/matrix so corrupt or
-// hostile frames cannot trigger huge allocations.
-const maxWireLen = 1 << 30
+// maxWireLen bounds a single string/bytes/array/matrix in both directions:
+// decode rejects corrupt or hostile frames before allocating, and encode
+// rejects values whose length a uint32 prefix would silently truncate.
+const maxWireLen = wire.MaxLen
 
-// Append encodes v onto buf and returns the extended slice.
-func Append(buf []byte, v Value) []byte {
-	buf = append(buf, byte(v.kind))
+// AppendTo encodes v into e in one pass. Oversized elements (beyond
+// maxWireLen) set the encoder's sticky error instead of truncating.
+func (v Value) AppendTo(e *wire.Encoder) {
+	e.U8(byte(v.kind))
 	switch v.kind {
 	case KindNil:
 	case KindInt:
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.i))
+		e.U64(uint64(v.i))
 	case KindNum:
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.n))
+		e.F64(v.n)
 	case KindStr:
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.s)))
-		buf = append(buf, v.s...)
+		if len(v.s) > maxWireLen {
+			e.Fail(fmt.Errorf("value: encode str: length %d exceeds limit (%d)", len(v.s), maxWireLen))
+			return
+		}
+		e.Str(v.s)
 	case KindBytes:
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.bytes)))
-		buf = append(buf, v.bytes...)
+		if len(v.bytes) > maxWireLen {
+			e.Fail(fmt.Errorf("value: encode bytes: length %d exceeds limit (%d)", len(v.bytes), maxWireLen))
+			return
+		}
+		e.Blob(v.bytes)
 	case KindArr:
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.arr)))
-		for _, e := range v.arr {
-			buf = Append(buf, e)
+		// Every element encodes to at least one byte, so any array the
+		// decoder would accept has at most maxWireLen elements.
+		if len(v.arr) > maxWireLen {
+			e.Fail(fmt.Errorf("value: encode array: %d elements exceed limit (%d)", len(v.arr), maxWireLen))
+			return
+		}
+		e.U32(uint32(len(v.arr)))
+		for _, el := range v.arr {
+			el.AppendTo(e)
 		}
 	case KindMat:
 		m := v.mat
 		if m == nil {
 			m = &Mat{}
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
+		if len(m.Data) > maxWireLen/8 || m.Rows > maxWireLen || m.Cols > maxWireLen {
+			e.Fail(fmt.Errorf("value: encode matrix: %dx%d exceeds limit (%d bytes)", m.Rows, m.Cols, maxWireLen))
+			return
+		}
+		e.U32(uint32(m.Rows))
+		e.U32(uint32(m.Cols))
 		for _, f := range m.Data {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+			e.F64(f)
 		}
 	}
-	return buf
+}
+
+// Append encodes v onto buf and returns the extended slice. An oversized
+// element (beyond maxWireLen — which a uint32 length prefix would otherwise
+// silently truncate) is reported as an error; buf's extension is then
+// partial and must be discarded.
+func Append(buf []byte, v Value) ([]byte, error) {
+	e := wire.AppendingTo(buf)
+	v.AppendTo(e)
+	return e.Bytes(), e.Err()
 }
 
 // Decode reads one value from buf, returning the value and the number of
@@ -127,20 +156,27 @@ func Decode(buf []byte) (Value, int, error) {
 	}
 }
 
-// AppendEnv encodes a variable map in sorted key order (deterministic).
-func AppendEnv(buf []byte, env map[string]Value) []byte {
+// AppendEnvTo encodes a variable map into e in sorted key order
+// (deterministic), one pass, no intermediate buffers.
+func AppendEnvTo(e *wire.Encoder, env map[string]Value) {
 	keys := make([]string, 0, len(env))
 	for k := range env {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	e.U32(uint32(len(keys)))
 	for _, k := range keys {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
-		buf = append(buf, k...)
-		buf = Append(buf, env[k])
+		e.Str(k)
+		env[k].AppendTo(e)
 	}
-	return buf
+}
+
+// AppendEnv encodes a variable map onto buf in sorted key order. An
+// oversized element is reported as an error (see Append).
+func AppendEnv(buf []byte, env map[string]Value) ([]byte, error) {
+	e := wire.AppendingTo(buf)
+	AppendEnvTo(e, env)
+	return e.Bytes(), e.Err()
 }
 
 // DecodeEnv reads a variable map encoded by AppendEnv.
@@ -176,7 +212,8 @@ func DecodeEnv(buf []byte) (map[string]Value, int, error) {
 	return env, p, nil
 }
 
-// EnvWireSize estimates the encoded size of a variable map.
+// EnvWireSize returns the exact encoded size of a variable map; it must
+// agree byte-for-byte with AppendEnvTo.
 func EnvWireSize(env map[string]Value) int {
 	n := 4
 	for k, v := range env {

@@ -54,7 +54,10 @@ func (arbitraryValue) Generate(r *rand.Rand, _ int) reflect.Value {
 
 func TestPropEncodeDecodeRoundTrip(t *testing.T) {
 	f := func(av arbitraryValue) bool {
-		enc := Append(nil, av.V)
+		enc, err := Append(nil, av.V)
+		if err != nil {
+			return false
+		}
 		dec, n, err := Decode(enc)
 		if err != nil || n != len(enc) {
 			return false
@@ -77,7 +80,8 @@ func TestPropCloneEqualAndIndependent(t *testing.T) {
 
 func TestPropWireSizeIsExact(t *testing.T) {
 	f := func(av arbitraryValue) bool {
-		return av.V.WireSize() == len(Append(nil, av.V))
+		enc, err := Append(nil, av.V)
+		return err == nil && av.V.WireSize() == len(enc)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -112,7 +116,10 @@ func TestEnvRoundTrip(t *testing.T) {
 		"block": Matrix(&Mat{Rows: 1, Cols: 2, Data: []float64{math.Pi, -1}}),
 		"":      Nil(),
 	}
-	enc := AppendEnv(nil, env)
+	enc, err := AppendEnv(nil, env)
+	if err != nil {
+		t.Fatalf("AppendEnv: %v", err)
+	}
 	if got := EnvWireSize(env); got != len(enc) {
 		t.Errorf("EnvWireSize = %d, encoded = %d", got, len(enc))
 	}
@@ -135,11 +142,35 @@ func TestEnvRoundTrip(t *testing.T) {
 
 func TestEnvEncodingIsDeterministic(t *testing.T) {
 	env := map[string]Value{"b": Int(2), "a": Int(1), "c": Int(3)}
-	first := AppendEnv(nil, env)
+	first, err := AppendEnv(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 10; i++ {
-		if got := AppendEnv(nil, env); string(got) != string(first) {
+		if got, _ := AppendEnv(nil, env); string(got) != string(first) {
 			t.Fatal("AppendEnv is not deterministic across map iteration orders")
 		}
+	}
+}
+
+// TestAppendRejectsOversized crafts values whose encoded length exceeds the
+// uint32-safe bound; Append must report an error instead of truncating the
+// length prefix (the old behavior produced frames the decoder rejects — or
+// worse, accepts with the wrong length).
+func TestAppendRejectsOversized(t *testing.T) {
+	// A matrix header can claim absurd dimensions without allocating the
+	// backing data, which is how a crafted value trips the guard cheaply.
+	huge := Matrix(&Mat{Rows: maxWireLen + 1, Cols: 1})
+	if _, err := Append(nil, huge); err == nil {
+		t.Error("Append accepted an oversized matrix")
+	}
+	// The guard must propagate out of nested containers...
+	if _, err := Append(nil, Arr([]Value{Int(1), huge})); err == nil {
+		t.Error("Append accepted an array containing an oversized matrix")
+	}
+	// ...and out of env encoding.
+	if _, err := AppendEnv(nil, map[string]Value{"m": huge}); err == nil {
+		t.Error("AppendEnv accepted an oversized value")
 	}
 }
 

@@ -263,7 +263,10 @@ func TestWireSizeMatchesEncoding(t *testing.T) {
 		Matrix(&Mat{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}),
 	}
 	for _, v := range vals {
-		enc := Append(nil, v)
+		enc, err := Append(nil, v)
+		if err != nil {
+			t.Fatalf("Append(%v): %v", v, err)
+		}
 		if got := v.WireSize(); got != len(enc) {
 			t.Errorf("WireSize(%v) = %d, encoded len = %d", v, got, len(enc))
 		}

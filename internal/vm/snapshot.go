@@ -6,34 +6,46 @@ import (
 
 	"messengers/internal/bytecode"
 	"messengers/internal/value"
+	"messengers/internal/wire"
 )
 
-// Snapshot serializes the full execution state — Messenger variables, call
-// frames, and operand stack. Together with the program hash this is exactly
-// what a daemon ships when a Messenger hops to another daemon (the code
-// itself stays in the shared script registry).
-func (m *VM) Snapshot() []byte {
-	buf := value.AppendEnv(nil, m.vars)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.frames)))
+// AppendSnapshot serializes the full execution state — Messenger variables,
+// call frames, and operand stack — into e in one pass. Together with the
+// program hash this is exactly what a daemon ships when a Messenger hops to
+// another daemon (the code itself stays in the shared script registry).
+// Oversized values set the encoder's sticky error.
+func (m *VM) AppendSnapshot(e *wire.Encoder) {
+	value.AppendEnvTo(e, m.vars)
+	e.U32(uint32(len(m.frames)))
 	for i := range m.frames {
 		f := &m.frames[i]
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.fn))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.pc))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.locals)))
+		e.U32(uint32(f.fn))
+		e.U32(uint32(f.pc))
+		e.U32(uint32(len(f.locals)))
 		for _, lv := range f.locals {
-			buf = value.Append(buf, lv)
+			lv.AppendTo(e)
 		}
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.stack)))
+	e.U32(uint32(len(m.stack)))
 	for _, v := range m.stack {
-		buf = value.Append(buf, v)
+		v.AppendTo(e)
 	}
-	return buf
 }
 
-// WireSize estimates the snapshot's encoded size without building it, for
-// the simulator's transfer-cost accounting.
-func (m *VM) WireSize() int {
+// Snapshot builds the snapshot as a standalone slice, preallocated to its
+// exact encoded size (no regrows). Hot paths encode through AppendSnapshot
+// instead, straight into a pooled frame.
+func (m *VM) Snapshot() []byte {
+	e := wire.AppendingTo(make([]byte, 0, m.SnapshotSize()))
+	m.AppendSnapshot(e)
+	return e.Bytes()
+}
+
+// SnapshotSize returns the exact encoded size of AppendSnapshot's output
+// without building it — the Sizer half of the single-walk contract. The sim
+// engine charges this as modeled wire cost without materializing bytes, so
+// it must agree byte-for-byte with AppendSnapshot.
+func (m *VM) SnapshotSize() int {
 	n := value.EnvWireSize(m.vars) + 4
 	for i := range m.frames {
 		n += 12
@@ -47,6 +59,9 @@ func (m *VM) WireSize() int {
 	}
 	return n
 }
+
+// WireSize is SnapshotSize under the name the cost-model call sites use.
+func (m *VM) WireSize() int { return m.SnapshotSize() }
 
 // Restore rebuilds a VM from a snapshot against its program.
 func Restore(prog *bytecode.Program, buf []byte) (*VM, error) {

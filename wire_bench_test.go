@@ -1,0 +1,100 @@
+package messengers
+
+// Microbenchmarks of the wire layer: what one hop costs on the real
+// (in-process) engine and what encoding one Messenger-carrying message
+// costs. Run with -benchmem; the allocs/op of BenchmarkWireHop is the
+// headline number the pooled wire layer is accountable to.
+
+import (
+	"testing"
+
+	"messengers/internal/core"
+	"messengers/internal/value"
+	"messengers/internal/vm"
+)
+
+func benchHopMsg(mvm *vm.VM, snap []byte) *core.Msg {
+	return &core.Msg{
+		Kind:     core.MsgMessenger,
+		From:     0,
+		ProgHash: mvm.Program().Hash(),
+		Snapshot: snap,
+		MsgrID:   1,
+		LVT:      1.5,
+		DestNode: 7,
+		Last:     "x",
+	}
+}
+
+// wireBenchMsg builds a realistic Messenger-carrying message: a VM paused
+// mid-hop with a 64x64 matrix payload in its variable area.
+func wireBenchVM(b *testing.B) (*vm.VM, []byte) {
+	b.Helper()
+	prog, err := compileBench("wirebench", `
+		blk = payload;
+		hop(ll = "x");
+		y = 1;
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(prog, map[string]value.Value{"payload": value.Matrix(value.NewMat(64, 64))})
+	if _, err := m.Run(discardHost{}, 0); err != nil {
+		b.Fatal(err)
+	}
+	return m, m.Snapshot()
+}
+
+// BenchmarkWireEncode measures serializing one Messenger-carrying message
+// to wire bytes (snapshot + header fields), the per-message cost of every
+// remote hop on the TCP engine and of wire-size accounting everywhere.
+func BenchmarkWireEncode(b *testing.B) {
+	mvm, snap := wireBenchVM(b)
+	msg := benchHopMsg(mvm, snap)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(msg.Encode())
+	}
+	b.SetBytes(int64(n))
+}
+
+// BenchmarkWireHop measures the full hop path between two daemons on the
+// real (goroutine) engine: VM state transfer, message construction,
+// delivery, and resumption. allocs/op is per round trip (two hops).
+func BenchmarkWireHop(b *testing.B) {
+	sys, err := NewRealSystem(Config{Daemons: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	err = sys.CompileAndRegister("wirehop", `
+		blk = payload;
+		for (i = 0; i < hops; i++) { hop(ll = $last); }
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.CompileAndRegister("mklink", `create(ALL);`); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Inject(0, "mklink", nil); err != nil {
+		b.Fatal(err)
+	}
+	sys.Wait()
+	b.ReportAllocs()
+	b.ResetTimer()
+	err = sys.Inject(0, "wirehop", map[string]Value{
+		"hops":    IntValue(int64(2 * b.N)),
+		"payload": MatrixValue(NewMat(16, 16)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Wait()
+	b.StopTimer()
+	if errs := sys.Errors(); len(errs) > 0 {
+		b.Fatal(errs[0])
+	}
+}

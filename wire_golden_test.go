@@ -1,0 +1,158 @@
+package messengers
+
+// Cross-engine wire determinism: the channel (real, zero-copy hops) and
+// simulated engines must produce byte-identical Msg.Encode output for the
+// same program on the same topology. This is the guard for the unified wire
+// layer — ownership-transfer delivery and lazy single-pass encoding must
+// never change what would have gone on the network.
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"messengers/internal/compile"
+	"messengers/internal/core"
+	"messengers/internal/lan"
+	"messengers/internal/sim"
+	"messengers/internal/value"
+)
+
+// captureEngine wraps an engine and records the canonical encoding of every
+// Messenger-carrying message at Send time — the instant the wire bytes are
+// determined, before delivery can mutate the VM. Control traffic (GVT
+// rounds) is timing-dependent on real engines and is not captured.
+type captureEngine struct {
+	core.Engine
+	mu    sync.Mutex
+	lines []string
+}
+
+func (e *captureEngine) Send(src, dst int, msg *core.Msg) {
+	if msg.CarriesMessenger() {
+		line := fmt.Sprintf("%v %d->%d %s", msg.Kind, src, dst, hex.EncodeToString(msg.Encode()))
+		e.mu.Lock()
+		e.lines = append(e.lines, line)
+		e.mu.Unlock()
+	}
+	e.Engine.Send(src, dst, msg)
+}
+
+// Bind forwards the daemon set to engines that need it.
+func (e *captureEngine) Bind(daemons []*core.Daemon) {
+	if b, ok := e.Engine.(interface{ Bind([]*core.Daemon) }); ok {
+		b.Bind(daemons)
+	}
+}
+
+func (e *captureEngine) sorted() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := append([]string(nil), e.lines...)
+	sort.Strings(out)
+	return out
+}
+
+// wireRingScript circulates a single Messenger around a logical ring. One
+// Messenger keeps hop order — and therefore every per-daemon ID — fully
+// deterministic even on the concurrent channel engine.
+const wireRingScript = `
+	for (k = 0; k < laps * $ndaemons; k++) {
+		node.stamps = node.stamps + 1;
+		hop(ll = "ring", ldir = +);
+	}
+`
+
+func wireRingSpec(daemons int) core.NetSpec {
+	spec := core.NetSpec{}
+	for i := 0; i < daemons; i++ {
+		spec.Nodes = append(spec.Nodes, core.NetNode{Name: fmt.Sprintf("r%d", i), Daemon: i})
+		spec.Links = append(spec.Links, core.NetLink{
+			A: fmt.Sprintf("r%d", i), B: fmt.Sprintf("r%d", (i+1)%daemons),
+			Name: "ring", Dir: 1,
+		})
+	}
+	return spec
+}
+
+func setupWireRing(t *testing.T, sys *core.System, daemons, laps int) {
+	t.Helper()
+	if err := sys.BuildNetwork(wireRingSpec(daemons)); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compile.Compile("wirering", wireRingScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Register(prog)
+	err = sys.InjectAt(0, "wirering", "r0", map[string]value.Value{"laps": IntValue(int64(laps))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chanEngineWire(t *testing.T, daemons, laps int) []string {
+	t.Helper()
+	eng := core.NewChanEngine(daemons)
+	defer eng.Close()
+	cap := &captureEngine{Engine: eng}
+	sys := core.NewSystem(cap, core.FullMesh(daemons))
+	setupWireRing(t, sys, daemons, laps)
+	sys.Wait()
+	for _, err := range sys.Errors() {
+		t.Fatalf("chan engine: %v", err)
+	}
+	return cap.sorted()
+}
+
+func simEngineWire(t *testing.T, daemons, laps int) []string {
+	t.Helper()
+	k := sim.New()
+	cluster := lan.NewCluster(k, lan.DefaultCostModel(), daemons, lan.SPARC110)
+	cap := &captureEngine{Engine: core.NewSimEngine(cluster)}
+	sys := core.NewSystem(cap, core.FullMesh(daemons))
+	setupWireRing(t, sys, daemons, laps)
+	k.Run()
+	for _, err := range sys.Errors() {
+		t.Fatalf("sim engine: %v", err)
+	}
+	return cap.sorted()
+}
+
+// TestWireCrossEngineGolden asserts that both engines emit the identical
+// set of encoded Messenger hops, pinned against a golden file (refresh with
+// go test -run WireCrossEngineGolden -update after intentional wire-format
+// changes — and say so loudly in the PR, the format is frozen).
+func TestWireCrossEngineGolden(t *testing.T) {
+	const daemons, laps = 3, 2
+	chanLines := chanEngineWire(t, daemons, laps)
+	simLines := simEngineWire(t, daemons, laps)
+
+	if len(chanLines) == 0 {
+		t.Fatal("no Messenger messages captured")
+	}
+	if strings.Join(chanLines, "\n") != strings.Join(simLines, "\n") {
+		t.Errorf("engines disagree on wire bytes:\nchan (%d msgs):\n%s\nsim (%d msgs):\n%s",
+			len(chanLines), strings.Join(chanLines, "\n"), len(simLines), strings.Join(simLines, "\n"))
+	}
+
+	got := strings.Join(chanLines, "\n") + "\n"
+	golden := filepath.Join("testdata", "wire_crossengine.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("wire bytes differ from %s (run with -update only for intentional format changes)", golden)
+	}
+}
