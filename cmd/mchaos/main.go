@@ -1,0 +1,261 @@
+// mchaos runs the Mandelbrot evaluation application (§3.1) under a
+// deterministic fault plan — message loss, duplication, corruption, latency
+// spikes, daemon crashes and restarts — and verifies that messenger-level
+// recovery still produces the correct image.
+//
+//	go run ./cmd/mchaos -short -engine sim                  # quick seeded chaos run
+//	go run ./cmd/mchaos -engine sim -drop 0.05 -crash 2@200ms+50ms
+//	go run ./cmd/mchaos -engine tcp -drop 0.02              # over real sockets
+//	go run ./cmd/mchaos -plan plan.json                     # scripted scenario
+//
+// On the simulated engine the run is fully deterministic: the same seed and
+// plan replay byte-identically. On the TCP engine faults hit real
+// connections and crashes kill real listeners; heartbeats detect them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"messengers"
+	"messengers/internal/apps"
+	"messengers/internal/faults"
+	"messengers/internal/lan"
+	"messengers/internal/mandel"
+	"messengers/internal/obs"
+	"messengers/internal/value"
+)
+
+func main() {
+	engine := flag.String("engine", "sim", "engine: sim (deterministic) or tcp (real sockets)")
+	size := flag.Int("size", 256, "image size (pixels per side)")
+	grid := flag.Int("grid", 8, "grid x grid blocks")
+	workers := flag.Int("workers", 4, "worker daemons (total daemons = workers+1)")
+	drop := flag.Float64("drop", 0, "per-message drop probability")
+	dup := flag.Float64("dup", 0, "per-message duplication probability")
+	corrupt := flag.Float64("corrupt", 0, "per-message corruption probability")
+	delayp := flag.Float64("delayp", 0, "per-message latency-spike probability")
+	delay := flag.Duration("delay", 0, "latency-spike duration")
+	seed := flag.Uint64("seed", 1, "fault decision stream seed")
+	crash := flag.String("crash", "", "crashes: daemon@at[+restartAfter],... (e.g. 2@200ms+50ms)")
+	planPath := flag.String("plan", "", "JSON fault plan file (overrides the fault flags)")
+	short := flag.Bool("short", false, "small quick scenario (128px, 5% drop, one crash/restart)")
+	flag.Parse()
+
+	plan, err := buildPlan(*planPath, *seed, *drop, *dup, *corrupt, *delayp, *delay, *crash, *short)
+	if err != nil {
+		fatal(err)
+	}
+	if *short {
+		*size, *grid, *workers = 128, 8, 4
+	}
+
+	var metrics *obs.Metrics
+	var ok bool
+	switch *engine {
+	case "sim":
+		metrics, ok, err = runSim(plan, *size, *grid, *workers)
+	case "tcp":
+		metrics, ok, err = runTCP(plan, *size, *grid, *workers)
+	default:
+		err = fmt.Errorf("mchaos: unknown engine %q", *engine)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	printCounters(metrics)
+	if !ok {
+		fmt.Println("FAIL: image does not match the sequential baseline")
+		os.Exit(1)
+	}
+	fmt.Println("OK: complete, correct image despite injected faults")
+}
+
+// buildPlan assembles the fault plan from a file or from the flags.
+func buildPlan(path string, seed uint64, drop, dup, corrupt, delayp float64, delay time.Duration, crash string, short bool) (*faults.Plan, error) {
+	if path != "" {
+		return faults.Load(path)
+	}
+	p := &faults.Plan{
+		Seed: seed, Drop: drop, Dup: dup, Corrupt: corrupt,
+		DelayProb: delayp, Delay: int64(delay),
+	}
+	if short {
+		p.Drop = 0.05
+		p.Crashes = []faults.Crash{{
+			Daemon: 2,
+			// Early enough to land mid-run on both clocks: the TCP run is
+			// ~50ms of wall time, the simulated one ~1.5s of virtual time.
+			At: int64(15 * time.Millisecond),
+			// Long enough that the survivors' failure detector fires first
+			// on the TCP engine.
+			RestartAfter: int64(400 * time.Millisecond),
+		}}
+		return p, nil
+	}
+	for _, spec := range strings.Split(crash, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		c, err := parseCrash(spec)
+		if err != nil {
+			return nil, err
+		}
+		p.Crashes = append(p.Crashes, c)
+	}
+	return p, nil
+}
+
+// parseCrash parses "daemon@at[+restartAfter]".
+func parseCrash(spec string) (faults.Crash, error) {
+	var c faults.Crash
+	at := strings.IndexByte(spec, '@')
+	if at < 0 {
+		return c, fmt.Errorf("mchaos: crash %q: want daemon@at[+restartAfter]", spec)
+	}
+	d, err := strconv.Atoi(spec[:at])
+	if err != nil {
+		return c, fmt.Errorf("mchaos: crash %q: bad daemon: %w", spec, err)
+	}
+	rest := spec[at+1:]
+	if plus := strings.IndexByte(rest, '+'); plus >= 0 {
+		ra, err := time.ParseDuration(rest[plus+1:])
+		if err != nil {
+			return c, fmt.Errorf("mchaos: crash %q: bad restart delay: %w", spec, err)
+		}
+		c.RestartAfter = int64(ra)
+		rest = rest[:plus]
+	}
+	t, err := time.ParseDuration(rest)
+	if err != nil {
+		return c, fmt.Errorf("mchaos: crash %q: bad time: %w", spec, err)
+	}
+	c.Daemon, c.At = d, int64(t)
+	return c, nil
+}
+
+// runSim runs the scenario on the deterministic simulated cluster via the
+// apps harness, checking the image checksum against the sequential
+// baseline.
+func runSim(plan *faults.Plan, size, grid, workers int) (*obs.Metrics, bool, error) {
+	cm := lan.DefaultCostModel()
+	p := apps.PaperMandelParams(size, grid, workers)
+	p.Faults = plan
+	r, err := apps.MandelMessengers(cm, p)
+	if err != nil {
+		return nil, false, err
+	}
+	seq := apps.MandelSequential(cm, p)
+	fmt.Printf("sim: %dx%d grid %d workers %d: simulated makespan %v\n",
+		size, size, grid, workers, time.Duration(r.Elapsed))
+	return r.Obs, r.Checksum == seq.Checksum, nil
+}
+
+// runTCP runs the same manager/worker computation over real TCP sockets:
+// faults hit real connections, crashes kill real listeners, heartbeats
+// detect the deaths. Completion is reaching full block coverage (recovery
+// may legally deposit a recomputed block twice).
+func runTCP(plan *faults.Plan, size, grid, workers int) (*obs.Metrics, bool, error) {
+	metrics := messengers.NewMetrics()
+	n := workers + 1
+	sys, err := messengers.NewTCPSystem(messengers.Config{
+		Daemons: n,
+		Metrics: metrics,
+		Faults:  plan,
+	}, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	defer sys.Close()
+
+	blocks := mandel.Blocks(size, size, grid)
+	img := mandel.NewImage(size, size)
+	region := mandel.PaperRegion
+
+	var mu sync.Mutex
+	covered := map[int]bool{}
+	sys.RegisterNative("next_task", func(ctx *messengers.NativeCtx, _ []messengers.Value) (messengers.Value, error) {
+		next := ctx.NodeVar("next").AsInt()
+		if next >= int64(len(blocks)) {
+			return value.Nil(), nil
+		}
+		ctx.SetNodeVar("next", value.Int(next+1))
+		return value.Int(next), nil
+	})
+	sys.RegisterNative("compute", func(_ *messengers.NativeCtx, args []messengers.Value) (messengers.Value, error) {
+		b := blocks[args[0].AsInt()]
+		pix, _ := mandel.ComputeBlock(region, size, size, b, mandel.PaperColors)
+		return value.Bytes(pix), nil
+	})
+	sys.RegisterNative("deposit", func(_ *messengers.NativeCtx, args []messengers.Value) (messengers.Value, error) {
+		i := int(args[0].AsInt())
+		if err := img.SetBlock(blocks[i], args[1].AsBytes()); err != nil {
+			return value.Nil(), err
+		}
+		mu.Lock()
+		covered[i] = true
+		mu.Unlock()
+		return value.Nil(), nil
+	})
+	if err := sys.CompileAndRegister("mandel_worker", apps.MsgrMandelScript); err != nil {
+		return nil, false, err
+	}
+	if err := sys.Inject(0, "mandel_worker", nil); err != nil {
+		return nil, false, err
+	}
+
+	// Poll for full coverage: Messengers whose daemon crashed are respawned
+	// by the survivors, so coverage must converge; give the run a generous
+	// deadline scaled to its size.
+	deadline := time.Now().Add(60 * time.Second)
+	start := time.Now()
+	for {
+		mu.Lock()
+		done := len(covered) == len(blocks)
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			got := len(covered)
+			mu.Unlock()
+			return metrics, false, fmt.Errorf("mchaos: tcp run stalled with %d of %d blocks", got, len(blocks))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("tcp: %dx%d grid %d workers %d: wall time %v\n",
+		size, size, grid, workers, time.Since(start).Round(time.Millisecond))
+
+	want, _ := mandel.ComputeImage(region, size, size, mandel.PaperColors)
+	return metrics, img.Checksum() == want.Checksum(), nil
+}
+
+// printCounters prints the fault-injection and recovery counters.
+func printCounters(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	interesting := []string{"faults.", "msgr.retx", "msgr.dedup", "msgr.respawns",
+		"logical.adoptions", "daemon.", "net.peer.", "net.reconnects", "transport."}
+	for _, line := range strings.Split(obs.FormatMetrics(m), "\n") {
+		name := strings.TrimSpace(line)
+		for _, p := range interesting {
+			if strings.HasPrefix(name, p) {
+				fmt.Println(line)
+				break
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"messengers/internal/core"
+	"messengers/internal/faults"
 	"messengers/internal/lan"
 	"messengers/internal/mandel"
 	"messengers/internal/obs"
@@ -35,6 +36,11 @@ type MandelParams struct {
 	// Trace, when non-nil, receives the run's events: one track per
 	// daemon/host plus the shared-bus track, stamped with simulated time.
 	Trace *obs.Tracer
+	// Faults, when non-nil, injects the plan's faults into the MESSENGERS
+	// run and enables messenger-level recovery. The run must still produce
+	// a complete image (every block deposited), though blocks recomputed
+	// after a crash may be deposited more than once.
+	Faults *faults.Plan
 }
 
 // PaperMandelParams returns the paper's configuration for a given image
@@ -91,12 +97,24 @@ func MandelMessengers(cm *lan.CostModel, p MandelParams) (*MandelResult, error) 
 	cluster := lan.NewCluster(k, cm, n, lan.SPARC110)
 	metrics := obs.NewMetrics()
 	cluster.Observe(p.Trace, metrics)
-	sys := core.NewSystem(core.NewSimEngine(cluster), core.Star(n),
-		core.WithTracer(p.Trace), core.WithMetrics(metrics))
+	opts := []core.Option{core.WithTracer(p.Trace), core.WithMetrics(metrics)}
+	if p.Faults != nil {
+		if err := p.Faults.Validate(n); err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithRecovery(core.RecoveryConfig{}))
+	}
+	sys := core.NewSystem(core.NewSimEngine(cluster), core.Star(n), opts...)
+	if p.Faults != nil {
+		inj := faults.NewInjector(p.Faults, metrics, p.Trace)
+		cluster.SetFaultHook(inj.LanHook(k))
+		faults.Schedule(p.Faults, sys, func(at int64, fn func()) { k.At(sim.Time(at), fn) }, true)
+	}
 
 	blocks := mandel.Blocks(p.Width, p.Height, p.Grid)
 	img := mandel.NewImage(p.Width, p.Height)
 	var deposits int64
+	covered := make(map[int]bool, len(blocks))
 
 	sys.RegisterNative("next_task", func(ctx *core.NativeCtx, _ []value.Value) (value.Value, error) {
 		ctx.Charge(ctx.Model().CallFixed)
@@ -122,6 +140,7 @@ func MandelMessengers(cm *lan.CostModel, p MandelParams) (*MandelResult, error) 
 		// Installing the block is one memory copy at the central node.
 		ctx.Charge(sim.Time(len(data)) * ctx.Model().MemPerByte)
 		deposits++
+		covered[int(args[0].AsInt())] = true
 		return value.Nil(), nil
 	})
 
@@ -132,8 +151,13 @@ func MandelMessengers(cm *lan.CostModel, p MandelParams) (*MandelResult, error) 
 	if errs := sys.Errors(); len(errs) > 0 {
 		return nil, fmt.Errorf("apps: mandel messengers: %v", errs[0])
 	}
-	if deposits != int64(len(blocks)) {
+	if p.Faults == nil && deposits != int64(len(blocks)) {
 		return nil, fmt.Errorf("apps: mandel messengers deposited %d of %d blocks", deposits, len(blocks))
+	}
+	// Under injected faults, crashed work is re-executed from snapshots, so
+	// duplicate deposits are legal — but every block must still land.
+	if len(covered) != len(blocks) {
+		return nil, fmt.Errorf("apps: mandel messengers covered %d of %d blocks", len(covered), len(blocks))
 	}
 	sys.FlushVMProfiles()
 	metrics.Counter("mandel.deposits").Add(deposits)

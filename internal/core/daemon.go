@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"messengers/internal/bytecode"
 	"messengers/internal/lan"
@@ -119,6 +120,15 @@ type Daemon struct {
 
 	coord *coordinator // non-nil on daemon 0
 
+	// Fault recovery (nil unless the system was built WithRecovery).
+	// downFlag marks a crashed daemon; epoch counts incarnations so that
+	// continuations and timers scheduled before a crash are orphaned;
+	// renotifyOn dedups the suspended-Messenger renotification timer.
+	rec        *recovery
+	downFlag   atomic.Bool
+	epoch      int
+	renotifyOn bool
+
 	// Observability: tr/om are nil when tracing/metrics are off (one
 	// branch per site); prof is this daemon's interpreter profile.
 	tr   *obs.Tracer
@@ -144,6 +154,9 @@ func newDaemon(id int, eng Engine, topo *Topology, sys *System) *Daemon {
 	if sys.metrics != nil {
 		d.prof = &vm.Profile{}
 	}
+	if sys.recCfg != nil {
+		d.rec = newRecovery(eng.NumDaemons(), *sys.recCfg)
+	}
 	if id == 0 {
 		d.coord = &coordinator{d: d}
 	}
@@ -166,7 +179,20 @@ func (d *Daemon) register(p *bytecode.Program) {
 	d.byName[p.Name] = p
 }
 
-func (d *Daemon) exec(cost sim.Time, fn func()) { d.eng.Exec(d.id, cost, fn) }
+func (d *Daemon) exec(cost sim.Time, fn func()) {
+	if d.rec != nil {
+		// A crash must orphan every continuation scheduled before it: the
+		// Messengers they reference died with the incarnation.
+		ep, inner := d.epoch, fn
+		fn = func() {
+			if d.down() || d.epoch != ep {
+				return
+			}
+			inner()
+		}
+	}
+	d.eng.Exec(d.id, cost, fn)
+}
 
 // instrCost converts a VM step count to CPU cost (zero on real engines).
 func (d *Daemon) instrCost(steps int64) sim.Time {
@@ -356,6 +382,18 @@ func (d *Daemon) doHop(m *Messenger, node *logical.Node, arms []vm.NavArm, isDel
 		d.die(m)
 		return
 	}
+	if d.rec != nil {
+		// Retransmission can reorder a MsgCreateAck behind a Messenger that
+		// already traversed the new link, so a remote destination may still
+		// be the unresolved placeholder (node 0). Defer the whole hop until
+		// the ack lands or the peer is declared dead (either resolves it).
+		for _, match := range matches {
+			if match.Dest.Daemon != d.id && match.Dest.Node == 0 && !d.rec.peerDead[match.Dest.Daemon] {
+				d.safeTimer(d.rec.cfg.AckTimeout/2, func() { d.doHop(m, node, arms, isDelete) })
+				return
+			}
+		}
+	}
 	if isDelete {
 		// Remove the local half of every traversed link now; the remote
 		// halves are removed when the replicas arrive.
@@ -434,8 +472,7 @@ func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via 
 		d.tr.Instant(d.id, "msgr", "hop.depart",
 			msgrID(msg.MsgrID), obs.I("to", int64(dest.Daemon)), obs.I("bytes", int64(msg.WireSize())))
 	}
-	d.sent++
-	d.netSend(dest.Daemon, msg)
+	d.ship(dest.Daemon, msg, true)
 }
 
 // doCreate resolves a create statement: one new node (and connecting link)
@@ -528,8 +565,7 @@ func (d *Daemon) doCreate(m *Messenger, node *logical.Node, arms []vm.NavArm, al
 			d.tr.Instant(d.id, "msgr", "create.depart",
 				msgrID(msg.MsgrID), obs.I("to", int64(tg.daemon)), obs.I("bytes", int64(msg.WireSize())))
 		}
-		d.sent++
-		d.netSend(tg.daemon, msg)
+		d.ship(tg.daemon, msg, true)
 	}
 }
 
@@ -584,6 +620,7 @@ func (d *Daemon) suspend(m *Messenger, wake float64) {
 		d.notified = true
 		d.sendGVT(0, &Msg{Kind: MsgGVTNotify, From: d.id})
 	}
+	d.armRenotify()
 }
 
 // sendGVT routes a GVT control message, short-circuiting self-sends.
@@ -621,6 +658,9 @@ func (d *Daemon) advanceGVT(gvt float64) {
 	if d.tr != nil {
 		d.tr.Instant(d.id, "gvt", "gvt.advance", obs.F("gvt", gvt))
 	}
+	if d.rec != nil {
+		d.releaseFossils()
+	}
 	for len(d.waitQ) > 0 && d.waitQ[0].at <= gvt {
 		e := heap.Pop(&d.waitQ).(wakeEntry)
 		m := e.m
@@ -638,12 +678,32 @@ func (d *Daemon) advanceGVT(gvt float64) {
 // HandleMsg processes one inbound message. The engine invokes it on this
 // daemon's executor.
 func (d *Daemon) HandleMsg(msg *Msg) {
+	if d.rec != nil {
+		// A crashed daemon drops everything on the floor; a live one
+		// acknowledges and dedups reliable transfers before processing.
+		if d.down() {
+			return
+		}
+		switch msg.Kind {
+		case MsgHopAck:
+			d.handleHopAck(msg)
+			return
+		case MsgHeartbeat:
+			return // liveness is inferred at the transport layer
+		}
+		if reliableKind(msg.Kind) && msg.From != d.id && d.dedupCheck(msg) {
+			return
+		}
+	}
 	switch msg.Kind {
 	case MsgMessenger:
 		d.recv++
 		d.Stats.Arrived++
 		if d.om != nil {
 			d.om.arrived.Inc()
+		}
+		if d.rec != nil {
+			d.rec.recvFrom[msg.From]++
 		}
 		d.handleArrival(msg)
 
@@ -652,6 +712,9 @@ func (d *Daemon) HandleMsg(msg *Msg) {
 		d.Stats.Arrived++
 		if d.om != nil {
 			d.om.arrived.Inc()
+		}
+		if d.rec != nil {
+			d.rec.recvFrom[msg.From]++
 		}
 		d.handleCreate(msg)
 
@@ -698,6 +761,10 @@ func (d *Daemon) HandleMsg(msg *Msg) {
 	case MsgHalt:
 		// Reserved for distributed (TCP) termination; in-process engines
 		// track liveness directly.
+
+	case MsgHopAck, MsgHeartbeat:
+		// Recovery-mode traffic reaching a system built without recovery
+		// (e.g. a stray heartbeat during shutdown): ignore.
 
 	default:
 		d.sys.recordError(fmt.Errorf("daemon %d: unknown message kind %v", d.id, msg.Kind))
@@ -790,14 +857,22 @@ func (d *Daemon) handleCreate(msg *Msg) {
 	}
 	d.store.AttachHalf(nn, msg.LinkID, msg.LinkName, msg.LinkDir != 0, msg.LinkDir == 2,
 		msg.Origin, msg.OriginName)
-	d.sendGVT(msg.From, &Msg{
+	ack := &Msg{
 		Kind:        MsgCreateAck,
 		From:        d.id,
 		LinkID:      msg.LinkID,
 		Origin:      msg.Origin,
 		AckPeer:     d.store.Addr(nn),
 		AckPeerName: nn.Name,
-	})
+	}
+	if d.rec != nil && msg.From != d.id {
+		// The ack completes the origin's half-link; losing it would strand
+		// any Messenger that later traverses the link, so it travels
+		// reliably too (uncounted: it carries no computation).
+		d.ship(msg.From, ack, false)
+	} else {
+		d.sendGVT(msg.From, ack)
+	}
 	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: nn.ID,
 		Last: logical.RefName(msg.LinkID, msg.LinkName), LVT: msg.LVT}
 	d.spawnLocal(m)

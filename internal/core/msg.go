@@ -39,6 +39,12 @@ const (
 	MsgGVTAdvance
 	// MsgHalt broadcasts that the computation is quiescent.
 	MsgHalt
+	// MsgHopAck acknowledges receipt of a reliable message (recovery mode);
+	// MsgrID and HopSeq identify the acknowledged transfer.
+	MsgHopAck
+	// MsgHeartbeat is a periodic liveness probe between daemons (recovery
+	// mode on real transports; intercepted at the transport layer).
+	MsgHeartbeat
 )
 
 // String names the kind.
@@ -48,6 +54,7 @@ func (k MsgKind) String() string {
 		MsgInject: "inject", MsgProgram: "program", MsgGVTNotify: "gvt-notify",
 		MsgGVTQuery: "gvt-query", MsgGVTReport: "gvt-report",
 		MsgGVTAdvance: "gvt-advance", MsgHalt: "halt",
+		MsgHopAck: "hop-ack", MsgHeartbeat: "heartbeat",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -108,6 +115,11 @@ type Msg struct {
 	GRecv   int64
 	GActive int64
 	GVT     float64
+
+	// HopSeq is the sender's per-daemon reliable-transfer sequence number
+	// (recovery mode; zero otherwise). Together with From it keys duplicate
+	// suppression and MsgHopAck matching.
+	HopSeq uint64
 }
 
 // CarriesMessenger reports whether this message transfers computation (and
@@ -142,7 +154,8 @@ func (m *Msg) EncodedSize() int {
 		12 + 4 + len(m.OriginName) + // Origin
 		12 + 4 + len(m.AckPeerName) + // AckPeer
 		4 + len(m.ProgBytes) + // program blob
-		6*8 // GVT fields
+		6*8 + // GVT fields
+		8 // HopSeq
 }
 
 // AppendTo serializes the message into e in one pass. A Messenger carried
@@ -185,6 +198,7 @@ func (m *Msg) AppendTo(e *wire.Encoder) {
 	e.U64(uint64(m.GRecv))
 	e.U64(uint64(m.GActive))
 	e.F64(m.GVT)
+	e.U64(m.HopSeq)
 }
 
 // Encode serializes the message into a standalone slice, allocated at its
@@ -251,6 +265,7 @@ func DecodeMsg(buf []byte) (*Msg, error) {
 	m.GRecv = int64(r.u64())
 	m.GActive = int64(r.u64())
 	m.GVT = math.Float64frombits(r.u64())
+	m.HopSeq = r.u64()
 	if r.err != nil {
 		return nil, fmt.Errorf("core: decode %v message: %w", m.Kind, r.err)
 	}

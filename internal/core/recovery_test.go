@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"messengers/internal/faults"
+	"messengers/internal/lan"
+	"messengers/internal/obs"
+	"messengers/internal/sim"
+	"messengers/internal/value"
+)
+
+// faultSystem builds a simulated full-mesh system with recovery enabled and
+// the plan's faults injected (hook plus scheduled crashes with
+// deterministic failure notices).
+func faultSystem(t *testing.T, n int, plan *faults.Plan, opts ...Option) (*sim.Kernel, *System, *obs.Metrics) {
+	t.Helper()
+	if err := plan.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	k := sim.New()
+	cluster := lan.NewCluster(k, lan.DefaultCostModel(), n, lan.SPARC110)
+	metrics := obs.NewMetrics()
+	cluster.Observe(nil, metrics)
+	opts = append(opts, WithRecovery(RecoveryConfig{}), WithMetrics(metrics))
+	sys := NewSystem(NewSimEngine(cluster), FullMesh(n), opts...)
+	inj := faults.NewInjector(plan, metrics, nil)
+	cluster.SetFaultHook(inj.LanHook(k))
+	faults.Schedule(plan, sys, func(at int64, fn func()) { k.At(sim.Time(at), fn) }, true)
+	return k, sys, metrics
+}
+
+// TestRecoveryRetransmitUnderLoss drops 30% of all traffic; hop-level
+// acknowledgement and retransmission must still move the Messenger across
+// the wire and let the system quiesce.
+func TestRecoveryRetransmitUnderLoss(t *testing.T) {
+	plan := &faults.Plan{Seed: 3, Drop: 0.3}
+	k, sys, metrics := faultSystem(t, 2, plan)
+	// create moves the Messenger to the new node on daemon 1; each hop
+	// re-crosses the inter-daemon link.
+	register(t, sys, "crosser", `
+		create(ALL);
+		hop(ll = $last);
+		node.mark = 1;
+		hop(ll = $last);
+		hop(ll = $last);
+		node.mark = node.mark + 1;
+	`)
+	if err := sys.Inject(0, "crosser", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	if got := sys.Daemon(0).Store().Init().Vars["mark"].AsInt(); got != 2 {
+		t.Errorf("init mark = %d, want 2", got)
+	}
+	if metrics.CounterValue("faults.injected.drop") == 0 {
+		t.Error("plan injected no drops; test is vacuous")
+	}
+	if metrics.CounterValue("msgr.retx") == 0 {
+		t.Error("no retransmissions despite drops")
+	}
+}
+
+// TestRecoveryDuplicateSuppression duplicates half of all messages; dedup
+// by (messenger, hop) must keep each hop's effect exactly-once.
+func TestRecoveryDuplicateSuppression(t *testing.T) {
+	plan := &faults.Plan{Seed: 5, Dup: 0.5}
+	k, sys, metrics := faultSystem(t, 2, plan)
+	register(t, sys, "once", `
+		create(ALL);
+		hop(ll = $last);
+		node.count = node.count + 1;
+		hop(ll = $last);
+		node.mark = 1;
+	`)
+	if err := sys.Inject(0, "once", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	if got := sys.Daemon(0).Store().Init().Vars["count"].AsInt(); got != 1 {
+		t.Errorf("init count = %d, want exactly 1", got)
+	}
+	if metrics.CounterValue("faults.injected.dup") == 0 {
+		t.Error("plan injected no duplicates; test is vacuous")
+	}
+	if metrics.CounterValue("msgr.dedup") == 0 {
+		t.Error("no duplicate was suppressed")
+	}
+}
+
+// TestRecoveryCrashRespawn crashes the daemon a Messenger is resident on
+// mid-computation. The sender retains the delivered hop until GVT passes
+// it, so the survivor respawns the Messenger from its last transmitted
+// snapshot onto the healed logical network and the computation completes.
+func TestRecoveryCrashRespawn(t *testing.T) {
+	plan := &faults.Plan{
+		Seed: 1,
+		Crashes: []faults.Crash{{
+			Daemon:       1,
+			At:           int64(50 * sim.Millisecond),
+			RestartAfter: int64(20 * sim.Millisecond),
+		}},
+	}
+	k, sys, metrics := faultSystem(t, 2, plan)
+	// spin keeps the Messenger busy on daemon 1 well past the crash time.
+	sys.RegisterNative("spin", func(ctx *NativeCtx, _ []value.Value) (value.Value, error) {
+		ctx.Charge(200 * sim.Millisecond)
+		return value.Nil(), nil
+	})
+	// create moves the Messenger onto the new node (on the daemon that
+	// will crash); spin keeps it resident there well past the crash time.
+	register(t, sys, "survivor", `
+		create(ALL);
+		spin();
+		hop(ll = $last);
+		node.done = node.done + 1;
+	`)
+	if err := sys.Inject(0, "survivor", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	if got := sys.Daemon(0).Store().Init().Vars["done"].AsInt(); got != 1 {
+		t.Errorf("done = %d, want 1", got)
+	}
+	if metrics.CounterValue("daemon.deaths") != 1 {
+		t.Errorf("deaths = %d, want 1", metrics.CounterValue("daemon.deaths"))
+	}
+	if metrics.CounterValue("msgr.respawns") == 0 {
+		t.Error("crash killed a resident Messenger but nothing was respawned")
+	}
+	if metrics.CounterValue("logical.adoptions") == 0 {
+		t.Error("daemon 0 still linked to the dead daemon's node; no adoption happened")
+	}
+}
+
+// TestRecoveryCrashWithoutRestart verifies a permanently dead daemon does
+// not wedge the survivors: orphaned work is adopted and finishes locally.
+func TestRecoveryCrashWithoutRestart(t *testing.T) {
+	plan := &faults.Plan{
+		Seed:    2,
+		Crashes: []faults.Crash{{Daemon: 1, At: int64(50 * sim.Millisecond)}},
+	}
+	k, sys, _ := faultSystem(t, 3, plan)
+	sys.RegisterNative("spin", func(ctx *NativeCtx, _ []value.Value) (value.Value, error) {
+		ctx.Charge(200 * sim.Millisecond)
+		return value.Nil(), nil
+	})
+	// create moves the Messenger onto the new node (on the daemon that
+	// will crash); spin keeps it resident there well past the crash time.
+	register(t, sys, "survivor", `
+		create(ALL);
+		spin();
+		hop(ll = $last);
+		node.done = node.done + 1;
+	`)
+	if err := sys.Inject(0, "survivor", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	// create(ALL) on a 3-mesh makes two replicas; both must finish even
+	// though one was resident on the dead daemon.
+	if got := sys.Daemon(0).Store().Init().Vars["done"].AsInt(); got != 2 {
+		t.Errorf("done = %d, want 2", got)
+	}
+}
+
+// TestRecoveryGVTUnderLoss runs virtual-time coordination (sched_abs) with
+// heavy loss: GVT reports, advances, and wake-ups are all droppable, and
+// the re-notify/watchdog machinery must still advance GVT to completion in
+// virtual-time order.
+func TestRecoveryGVTUnderLoss(t *testing.T) {
+	plan := &faults.Plan{Seed: 9, Drop: 0.25}
+	k, sys, _ := faultSystem(t, 3, plan)
+	register(t, sys, "waker", `
+		sched_abs(when);
+		print("wake", when);
+	`)
+	for i, when := range []float64{3.0, 1.0, 2.0} {
+		err := sys.Inject(i, "waker", map[string]value.Value{"when": value.Num(when)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	runSim(t, k, sys)
+	out := sys.Output()
+	want := []string{"wake 1.0", "wake 2.0", "wake 3.0"}
+	if len(out) != len(want) {
+		t.Fatalf("output = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("output[%d] = %q, want %q", i, out[i], want[i])
+		}
+	}
+}
+
+// TestRecoveryDisabledUnchanged guards the zero-cost property: without
+// WithRecovery the wire carries no acks and no recovery state exists, so a
+// fault-free run behaves exactly as before the recovery layer existed.
+func TestRecoveryDisabledUnchanged(t *testing.T) {
+	k, sys := simSystem(t, 2, WithMetrics(obs.NewMetrics()))
+	register(t, sys, "plain", `
+		create(ALL);
+		hop(ll = $last);
+		node.mark = 1;
+	`)
+	if err := sys.Inject(0, "plain", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	if sys.Daemon(0).rec != nil {
+		t.Error("recovery state allocated without WithRecovery")
+	}
+	if got := sys.Metrics().CounterValue("msgr.retx"); got != 0 {
+		t.Errorf("retx = %d without recovery", got)
+	}
+}

@@ -11,9 +11,9 @@ import (
 	"messengers/internal/logical"
 	"messengers/internal/obs"
 	"messengers/internal/sim"
-	"messengers/internal/wire"
 	"messengers/internal/value"
 	"messengers/internal/vm"
+	"messengers/internal/wire"
 )
 
 // defaultGVTInterval is the period of the conservative GVT synchronization
@@ -34,6 +34,7 @@ type System struct {
 	trace       *obs.Tracer
 	metrics     *obs.Metrics
 	om          *sysObs
+	recCfg      *RecoveryConfig // non-nil enables fault recovery (WithRecovery)
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -79,6 +80,8 @@ type sysObs struct {
 	creates, deletes, finished, died, errs *obs.Counter
 	suspends, gvtRounds                    *obs.Counter
 	netMsgs, netBytes                      *obs.Counter
+	retx, dedup, respawns, adoptions       *obs.Counter
+	deaths, restarts, peerDowns, peerUps   *obs.Counter
 	segSteps, msgrBytes                    *obs.Histogram
 }
 
@@ -93,17 +96,25 @@ func newSysObs(m *obs.Metrics) *sysObs {
 		// zeroCopyHops counts remote hops whose Messenger state travelled
 		// by in-process ownership transfer (no serialization at all).
 		zeroCopyHops: m.Counter("msgr.hops.zerocopy"),
-		creates:    m.Counter("msgr.creates"),
-		deletes:    m.Counter("msgr.deletes"),
-		finished:   m.Counter("msgr.finished"),
-		died:       m.Counter("msgr.died"),
-		errs:       m.Counter("msgr.errors"),
-		suspends:   m.Counter("gvt.suspends"),
-		gvtRounds:  m.Counter("gvt.rounds"),
-		netMsgs:    m.Counter("net.msgs"),
-		netBytes:   m.Counter("net.bytes"),
-		segSteps:   m.Histogram("vm.segment.steps"),
-		msgrBytes:  m.Histogram("net.msgr.bytes"),
+		creates:      m.Counter("msgr.creates"),
+		deletes:      m.Counter("msgr.deletes"),
+		finished:     m.Counter("msgr.finished"),
+		died:         m.Counter("msgr.died"),
+		errs:         m.Counter("msgr.errors"),
+		suspends:     m.Counter("gvt.suspends"),
+		gvtRounds:    m.Counter("gvt.rounds"),
+		netMsgs:      m.Counter("net.msgs"),
+		netBytes:     m.Counter("net.bytes"),
+		retx:         m.Counter("msgr.retx"),
+		dedup:        m.Counter("msgr.dedup"),
+		respawns:     m.Counter("msgr.respawns"),
+		adoptions:    m.Counter("logical.adoptions"),
+		deaths:       m.Counter("daemon.deaths"),
+		restarts:     m.Counter("daemon.restarts"),
+		peerDowns:    m.Counter("net.peer.down"),
+		peerUps:      m.Counter("net.peer.up"),
+		segSteps:     m.Histogram("vm.segment.steps"),
+		msgrBytes:    m.Histogram("net.msgr.bytes"),
 	}
 }
 
@@ -487,10 +498,30 @@ func (c *coordinator) handle(msg *Msg) {
 			return
 		}
 		c.reports[msg.From] = msg
-		if len(c.reports) == c.d.eng.NumDaemons() {
+		if len(c.reports) >= c.expect() {
 			c.conclude()
 		}
 	}
+}
+
+// expect is the number of reports that concludes a round: every daemon the
+// coordinator does not currently believe dead.
+func (c *coordinator) expect() int {
+	n := c.d.eng.NumDaemons()
+	if c.d.rec == nil {
+		return n
+	}
+	for _, dead := range c.d.rec.peerDead {
+		if dead {
+			n--
+		}
+	}
+	return n
+}
+
+// alive reports whether the coordinator should include daemon i in a round.
+func (c *coordinator) alive(i int) bool {
+	return c.d.rec == nil || i == c.d.id || !c.d.rec.peerDead[i]
 }
 
 func (c *coordinator) startRound() {
@@ -504,8 +535,28 @@ func (c *coordinator) startRound() {
 	}
 	c.reports = make(map[int]*Msg, c.d.eng.NumDaemons())
 	for i := 0; i < c.d.eng.NumDaemons(); i++ {
+		if !c.alive(i) {
+			continue
+		}
 		c.d.sendGVT(i, &Msg{Kind: MsgGVTQuery, From: c.d.id, GEpoch: c.epoch})
 	}
+	c.armWatchdog()
+}
+
+// armWatchdog restarts a round that stalls — a query or report lost to the
+// network, or a peer that died mid-round — so GVT synchronization survives
+// message loss. Recovery mode only: fault-free runs must stay
+// event-identical.
+func (c *coordinator) armWatchdog() {
+	if c.d.rec == nil {
+		return
+	}
+	ep := c.epoch
+	c.d.safeTimer(2*c.d.sys.gvtInterval, func() {
+		if c.epoch == ep && c.reports != nil {
+			c.startRound()
+		}
+	})
 }
 
 func (c *coordinator) conclude() {
@@ -537,8 +588,14 @@ func (c *coordinator) conclude() {
 		c.polling = false
 		return
 	}
-	if min > c.d.gvt {
+	// Recovery mode re-broadcasts even when the minimum stands still: a
+	// daemon that lost an earlier MsgGVTAdvance would otherwise stay wedged
+	// at the old GVT forever.
+	if min > c.d.gvt || (c.d.rec != nil && min >= c.d.gvt) {
 		for i := 0; i < c.d.eng.NumDaemons(); i++ {
+			if !c.alive(i) {
+				continue
+			}
 			c.d.sendGVT(i, &Msg{Kind: MsgGVTAdvance, From: c.d.id, GVT: min})
 		}
 	}

@@ -1,0 +1,256 @@
+// Package faults provides deterministic, seedable fault injection for both
+// engines: a Plan describes message-level faults (drop, duplicate, corrupt,
+// latency spikes), network partitions, and daemon crashes/restarts; an
+// Injector turns the plan into per-message verdicts using a splitmix64
+// stream, so the same seed and plan always inject the same faults at the
+// same points of a deterministic run.
+//
+// The injector plugs into the simulated cluster through lan.FaultHook (see
+// Injector.LanHook) and into the TCP engine through transport's SetInjector;
+// crashes and restarts are armed by Schedule against either engine's clock.
+// Every injected fault is counted (faults.injected.*) and traced so chaos
+// runs stay diagnosable.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"messengers/internal/lan"
+	"messengers/internal/obs"
+	"messengers/internal/sim"
+)
+
+// Crash schedules one daemon death. Times are nanoseconds from run start —
+// simulated time on the simulated engine, wall time on real engines.
+type Crash struct {
+	Daemon int   `json:"daemon"`
+	At     int64 `json:"at"`
+	// RestartAfter, when positive, revives the daemon that long after the
+	// crash (a fresh, empty daemon: the logical nodes and Messengers it
+	// hosted are gone).
+	RestartAfter int64 `json:"restart_after,omitempty"`
+}
+
+// Partition isolates Group from all other daemons during [At, Heal):
+// messages crossing the cut are dropped. Heal of zero never heals.
+type Partition struct {
+	At    int64 `json:"at"`
+	Heal  int64 `json:"heal,omitempty"`
+	Group []int `json:"group"`
+}
+
+// Plan is one deterministic fault scenario. Probabilities are per message;
+// durations are nanoseconds.
+type Plan struct {
+	// Seed drives the fault decision stream. The same seed and plan on the
+	// same deterministic run inject byte-identically.
+	Seed uint64 `json:"seed"`
+	// Drop is the probability a message is silently lost.
+	Drop float64 `json:"drop,omitempty"`
+	// Dup is the probability a message is delivered twice.
+	Dup float64 `json:"dup,omitempty"`
+	// Corrupt is the probability a message is damaged in transit. On the
+	// modeled bus this is a CRC-rejected frame (occupies the wire, never
+	// delivered); on TCP the connection is torn down as a receiver would on
+	// a bad frame.
+	Corrupt float64 `json:"corrupt,omitempty"`
+	// DelayProb is the probability a message suffers an extra latency spike
+	// of Delay nanoseconds.
+	DelayProb float64 `json:"delay_prob,omitempty"`
+	Delay     int64   `json:"delay,omitempty"`
+	// DetectDelay is the failure-detection lag: how long after a crash (or
+	// restart) the surviving daemons are notified when Schedule arms
+	// explicit notices. Zero means a default of 10ms.
+	DetectDelay int64       `json:"detect_delay,omitempty"`
+	Crashes     []Crash     `json:"crashes,omitempty"`
+	Partitions  []Partition `json:"partitions,omitempty"`
+}
+
+// DefaultDetectDelay is the failure-detection lag used when the plan leaves
+// DetectDelay zero.
+const DefaultDetectDelay = int64(10 * sim.Millisecond)
+
+func (p *Plan) detectDelay() int64 {
+	if p.DetectDelay > 0 {
+		return p.DetectDelay
+	}
+	return DefaultDetectDelay
+}
+
+// Validate checks probabilities and crash targets against a daemon count.
+func (p *Plan) Validate(daemons int) error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.Drop}, {"dup", p.Dup}, {"corrupt", p.Corrupt}, {"delay_prob", p.DelayProb}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.DelayProb > 0 && p.Delay <= 0 {
+		return fmt.Errorf("faults: delay_prob %v with no delay duration", p.DelayProb)
+	}
+	for _, c := range p.Crashes {
+		if c.Daemon < 0 || c.Daemon >= daemons {
+			return fmt.Errorf("faults: crash of unknown daemon %d (have %d)", c.Daemon, daemons)
+		}
+		if c.At < 0 || c.RestartAfter < 0 {
+			return fmt.Errorf("faults: crash of daemon %d with negative time", c.Daemon)
+		}
+	}
+	for _, pt := range p.Partitions {
+		if len(pt.Group) == 0 {
+			return fmt.Errorf("faults: partition at %d with empty group", pt.At)
+		}
+		for _, d := range pt.Group {
+			if d < 0 || d >= daemons {
+				return fmt.Errorf("faults: partition references unknown daemon %d", d)
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a JSON-encoded Plan from path (the cmd/mchaos -plan format;
+// see docs/FAULTS.md).
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	p := &Plan{}
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, fmt.Errorf("faults: parse %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Verdict is the injector's decision for one message.
+type Verdict struct {
+	Drop    bool
+	Dup     bool
+	Corrupt bool
+	// Delay is extra latency in nanoseconds (0 = none).
+	Delay int64
+}
+
+// Injector turns a Plan into per-message verdicts. It is safe for
+// concurrent use (the TCP engine consults it from many goroutines); on the
+// single-threaded simulated engine, calls happen in deterministic event
+// order, so the decision stream is reproducible.
+type Injector struct {
+	plan *Plan
+	tr   *obs.Tracer
+
+	mu    sync.Mutex
+	state uint64
+
+	drops, dups, corrupts, delays, partitioned *obs.Counter
+}
+
+// NewInjector builds an injector for the plan. Either observability
+// argument may be nil.
+func NewInjector(p *Plan, m *obs.Metrics, tr *obs.Tracer) *Injector {
+	return &Injector{
+		plan:        p,
+		tr:          tr,
+		state:       p.Seed,
+		drops:       m.Counter("faults.injected.drop"),
+		dups:        m.Counter("faults.injected.dup"),
+		corrupts:    m.Counter("faults.injected.corrupt"),
+		delays:      m.Counter("faults.injected.delay"),
+		partitioned: m.Counter("faults.injected.partition"),
+	}
+}
+
+// rand returns the next [0,1) draw of the splitmix64 stream. Callers hold
+// in.mu.
+func (in *Injector) rand() float64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+func inGroup(group []int, d int) bool {
+	for _, g := range group {
+		if g == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide returns the verdict for one message from src to dst of the given
+// wire size at time now (nanoseconds from run start). Partition checks
+// consume no randomness; the probabilistic faults always consume exactly
+// four draws, so the decision stream depends only on the message sequence.
+func (in *Injector) Decide(now int64, src, dst, size int) Verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, pt := range in.plan.Partitions {
+		if now < pt.At || (pt.Heal > 0 && now >= pt.Heal) {
+			continue
+		}
+		if inGroup(pt.Group, src) != inGroup(pt.Group, dst) {
+			in.partitioned.Inc()
+			if in.tr != nil {
+				in.tr.Instant(src, "fault", "fault.partition",
+					obs.I("to", int64(dst)), obs.I("bytes", int64(size)))
+			}
+			return Verdict{Drop: true}
+		}
+	}
+	v := Verdict{
+		Drop:    in.rand() < in.plan.Drop,
+		Corrupt: in.rand() < in.plan.Corrupt,
+		Dup:     in.rand() < in.plan.Dup,
+	}
+	if in.rand() < in.plan.DelayProb {
+		v.Delay = in.plan.Delay
+	}
+	switch {
+	case v.Drop:
+		v.Corrupt, v.Dup, v.Delay = false, false, 0
+		in.drops.Inc()
+		if in.tr != nil {
+			in.tr.Instant(src, "fault", "fault.drop", obs.I("to", int64(dst)), obs.I("bytes", int64(size)))
+		}
+	case v.Corrupt:
+		v.Dup, v.Delay = false, 0
+		in.corrupts.Inc()
+		if in.tr != nil {
+			in.tr.Instant(src, "fault", "fault.corrupt", obs.I("to", int64(dst)), obs.I("bytes", int64(size)))
+		}
+	default:
+		if v.Dup {
+			in.dups.Inc()
+			if in.tr != nil {
+				in.tr.Instant(src, "fault", "fault.dup", obs.I("to", int64(dst)))
+			}
+		}
+		if v.Delay > 0 {
+			in.delays.Inc()
+			if in.tr != nil {
+				in.tr.Instant(src, "fault", "fault.delay", obs.I("to", int64(dst)), obs.I("ns", v.Delay))
+			}
+		}
+	}
+	return v
+}
+
+// LanHook adapts the injector to the simulated cluster's fault hook.
+// Corruption has no byte-level representation on the modeled bus: a
+// corrupted frame is one the receiver's CRC rejects, i.e. a drop that still
+// occupies the wire.
+func (in *Injector) LanHook(k *sim.Kernel) lan.FaultHook {
+	return func(src, dst, size int) lan.FaultVerdict {
+		v := in.Decide(int64(k.Now()), src, dst, size)
+		return lan.FaultVerdict{Drop: v.Drop || v.Corrupt, Dup: v.Dup, Delay: sim.Time(v.Delay)}
+	}
+}

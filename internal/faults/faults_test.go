@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"messengers/internal/sim"
+)
+
+// TestDecideDeterminism: the same seed and plan produce the identical
+// verdict stream, and a different seed produces a different one.
+func TestDecideDeterminism(t *testing.T) {
+	plan := &Plan{Seed: 42, Drop: 0.2, Dup: 0.1, Corrupt: 0.05, DelayProb: 0.1, Delay: int64(sim.Millisecond)}
+	stream := func(seed uint64) []Verdict {
+		p := *plan
+		p.Seed = seed
+		in := NewInjector(&p, nil, nil)
+		out := make([]Verdict, 200)
+		for i := range out {
+			out[i] = in.Decide(int64(i), i%3, (i+1)%3, 100)
+		}
+		return out
+	}
+	a, b := stream(42), stream(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different verdict streams")
+	}
+	if reflect.DeepEqual(a, stream(43)) {
+		t.Fatal("different seeds produced identical verdict streams")
+	}
+	injected := 0
+	for _, v := range a {
+		if v.Drop || v.Dup || v.Corrupt || v.Delay > 0 {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("plan with 20% drop injected nothing across 200 messages")
+	}
+}
+
+// TestDecidePrecedence: drop wins over everything; corrupt over dup/delay.
+func TestDecidePrecedence(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Drop: 1, Dup: 1, Corrupt: 1, DelayProb: 1, Delay: 5}, nil, nil)
+	v := in.Decide(0, 0, 1, 10)
+	if !v.Drop || v.Dup || v.Corrupt || v.Delay != 0 {
+		t.Errorf("all-faults verdict = %+v, want pure drop", v)
+	}
+	in = NewInjector(&Plan{Seed: 1, Corrupt: 1, Dup: 1, DelayProb: 1, Delay: 5}, nil, nil)
+	v = in.Decide(0, 0, 1, 10)
+	if !v.Corrupt || v.Dup || v.Delay != 0 {
+		t.Errorf("corrupt verdict = %+v, want pure corrupt", v)
+	}
+}
+
+// TestDecidePartition: messages crossing the cut drop during the window,
+// messages inside either side pass, and healing restores delivery.
+func TestDecidePartition(t *testing.T) {
+	plan := &Plan{Seed: 1, Partitions: []Partition{{At: 100, Heal: 200, Group: []int{0, 1}}}}
+	in := NewInjector(plan, nil, nil)
+	if v := in.Decide(50, 0, 2, 1); v.Drop {
+		t.Error("dropped before the partition started")
+	}
+	if v := in.Decide(150, 0, 2, 1); !v.Drop {
+		t.Error("cross-cut message survived the partition")
+	}
+	if v := in.Decide(150, 0, 1, 1); v.Drop {
+		t.Error("intra-group message dropped during the partition")
+	}
+	if v := in.Decide(150, 2, 3, 1); v.Drop {
+		t.Error("message between two outside daemons dropped")
+	}
+	if v := in.Decide(250, 0, 2, 1); v.Drop {
+		t.Error("dropped after the partition healed")
+	}
+}
+
+// TestPartitionConsumesNoRandomness: the verdict stream for clean messages
+// is unaffected by partition checks, keeping traces comparable across plans
+// that differ only in partitions.
+func TestPartitionConsumesNoRandomness(t *testing.T) {
+	base := &Plan{Seed: 7, Drop: 0.5}
+	withPart := &Plan{Seed: 7, Drop: 0.5,
+		Partitions: []Partition{{At: 0, Heal: 1, Group: []int{0}}}}
+	a, b := NewInjector(base, nil, nil), NewInjector(withPart, nil, nil)
+	for i := 0; i < 100; i++ {
+		// Past Heal, so the partition never fires but is always checked.
+		va, vb := a.Decide(int64(10+i), 0, 1, 1), b.Decide(int64(10+i), 0, 1, 1)
+		if va != vb {
+			t.Fatalf("message %d: verdicts diverge (%+v vs %+v)", i, va, vb)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{Drop: 1.5},
+		{Dup: -0.1},
+		{DelayProb: 0.5},                             // delay_prob without delay
+		{Crashes: []Crash{{Daemon: 9, At: 1}}},       // unknown daemon
+		{Crashes: []Crash{{Daemon: 0, At: -1}}},      // negative time
+		{Partitions: []Partition{{At: 0}}},           // empty group
+		{Partitions: []Partition{{Group: []int{7}}}}, // unknown daemon
+	}
+	for i := range bad {
+		if err := bad[i].Validate(4); err == nil {
+			t.Errorf("plan %d validated but is invalid: %+v", i, bad[i])
+		}
+	}
+	good := Plan{Drop: 0.1, DelayProb: 0.1, Delay: 5,
+		Crashes:    []Crash{{Daemon: 3, At: 10, RestartAfter: 5}},
+		Partitions: []Partition{{At: 1, Heal: 2, Group: []int{0, 3}}}}
+	if err := good.Validate(4); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestLoadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	data := `{
+		"seed": 9, "drop": 0.05, "delay_prob": 0.01, "delay": 1000000,
+		"crashes": [{"daemon": 2, "at": 200000000, "restart_after": 50000000}],
+		"partitions": [{"at": 10, "heal": 20, "group": [0, 1]}]
+	}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || p.Drop != 0.05 || len(p.Crashes) != 1 || len(p.Partitions) != 1 {
+		t.Errorf("loaded plan = %+v", p)
+	}
+	if p.Crashes[0].Daemon != 2 || p.Crashes[0].RestartAfter != 50000000 {
+		t.Errorf("crash = %+v", p.Crashes[0])
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+// scheduleTarget records Schedule's calls with their firing times.
+type scheduleTarget struct {
+	n      int
+	events []string
+}
+
+func (s *scheduleTarget) NumDaemons() int         { return s.n }
+func (s *scheduleTarget) Crash(d int)             { s.events = append(s.events, "crash") }
+func (s *scheduleTarget) Restart(d int)           { s.events = append(s.events, "restart") }
+func (s *scheduleTarget) NotifyPeerDown(o, d int) { s.events = append(s.events, "down") }
+func (s *scheduleTarget) NotifyPeerUp(o, d int)   { s.events = append(s.events, "up") }
+
+// TestScheduleOrdering: crash fires before its notices (DetectDelay later),
+// restart before its notices, and notices go to every survivor.
+func TestScheduleOrdering(t *testing.T) {
+	tgt := &scheduleTarget{n: 3}
+	type timed struct {
+		at int64
+		fn func()
+	}
+	var timers []timed
+	plan := &Plan{
+		DetectDelay: 5,
+		Crashes:     []Crash{{Daemon: 1, At: 100, RestartAfter: 50}},
+	}
+	Schedule(plan, tgt, func(at int64, fn func()) { timers = append(timers, timed{at, fn}) }, true)
+	sort.SliceStable(timers, func(i, j int) bool { return timers[i].at < timers[j].at })
+	for _, tm := range timers {
+		tm.fn()
+	}
+	want := []string{"crash", "down", "down", "restart", "up", "up"}
+	if !reflect.DeepEqual(tgt.events, want) {
+		t.Errorf("events = %v, want %v", tgt.events, want)
+	}
+	// Without notify, only the crash and restart are armed.
+	tgt2 := &scheduleTarget{n: 3}
+	var count int
+	Schedule(plan, tgt2, func(at int64, fn func()) { count++; fn() }, false)
+	if count != 2 {
+		t.Errorf("notify=false armed %d timers, want 2", count)
+	}
+}

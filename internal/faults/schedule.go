@@ -1,0 +1,56 @@
+package faults
+
+// Target is the recovery-capable system the scheduler drives. Both the
+// messengers facade System and core.System satisfy it.
+type Target interface {
+	NumDaemons() int
+	// Crash kills daemon d: it stops processing and loses all in-memory
+	// state, as a daemon process dying would.
+	Crash(d int)
+	// Restart revives a crashed daemon as a fresh, empty daemon.
+	Restart(d int)
+	// NotifyPeerDown tells observer that dead has been detected as failed.
+	NotifyPeerDown(observer, dead int)
+	// NotifyPeerUp tells observer that a previously dead daemon is back.
+	NotifyPeerUp(observer, dead int)
+}
+
+// Schedule arms the plan's crashes and restarts on a timer source. The
+// `at` callback must run fn at the given absolute time in nanoseconds from
+// run start (simulated kernel time or wall time, matching the engine).
+//
+// With notify set, explicit failure/recovery notices are also scheduled,
+// DetectDelay after each event — the deterministic substitute for a failure
+// detector on the simulated engine. Real transports should pass false and
+// let heartbeat monitoring detect deaths instead.
+func Schedule(p *Plan, t Target, at func(atNs int64, fn func()), notify bool) {
+	detect := p.detectDelay()
+	n := t.NumDaemons()
+	for _, c := range p.Crashes {
+		c := c
+		at(c.At, func() { t.Crash(c.Daemon) })
+		if notify {
+			for o := 0; o < n; o++ {
+				if o == c.Daemon {
+					continue
+				}
+				o := o
+				at(c.At+detect, func() { t.NotifyPeerDown(o, c.Daemon) })
+			}
+		}
+		if c.RestartAfter <= 0 {
+			continue
+		}
+		restartAt := c.At + c.RestartAfter
+		at(restartAt, func() { t.Restart(c.Daemon) })
+		if notify {
+			for o := 0; o < n; o++ {
+				if o == c.Daemon {
+					continue
+				}
+				o := o
+				at(restartAt+detect, func() { t.NotifyPeerUp(o, c.Daemon) })
+			}
+		}
+	}
+}

@@ -122,6 +122,11 @@ type Config struct {
 	// cascading rollbacks (the paper's "domino effect"); a moving time
 	// window is the classic mitigation.
 	Window float64
+	// FossilFloor, when non-nil, caps how far fossil collection may discard
+	// history (Time Warp only): records at or above min(GVT, FossilFloor())
+	// are retained even though GVT has passed them. Recovery layers use this
+	// to keep state needed to re-execute work lost to injected faults.
+	FossilFloor func() float64
 }
 
 func (c *Config) place(lp int) int {

@@ -390,11 +390,18 @@ func (tw *timeWarp) concludeRound(min float64) {
 	tw.scheduleRound(tw.cfg.syncInterval())
 }
 
-// fossilCollect discards history that can never be rolled back again.
+// fossilCollect discards history that can never be rolled back again:
+// records below GVT, further bounded by the configured FossilFloor.
 func (tw *timeWarp) fossilCollect() {
+	floor := tw.gvt
+	if tw.cfg.FossilFloor != nil {
+		if f := tw.cfg.FossilFloor(); f < floor {
+			floor = f
+		}
+	}
 	for _, lp := range tw.lps {
 		cut := 0
-		for cut < len(lp.history) && lp.history[cut].ev.At < tw.gvt {
+		for cut < len(lp.history) && lp.history[cut].ev.At < floor {
 			cut++
 		}
 		if cut > 0 {

@@ -285,3 +285,70 @@ func FindLink(n *Node, id LinkID) (*HalfLink, bool) {
 	}
 	return nil, false
 }
+
+// --- logical-network healing (daemon-death recovery) ---
+
+// Orphans returns the distinct remote node addresses on the dead daemon
+// that some resident node still links to, in deterministic (node-creation,
+// link-attachment) order. Placeholder peers (node 0: a remote create whose
+// ack has not landed) are skipped — the pending create itself is respawned
+// by the recovery layer.
+func (s *Store) Orphans(dead int) []Addr {
+	var out []Addr
+	seen := map[Addr]struct{}{}
+	for id := NodeID(1); id <= s.nextID; id++ {
+		n, ok := s.nodes[id]
+		if !ok {
+			continue
+		}
+		for _, h := range n.Links {
+			if h.Peer.Daemon != dead || h.Peer.Node == 0 {
+				continue
+			}
+			if _, dup := seen[h.Peer]; dup {
+				continue
+			}
+			seen[h.Peer] = struct{}{}
+			out = append(out, h.Peer)
+		}
+	}
+	return out
+}
+
+// Adopt heals the cut left by a dead daemon: it creates a local replacement
+// for the orphaned remote node and rewires every resident half-link that
+// pointed at the orphan to point at the replacement, attaching the mirror
+// halves so the replacement is a full participant of the logical network.
+// The replacement inherits the orphan's name (as cached in PeerName) but
+// not its variables — those died with the daemon.
+func (s *Store) Adopt(orphan Addr) *Node {
+	var name string
+	type rewire struct {
+		owner *Node
+		half  *HalfLink
+	}
+	var cut []rewire
+	for id := NodeID(1); id <= s.nextID; id++ {
+		n, ok := s.nodes[id]
+		if !ok {
+			continue
+		}
+		for _, h := range n.Links {
+			if h.Peer == orphan {
+				if name == "" {
+					name = h.PeerName
+				}
+				cut = append(cut, rewire{owner: n, half: h})
+			}
+		}
+	}
+	nn := s.CreateNode(name)
+	addr := s.Addr(nn)
+	for _, rw := range cut {
+		rw.half.Peer = addr
+		// The mirror half points back with the opposite orientation.
+		s.AttachHalf(nn, rw.half.ID, rw.half.Name, rw.half.Directed,
+			rw.half.Directed && !rw.half.Outgoing, s.Addr(rw.owner), rw.owner.Name)
+	}
+	return nn
+}

@@ -198,3 +198,69 @@ func TestFindByNameOrderAndAddrString(t *testing.T) {
 		t.Error("Addr.String empty")
 	}
 }
+
+// TestOrphansAndAdopt: when a daemon dies, Orphans finds the remote nodes
+// the survivors still link to, and Adopt heals each cut by rewiring the
+// dangling half-links onto a local replacement with proper mirror halves.
+func TestOrphansAndAdopt(t *testing.T) {
+	s := NewStore(0)
+	a := s.CreateNode("a")
+	b := s.CreateNode("b")
+	// a and b each link to the same remote node on daemon 1; a also links
+	// to a second remote node, directed a -> remote.
+	remote1 := Addr{Daemon: 1, Node: 4}
+	remote2 := Addr{Daemon: 1, Node: 9}
+	other := Addr{Daemon: 2, Node: 3}
+	s.AttachHalf(a, LinkID{Daemon: 0, Seq: 1}, "l1", false, false, remote1, "w")
+	s.AttachHalf(b, LinkID{Daemon: 0, Seq: 2}, "l2", false, false, remote1, "w")
+	s.AttachHalf(a, LinkID{Daemon: 0, Seq: 3}, "l3", true, true, remote2, "v")
+	s.AttachHalf(b, LinkID{Daemon: 0, Seq: 4}, "l4", false, false, other, "z")
+	// A placeholder peer (node 0) is a pending remote create, not an orphan.
+	s.AttachHalf(a, LinkID{Daemon: 0, Seq: 5}, "l5", false, false, Addr{Daemon: 1, Node: 0}, "")
+
+	orphans := s.Orphans(1)
+	if len(orphans) != 2 || orphans[0] != remote1 || orphans[1] != remote2 {
+		t.Fatalf("Orphans = %v, want [%v %v]", orphans, remote1, remote2)
+	}
+	if got := s.Orphans(2); len(got) != 1 || got[0] != other {
+		t.Errorf("Orphans(2) = %v", got)
+	}
+
+	n1 := s.Adopt(remote1)
+	if n1.Name != "w" {
+		t.Errorf("replacement name = %q, want cached peer name w", n1.Name)
+	}
+	// Both dangling halves now point at the replacement, and the
+	// replacement carries matching mirror halves back.
+	for _, h := range []*HalfLink{a.Links[0], b.Links[0]} {
+		if h.Peer != s.Addr(n1) {
+			t.Errorf("half %q still points at %v", h.Name, h.Peer)
+		}
+	}
+	if len(n1.Links) != 2 {
+		t.Fatalf("replacement has %d halves, want 2", len(n1.Links))
+	}
+	if n1.Links[0].Peer != s.Addr(a) || n1.Links[1].Peer != s.Addr(b) {
+		t.Errorf("mirror peers = %v, %v", n1.Links[0].Peer, n1.Links[1].Peer)
+	}
+	// Navigation works across the healed link in both directions.
+	if ms := s.Match(a, "w", "l1", Any); len(ms) != 1 || ms[0].Dest != s.Addr(n1) {
+		t.Errorf("match to replacement = %+v", ms)
+	}
+	if ms := s.Match(n1, "a", "l1", Any); len(ms) != 1 || ms[0].Dest != s.Addr(a) {
+		t.Errorf("match back = %+v", ms)
+	}
+
+	// Directed links keep their orientation: a -> remote2 becomes a -> n2,
+	// whose mirror half is incoming.
+	n2 := s.Adopt(remote2)
+	if got := a.Links[1].Peer; got != s.Addr(n2) {
+		t.Errorf("directed half points at %v", got)
+	}
+	if h := n2.Links[0]; !h.Directed || h.Outgoing {
+		t.Errorf("mirror of outgoing directed half = %+v, want incoming", h)
+	}
+	if ms := s.Match(a, "v", "l3", "+"); len(ms) != 1 {
+		t.Errorf("directed match after adoption = %+v", ms)
+	}
+}

@@ -187,6 +187,9 @@ func (m *Machine) spawn(name string, host int, parent TID, fn TaskFunc) TID {
 	tid := m.allocTID()
 	p := &Proc{m: m, tid: tid, host: host, parent: parent, name: name}
 	p.mbox = newMailbox(p)
+	// The cond must exist before the task is published in m.tasks: any
+	// delivery can look the task up and wake() it from another goroutine.
+	p.cond = sync.NewCond(&p.condMu)
 	m.mu.Lock()
 	m.tasks[tid] = p
 	m.mu.Unlock()
@@ -212,7 +215,6 @@ func (m *Machine) spawn(name string, host int, parent TID, fn TaskFunc) TID {
 			body()
 		})
 	} else {
-		p.cond = sync.NewCond(&p.condMu)
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime/debug"
+)
 
 // Proc is a simulated process: ordinary Go code that advances simulated time
 // with Advance and blocks with Park/Mailbox operations. Each Proc runs in its
@@ -19,6 +22,21 @@ type Proc struct {
 
 // procKilled is the panic payload used to unwind a killed process.
 type procKilled struct{}
+
+// ProcPanic is what Kernel.Step re-panics with when a simulated process
+// panics: the process name, the original panic value, and the goroutine
+// stack captured at the panic site — so the trace names the faulty process
+// function rather than the kernel's event loop.
+type ProcPanic struct {
+	Proc  string
+	Value any
+	Stack []byte
+}
+
+// Error makes ProcPanic usable as an error when recovered by callers.
+func (e *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v\n%s", e.Proc, e.Value, e.Stack)
+}
 
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
@@ -46,7 +64,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(procKilled); !ok {
-					k.failure = fmt.Sprintf("sim: process %q panicked: %v", name, r)
+					k.failure = &ProcPanic{Proc: name, Value: r, Stack: debug.Stack()}
 				}
 			}
 			p.dead = true

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -218,4 +219,38 @@ func TestNegativeAdvancePanics(t *testing.T) {
 		defer func() { recover() }() // the re-panic from the proc wrapper
 		k.Run()
 	}()
+}
+
+// TestProcPanicCarriesStack: a panicking process surfaces through
+// Kernel.Step as a ProcPanic whose captured stack names the faulty process
+// function — not just the kernel's event loop.
+func TestProcPanicCarriesStack(t *testing.T) {
+	k := New()
+	k.Spawn("boomer", faultyProcFunction)
+	defer func() {
+		r := recover()
+		pp, ok := r.(*ProcPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *ProcPanic", r, r)
+		}
+		if pp.Proc != "boomer" {
+			t.Errorf("Proc = %q", pp.Proc)
+		}
+		if pp.Value != "kaboom" {
+			t.Errorf("Value = %v", pp.Value)
+		}
+		if !strings.Contains(string(pp.Stack), "faultyProcFunction") {
+			t.Errorf("stack does not name the faulty proc function:\n%s", pp.Stack)
+		}
+		if msg := pp.Error(); !strings.Contains(msg, "boomer") || !strings.Contains(msg, "kaboom") {
+			t.Errorf("Error() = %q", msg)
+		}
+	}()
+	k.Run()
+	t.Fatal("Run returned despite a process panic")
+}
+
+func faultyProcFunction(p *Proc) {
+	p.Advance(5)
+	panic("kaboom")
 }

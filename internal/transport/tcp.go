@@ -7,7 +7,13 @@
 // framed, written to a socket, read back, and decoded — so the full wire
 // path (vm snapshots, program hashes, link identities, GVT control
 // messages) is exercised for real. Daemons listen on per-daemon TCP
-// addresses (loopback by default) and dial peers lazily.
+// addresses (loopback by default) and dial peers lazily, with exponential
+// backoff on redials.
+//
+// For chaos testing the engine supports fault injection on the send path
+// (SetFaultHook), daemon kill/revive (KillDaemon/ReviveDaemon), and
+// heartbeat-based peer failure detection (StartHeartbeats) that feeds the
+// core recovery layer's PeerDown/PeerUp.
 package transport
 
 import (
@@ -32,6 +38,12 @@ const (
 	frameMagic = wire.FrameMagic
 	maxFrame   = wire.MaxFrame
 )
+
+// maxErrors bounds the retained transport error log: a flapping link under
+// chaos would otherwise grow the slice without limit. Older errors are
+// evicted first; the number evicted is surfaced as the
+// transport.errors.dropped counter and by ErrorsDropped.
+const maxErrors = 64
 
 // WriteFrame writes one length-prefixed message frame. The message send
 // path encodes header and payload into a single pooled buffer instead (see
@@ -72,6 +84,25 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// FaultVerdict is the outcome of consulting the fault hook for one frame.
+type FaultVerdict struct {
+	// Drop silently discards the frame.
+	Drop bool
+	// Corrupt models a frame damaged in transit: the receiver would reject
+	// it and reset the stream, so the engine tears the connection down
+	// (exercising redial) instead of writing garbage.
+	Corrupt bool
+	// Dup writes the frame twice.
+	Dup bool
+	// DelayNs postpones the write by this many nanoseconds.
+	DelayNs int64
+}
+
+// FaultHook inspects one outbound frame and decides its fate (package
+// faults provides a seeded implementation; adapt it in the caller). nowNs
+// is engine time: nanoseconds since engine start.
+type FaultHook func(nowNs int64, src, dst, size int) FaultVerdict
+
 // TCPEngine is a core.Engine whose daemon-to-daemon messages travel over
 // real TCP connections. Each daemon has a listener; connections to peers
 // are dialed on first use and kept open.
@@ -80,18 +111,31 @@ type TCPEngine struct {
 	daemons []*core.Daemon
 
 	executors []*executor
-	listeners []net.Listener
 
 	start time.Time
 	tr    *obs.Tracer
 
-	mu    sync.Mutex
-	conns map[connKey]*peerConn
-	errs  []error
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[connKey]*peerConn
+	killed    []bool
+	dials     map[connKey]*dialState
+	fault     FaultHook
+	errs      []error
+	errsNext  int
+	errsLost  int64
+
+	hb *heartbeats
+
+	// errsDropped/reconnects are nil-safe obs counters (SetMetrics).
+	errsDropped, reconnects *obs.Counter
 
 	closed  chan struct{}
 	closeMu sync.Once
-	wg      sync.WaitGroup
+	// execWG tracks the executor runners (drained first on Close so queued
+	// daemon work finishes while the network is still up); netWG tracks
+	// accept loops, connection readers, and the heartbeat ticker.
+	execWG, netWG sync.WaitGroup
 }
 
 type connKey struct{ from, to int }
@@ -100,6 +144,12 @@ type peerConn struct {
 	mu sync.Mutex
 	w  *bufio.Writer
 	c  net.Conn
+}
+
+// dialState is per-ordered-pair redial backoff.
+type dialState struct {
+	fails     int
+	notBefore time.Time
 }
 
 // executor is a daemon's serial work queue.
@@ -156,6 +206,8 @@ func NewTCPEngine(addrs []string) (*TCPEngine, error) {
 	e := &TCPEngine{
 		addrs:     make([]string, len(addrs)),
 		conns:     map[connKey]*peerConn{},
+		dials:     map[connKey]*dialState{},
+		killed:    make([]bool, len(addrs)),
 		closed:    make(chan struct{}),
 		executors: make([]*executor, len(addrs)),
 		listeners: make([]net.Listener, len(addrs)),
@@ -173,15 +225,16 @@ func NewTCPEngine(addrs []string) (*TCPEngine, error) {
 	}
 	for i := range addrs {
 		i := i
-		e.wg.Add(2)
+		e.execWG.Add(1)
 		go func() {
-			defer e.wg.Done()
+			defer e.execWG.Done()
 			e.executors[i].run()
 		}()
-		go func() {
-			defer e.wg.Done()
-			e.acceptLoop(i)
-		}()
+		e.netWG.Add(1)
+		go func(l net.Listener) {
+			defer e.netWG.Done()
+			e.acceptLoop(i, l)
+		}(e.listeners[i])
 	}
 	return e, nil
 }
@@ -199,6 +252,21 @@ func (e *TCPEngine) Bind(daemons []*core.Daemon) { e.daemons = daemons }
 // SetTracer attaches a tracer: every frame send and receive emits a "net"
 // event on the involved daemon's track. Call before any traffic flows.
 func (e *TCPEngine) SetTracer(t *obs.Tracer) { e.tr = t }
+
+// SetMetrics attaches a registry for the transport's own counters
+// (transport.errors.dropped, net.reconnects). Call before traffic flows.
+func (e *TCPEngine) SetMetrics(m *obs.Metrics) {
+	e.errsDropped = m.Counter("transport.errors.dropped")
+	e.reconnects = m.Counter("net.reconnects")
+}
+
+// SetFaultHook installs a fault-injection hook consulted for every outbound
+// frame. Call before traffic flows; pass nil to restore clean delivery.
+func (e *TCPEngine) SetFaultHook(h FaultHook) {
+	e.mu.Lock()
+	e.fault = h
+	e.mu.Unlock()
+}
 
 // Now implements core.Engine with monotonic wall time since engine start.
 func (e *TCPEngine) Now() sim.Time { return sim.Time(time.Since(e.start)) }
@@ -229,77 +297,195 @@ func (e *TCPEngine) SetTimer(d int, delay sim.Time, fn func()) {
 // Send implements core.Engine: encode header and payload into one pooled
 // frame (a Messenger carried by XferVM is serialized here, in a single
 // pass, with no intermediate snapshot slice) and ship it over the (cached)
-// connection from src to dst.
+// connection from src to dst. Frames to or from a killed daemon vanish, as
+// they would with a dead process; a write failure tears the connection down
+// so the next send redials.
 func (e *TCPEngine) Send(src, dst int, msg *core.Msg) {
+	if e.isKilled(src) || e.isKilled(dst) {
+		return
+	}
 	enc := wire.NewEncoder()
 	defer enc.Release()
 	if err := msg.EncodeFrame(enc); err != nil {
 		e.recordError(fmt.Errorf("transport: encode %v message to daemon %d: %w", msg.Kind, dst, err))
 		return
 	}
-	if e.tr != nil {
-		e.tr.Instant(src, "net", "net.send",
-			obs.I("to", int64(dst)), obs.I("bytes", int64(enc.Len()-wire.FrameHeaderLen)))
+	size := enc.Len() - wire.FrameHeaderLen
+	if h := e.faultHook(); h != nil {
+		v := h(int64(e.Now()), src, dst, size)
+		switch {
+		case v.Drop:
+			return
+		case v.Corrupt:
+			// A damaged frame makes the receiver reset the stream: model it
+			// by tearing the connection down instead of writing, exercising
+			// the redial path.
+			e.dropConn(src, dst)
+			return
+		case v.DelayNs > 0:
+			frame := append([]byte(nil), enc.Bytes()...)
+			dup := v.Dup
+			time.AfterFunc(time.Duration(v.DelayNs), func() {
+				select {
+				case <-e.closed:
+					return
+				default:
+				}
+				e.writeFrame(src, dst, frame)
+				if dup {
+					e.writeFrame(src, dst, frame)
+				}
+			})
+			return
+		}
+		if v.Dup {
+			e.writeFrame(src, dst, enc.Bytes())
+		}
 	}
+	if e.tr != nil && msg.Kind != core.MsgHeartbeat {
+		e.tr.Instant(src, "net", "net.send", obs.I("to", int64(dst)), obs.I("bytes", int64(size)))
+	}
+	e.writeFrame(src, dst, enc.Bytes())
+}
+
+func (e *TCPEngine) faultHook() FaultHook {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fault
+}
+
+// writeFrame ships one already-encoded frame over the cached connection,
+// tearing the connection down on failure so the next send redials.
+func (e *TCPEngine) writeFrame(src, dst int, frame []byte) {
 	pc, err := e.conn(src, dst)
 	if err != nil {
 		e.recordError(err)
 		return
 	}
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
 	// bufio either copies into its buffer or writes straight through before
 	// returning, so the pooled frame can be recycled after the flush.
-	if _, err := pc.w.Write(enc.Bytes()); err != nil {
-		e.recordError(fmt.Errorf("transport: write frame: %w", err))
-		return
+	_, werr := pc.w.Write(frame)
+	if werr == nil {
+		werr = pc.w.Flush()
 	}
-	if err := pc.w.Flush(); err != nil {
-		e.recordError(err)
+	pc.mu.Unlock()
+	if werr != nil {
+		e.recordError(fmt.Errorf("transport: write frame %d->%d: %w", src, dst, werr))
+		e.dropConn(src, dst)
 	}
 }
 
 // conn returns the cached connection src->dst, dialing it if needed. A
-// dedicated connection per ordered pair preserves FIFO delivery.
+// dedicated connection per ordered pair preserves FIFO delivery. Failed
+// dials back off exponentially (50ms doubling to 2s) per pair; a successful
+// redial after failures counts as a reconnect.
 func (e *TCPEngine) conn(src, dst int) (*peerConn, error) {
 	key := connKey{from: src, to: dst}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if pc, ok := e.conns[key]; ok {
+		e.mu.Unlock()
 		return pc, nil
 	}
-	c, err := net.DialTimeout("tcp", e.addrs[dst], 5*time.Second)
+	select {
+	case <-e.closed:
+		// A dial racing Close must not register a connection the teardown
+		// already missed — its reader would outlive the engine.
+		e.mu.Unlock()
+		return nil, fmt.Errorf("transport: dial daemon %d: engine closed", dst)
+	default:
+	}
+	ds := e.dials[key]
+	if ds == nil {
+		ds = &dialState{}
+		e.dials[key] = ds
+	}
+	if ds.fails > 0 && time.Now().Before(ds.notBefore) {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("transport: dial daemon %d: backing off after %d failures", dst, ds.fails)
+	}
+	addr := e.addrs[dst]
+	e.mu.Unlock()
+
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err == nil {
+		// Identify the destination daemon on this listener (one listener
+		// per daemon, so the hello frame only carries the sender for
+		// diagnostics).
+		if herr := WriteFrame(c, []byte{byte(src)}); herr != nil {
+			c.Close()
+			err = herr
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err != nil {
+		ds.fails++
+		backoff := 50 * time.Millisecond << uint(ds.fails-1)
+		if backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+		ds.notBefore = time.Now().Add(backoff)
 		return nil, fmt.Errorf("transport: dial daemon %d: %w", dst, err)
 	}
-	// Identify the destination daemon on this listener (one listener per
-	// daemon, so the hello frame only carries the sender for diagnostics).
-	if err := WriteFrame(c, []byte{byte(src)}); err != nil {
+	if other, ok := e.conns[key]; ok {
+		// A concurrent Send dialed the same pair; keep the first.
 		c.Close()
-		return nil, err
+		return other, nil
+	}
+	select {
+	case <-e.closed:
+		c.Close()
+		return nil, fmt.Errorf("transport: dial daemon %d: engine closed", dst)
+	default:
+	}
+	if ds.fails > 0 {
+		ds.fails = 0
+		e.reconnects.Inc()
 	}
 	pc := &peerConn{c: c, w: bufio.NewWriter(c)}
 	e.conns[key] = pc
 	return pc, nil
 }
 
-// acceptLoop receives frames for daemon d and dispatches them on its
-// executor.
-func (e *TCPEngine) acceptLoop(d int) {
+// dropConn discards the cached connection src->dst (if any) so the next
+// send redials.
+func (e *TCPEngine) dropConn(src, dst int) {
+	key := connKey{from: src, to: dst}
+	e.mu.Lock()
+	pc, ok := e.conns[key]
+	if ok {
+		delete(e.conns, key)
+	}
+	e.mu.Unlock()
+	if ok {
+		pc.c.Close()
+	}
+}
+
+// acceptLoop receives frames for daemon d on listener l and dispatches them
+// on its executor. A frame that fails to decode is skipped (the
+// length-prefixed framing keeps the stream aligned), not fatal to the
+// connection.
+func (e *TCPEngine) acceptLoop(d int, l net.Listener) {
 	for {
-		c, err := e.listeners[d].Accept()
+		c, err := l.Accept()
 		if err != nil {
 			select {
 			case <-e.closed:
 				return
 			default:
-				e.recordError(fmt.Errorf("transport: daemon %d accept: %w", d, err))
-				return
 			}
+			if e.isKilled(d) {
+				return // KillDaemon closed the listener
+			}
+			e.recordError(fmt.Errorf("transport: daemon %d accept: %w", d, err))
+			return
 		}
-		e.wg.Add(1)
+		e.netWG.Add(1)
 		go func() {
-			defer e.wg.Done()
+			defer e.netWG.Done()
 			defer c.Close()
 			r := bufio.NewReader(c)
 			if _, err := ReadFrame(r); err != nil {
@@ -308,12 +494,16 @@ func (e *TCPEngine) acceptLoop(d int) {
 			for {
 				payload, err := ReadFrame(r)
 				if err != nil {
-					return // peer closed
+					return // peer closed or stream desynced
 				}
 				msg, err := core.DecodeMsg(payload)
 				if err != nil {
 					e.recordError(fmt.Errorf("transport: daemon %d: %w", d, err))
-					return
+					continue
+				}
+				if msg.Kind == core.MsgHeartbeat {
+					e.noteHeartbeat(d, msg.From)
+					continue
 				}
 				if e.tr != nil {
 					e.tr.Instant(d, "net", "net.recv",
@@ -328,37 +518,263 @@ func (e *TCPEngine) acceptLoop(d int) {
 func (e *TCPEngine) recordError(err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.errs = append(e.errs, err)
+	if len(e.errs) < maxErrors {
+		e.errs = append(e.errs, err)
+		return
+	}
+	// Ring: evict the oldest.
+	e.errs[e.errsNext] = err
+	e.errsNext = (e.errsNext + 1) % maxErrors
+	e.errsLost++
+	e.errsDropped.Inc()
 }
 
-// Errors returns transport-level errors observed so far.
+// Errors returns the retained transport-level errors, oldest first. At most
+// maxErrors are kept; ErrorsDropped counts evictions.
 func (e *TCPEngine) Errors() []error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := make([]error, len(e.errs))
-	copy(out, e.errs)
+	out := make([]error, 0, len(e.errs))
+	for i := 0; i < len(e.errs); i++ {
+		out = append(out, e.errs[(e.errsNext+i)%len(e.errs)])
+	}
 	return out
 }
 
-// Close shuts down listeners, connections, and executors.
+// ErrorsDropped returns how many errors were evicted from the bounded log.
+func (e *TCPEngine) ErrorsDropped() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.errsLost
+}
+
+// --- daemon kill / revive (chaos support) ---
+
+func (e *TCPEngine) isKilled(d int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.killed[d]
+}
+
+// KillDaemon severs daemon d from the network: its listener closes and
+// every connection touching it is torn down. Frames to or from it vanish.
+// The daemon's executor keeps running (the core's down flag gates it); call
+// core's Crash alongside. No-op if already killed.
+func (e *TCPEngine) KillDaemon(d int) {
+	e.mu.Lock()
+	if e.killed[d] {
+		e.mu.Unlock()
+		return
+	}
+	e.killed[d] = true
+	l := e.listeners[d]
+	var drop []*peerConn
+	for key, pc := range e.conns {
+		if key.from == d || key.to == d {
+			drop = append(drop, pc)
+			delete(e.conns, key)
+		}
+	}
+	e.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, pc := range drop {
+		pc.c.Close()
+	}
+	if e.hb != nil {
+		e.hb.reset(d)
+	}
+}
+
+// ReviveDaemon reattaches a killed daemon: a new listener binds the same
+// address and heartbeats resume, which is what lets the survivors' failure
+// detectors declare it back. Call core's Restart alongside.
+func (e *TCPEngine) ReviveDaemon(d int) error {
+	e.mu.Lock()
+	if !e.killed[d] {
+		e.mu.Unlock()
+		return nil
+	}
+	addr := e.addrs[d]
+	e.mu.Unlock()
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: revive daemon %d: %w", d, err)
+	}
+
+	e.mu.Lock()
+	e.listeners[d] = l
+	e.killed[d] = false
+	for key, ds := range e.dials {
+		if key.from == d || key.to == d {
+			ds.fails = 0
+			ds.notBefore = time.Time{}
+		}
+	}
+	e.mu.Unlock()
+	if e.hb != nil {
+		e.hb.reset(d)
+	}
+
+	e.netWG.Add(1)
+	go func() {
+		defer e.netWG.Done()
+		e.acceptLoop(d, l)
+	}()
+	return nil
+}
+
+// --- heartbeat failure detection ---
+
+type hbKey struct{ observer, peer int }
+
+type heartbeats struct {
+	deadAfter time.Duration
+	mu        sync.Mutex
+	lastSeen  map[hbKey]time.Time
+	down      map[hbKey]bool
+}
+
+// reset clears failure-detector state involving daemon d (kill or revive):
+// observers get a fresh grace period before re-declaring it dead, and d
+// itself forgets stale observations from its downtime.
+func (h *heartbeats) reset(d int) {
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for k := range h.lastSeen {
+		if k.observer == d || k.peer == d {
+			h.lastSeen[k] = now
+		}
+	}
+	for k := range h.down {
+		if k.observer == d {
+			delete(h.down, k)
+		}
+	}
+}
+
+// StartHeartbeats begins periodic liveness probing: every interval each
+// live daemon sends a MsgHeartbeat to every other live daemon (subject to
+// the fault hook, like all traffic); a daemon silent for deadAfter is
+// declared dead to each observer via core's PeerDown, and a heartbeat from
+// a declared-dead daemon revives it via PeerUp. Call once, after Bind.
+func (e *TCPEngine) StartHeartbeats(interval, deadAfter time.Duration) {
+	if e.hb != nil {
+		return
+	}
+	hb := &heartbeats{
+		deadAfter: deadAfter,
+		lastSeen:  map[hbKey]time.Time{},
+		down:      map[hbKey]bool{},
+	}
+	now := time.Now()
+	n := e.NumDaemons()
+	for o := 0; o < n; o++ {
+		for p := 0; p < n; p++ {
+			if o != p {
+				hb.lastSeen[hbKey{observer: o, peer: p}] = now
+			}
+		}
+	}
+	e.hb = hb
+	e.netWG.Add(1)
+	go func() {
+		defer e.netWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.closed:
+				return
+			case <-t.C:
+				e.hbTick()
+			}
+		}
+	}()
+}
+
+// noteHeartbeat records a heartbeat received by observer from peer,
+// reviving a declared-dead peer.
+func (e *TCPEngine) noteHeartbeat(observer, peer int) {
+	hb := e.hb
+	if hb == nil {
+		return
+	}
+	key := hbKey{observer: observer, peer: peer}
+	hb.mu.Lock()
+	hb.lastSeen[key] = time.Now()
+	wasDown := hb.down[key]
+	if wasDown {
+		delete(hb.down, key)
+	}
+	hb.mu.Unlock()
+	if wasDown {
+		e.executors[observer].put(func() { e.daemons[observer].PeerUp(peer) })
+	}
+}
+
+// hbTick sends one round of heartbeats and sweeps for silent peers.
+func (e *TCPEngine) hbTick() {
+	n := e.NumDaemons()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src != dst {
+				e.Send(src, dst, &core.Msg{Kind: core.MsgHeartbeat, From: src})
+			}
+		}
+	}
+	hb := e.hb
+	now := time.Now()
+	type event struct{ observer, peer int }
+	var deaths []event
+	hb.mu.Lock()
+	for key, seen := range hb.lastSeen {
+		if hb.down[key] || e.isKilled(key.observer) {
+			continue
+		}
+		if now.Sub(seen) > hb.deadAfter {
+			hb.down[key] = true
+			deaths = append(deaths, event{key.observer, key.peer})
+		}
+	}
+	hb.mu.Unlock()
+	for _, ev := range deaths {
+		ev := ev
+		e.executors[ev.observer].put(func() { e.daemons[ev.observer].PeerDown(ev.peer) })
+	}
+}
+
+// Close shuts down the engine: executors first — queued daemon work drains
+// while the network is still up, so in-flight handler sends still go out —
+// then listeners, connections, and the network goroutines.
 func (e *TCPEngine) Close() {
 	e.closeMu.Do(func() {
 		close(e.closed)
-		for _, l := range e.listeners {
-			if l != nil {
-				l.Close()
-			}
-		}
-		e.mu.Lock()
-		for _, pc := range e.conns {
-			pc.c.Close()
-		}
-		e.mu.Unlock()
 		for _, ex := range e.executors {
 			if ex != nil {
 				ex.close()
 			}
 		}
-		e.wg.Wait()
+		e.execWG.Wait()
+		e.mu.Lock()
+		listeners := append([]net.Listener(nil), e.listeners...)
+		conns := make([]*peerConn, 0, len(e.conns))
+		for _, pc := range e.conns {
+			conns = append(conns, pc)
+		}
+		e.conns = map[connKey]*peerConn{}
+		e.mu.Unlock()
+		for _, l := range listeners {
+			if l != nil {
+				l.Close()
+			}
+		}
+		for _, pc := range conns {
+			pc.c.Close()
+		}
+		e.netWG.Wait()
 	})
 }

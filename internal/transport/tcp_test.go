@@ -3,8 +3,11 @@ package transport
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"net"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -403,5 +406,182 @@ func TestTCPTraceEvents(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s event missing positive bytes arg: %+v", e.Name, e.Args)
 		}
+	}
+}
+
+// TestConcurrentSendClose hammers Send from many goroutines while Close
+// runs, exercising the executor-drain-then-network teardown order under the
+// race detector.
+func TestConcurrentSendClose(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		_, eng := tcpSystem(t, 3)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					eng.Send(g%3, (g+1+i)%3, &core.Msg{Kind: core.MsgHeartbeat, From: g % 3})
+				}
+			}()
+		}
+		time.Sleep(5 * time.Millisecond)
+		eng.Close()
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// TestCloseDrainsExecutors: work queued on an executor before Close must
+// finish before Close returns (the executors drain before the network is
+// torn down).
+func TestCloseDrainsExecutors(t *testing.T) {
+	_, eng := tcpSystem(t, 2)
+	var ran atomic.Bool
+	eng.Exec(0, 0, func() {
+		time.Sleep(50 * time.Millisecond)
+		// The network must still be up: a send from inside drained work
+		// goes out rather than erroring.
+		eng.Send(0, 1, &core.Msg{Kind: core.MsgHeartbeat, From: 0})
+		ran.Store(true)
+	})
+	eng.Close()
+	if !ran.Load() {
+		t.Error("Close returned before queued executor work drained")
+	}
+}
+
+// TestErrorRingBounded: the transport error log is a bounded ring that
+// keeps the newest errors and counts evictions.
+func TestErrorRingBounded(t *testing.T) {
+	_, eng := tcpSystem(t, 1)
+	m := obs.NewMetrics()
+	eng.SetMetrics(m)
+	for i := 0; i < maxErrors+50; i++ {
+		eng.recordError(fmt.Errorf("err %d", i))
+	}
+	errs := eng.Errors()
+	if len(errs) != maxErrors {
+		t.Fatalf("retained %d errors, want %d", len(errs), maxErrors)
+	}
+	if got := errs[0].Error(); got != "err 50" {
+		t.Errorf("oldest retained = %q, want err 50", got)
+	}
+	if got := errs[len(errs)-1].Error(); got != fmt.Sprintf("err %d", maxErrors+49) {
+		t.Errorf("newest retained = %q", got)
+	}
+	if eng.ErrorsDropped() != 50 {
+		t.Errorf("dropped = %d, want 50", eng.ErrorsDropped())
+	}
+	if m.CounterValue("transport.errors.dropped") != 50 {
+		t.Errorf("dropped counter = %d, want 50", m.CounterValue("transport.errors.dropped"))
+	}
+}
+
+// TestHeartbeatDetectsKillAndRevive: killing a daemon makes the survivors'
+// failure detector fire PeerDown; reviving it brings heartbeats back and
+// fires PeerUp.
+func TestHeartbeatDetectsKillAndRevive(t *testing.T) {
+	metrics := obs.NewMetrics()
+	sys, eng := tcpSystem(t, 2,
+		core.WithMetrics(metrics), core.WithRecovery(core.RecoveryConfig{}))
+	_ = sys
+	eng.StartHeartbeats(5*time.Millisecond, 30*time.Millisecond)
+
+	waitCounter := func(name string, want int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for metrics.CounterValue(name) < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s = %d, want >= %d", name, metrics.CounterValue(name), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	eng.KillDaemon(1)
+	waitCounter("net.peer.down", 1)
+	if err := eng.ReviveDaemon(1); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter("net.peer.up", 1)
+}
+
+// TestDialBackoffAndReconnect: dials to an unreachable peer back off
+// instead of hammering, and a successful redial after failures counts as a
+// reconnect.
+func TestDialBackoffAndReconnect(t *testing.T) {
+	_, eng := tcpSystem(t, 2)
+	m := obs.NewMetrics()
+	eng.SetMetrics(m)
+
+	eng.mu.Lock()
+	l := eng.listeners[1]
+	eng.mu.Unlock()
+	l.Close()
+	eng.dropConn(0, 1)
+
+	if _, err := eng.conn(0, 1); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	if _, err := eng.conn(0, 1); err == nil || !strings.Contains(err.Error(), "backing off") {
+		t.Fatalf("second dial not in backoff: %v", err)
+	}
+
+	l2, err := net.Listen("tcp", eng.addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.mu.Lock()
+	eng.listeners[1] = l2
+	eng.mu.Unlock()
+	eng.netWG.Add(1)
+	go func() {
+		defer eng.netWG.Done()
+		eng.acceptLoop(1, l2)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := eng.conn(0, 1); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("redial never succeeded after listener came back")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.CounterValue("net.reconnects") != 1 {
+		t.Errorf("reconnects = %d, want 1", m.CounterValue("net.reconnects"))
+	}
+}
+
+// TestFaultHookDrop: a hook dropping all frames silences the wire without
+// errors; clearing it restores delivery.
+func TestFaultHookDrop(t *testing.T) {
+	var dropped atomic.Int64
+	_, eng := tcpSystem(t, 2)
+	eng.SetFaultHook(func(now int64, src, dst, size int) FaultVerdict {
+		dropped.Add(1)
+		return FaultVerdict{Drop: true}
+	})
+	eng.Send(0, 1, &core.Msg{Kind: core.MsgHeartbeat, From: 0})
+	if dropped.Load() != 1 {
+		t.Fatalf("hook consulted %d times, want 1", dropped.Load())
+	}
+	if errs := eng.Errors(); len(errs) != 0 {
+		t.Errorf("dropping produced errors: %v", errs)
+	}
+	eng.SetFaultHook(nil)
+	eng.Send(0, 1, &core.Msg{Kind: core.MsgHeartbeat, From: 0})
+	if dropped.Load() != 1 {
+		t.Error("cleared hook still consulted")
 	}
 }

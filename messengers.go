@@ -24,9 +24,11 @@ package messengers
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"messengers/internal/compile"
 	"messengers/internal/core"
+	"messengers/internal/faults"
 	"messengers/internal/lan"
 	"messengers/internal/obs"
 	"messengers/internal/sim"
@@ -173,7 +175,23 @@ type Config struct {
 	// DefaultCostModel() and SPARC110 when zero.
 	Model *CostModel
 	Host  HostSpec
+
+	// Faults, when non-nil, injects the plan's deterministic faults —
+	// message drop/duplicate/corrupt, latency spikes, partitions, daemon
+	// crashes and restarts — into the run, and enables Recovery. Supported
+	// on simulated and TCP systems (see docs/FAULTS.md).
+	Faults *FaultPlan
+	// Recovery enables the messenger-level recovery protocol (hop-level
+	// acknowledgements, retransmission, duplicate suppression, crash
+	// respawn from snapshots) even without a fault plan. Implied by Faults.
+	Recovery bool
 }
+
+// FaultPlan is a deterministic, seedable fault-injection plan.
+type FaultPlan = faults.Plan
+
+// LoadFaultPlan reads a fault plan from a JSON file.
+var LoadFaultPlan = faults.Load
 
 func (c *Config) options() []core.Option {
 	var opts []core.Option
@@ -188,6 +206,9 @@ func (c *Config) options() []core.Option {
 	}
 	if c.Metrics != nil {
 		opts = append(opts, core.WithMetrics(c.Metrics))
+	}
+	if c.Recovery || c.Faults != nil {
+		opts = append(opts, core.WithRecovery(core.RecoveryConfig{}))
 	}
 	return opts
 }
@@ -215,10 +236,20 @@ func NewRealSystem(cfg Config) (*System, error) {
 	if cfg.Daemons < 1 {
 		return nil, fmt.Errorf("messengers: config needs at least 1 daemon")
 	}
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("messengers: fault injection requires a simulated or TCP system (the channel engine has no wire to fault)")
+	}
 	eng := core.NewChanEngine(cfg.Daemons)
 	sys := core.NewSystem(eng, cfg.topology(), cfg.options()...)
 	return &System{System: sys, chanEng: eng}, nil
 }
+
+// Heartbeat cadence for TCP systems running with recovery enabled: probes
+// every interval, a peer silent for deadAfter is declared failed.
+const (
+	tcpHeartbeatInterval  = 50 * time.Millisecond
+	tcpHeartbeatDeadAfter = 250 * time.Millisecond
+)
 
 // NewTCPSystem starts cfg.Daemons daemons whose inter-daemon traffic flows
 // over real TCP sockets on the given addresses (use "127.0.0.1:0" entries
@@ -238,6 +269,11 @@ func NewTCPSystem(cfg Config, addrs []string) (*System, error) {
 	if len(addrs) != cfg.Daemons {
 		return nil, fmt.Errorf("messengers: %d addresses for %d daemons", len(addrs), cfg.Daemons)
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.Daemons); err != nil {
+			return nil, err
+		}
+	}
 	eng, err := transport.NewTCPEngine(addrs)
 	if err != nil {
 		return nil, err
@@ -245,8 +281,32 @@ func NewTCPSystem(cfg Config, addrs []string) (*System, error) {
 	if cfg.Trace != nil {
 		eng.SetTracer(cfg.Trace)
 	}
+	if cfg.Metrics != nil {
+		eng.SetMetrics(cfg.Metrics)
+	}
 	sys := core.NewSystem(eng, cfg.topology(), cfg.options()...)
-	return &System{System: sys, tcpEng: eng}, nil
+	s := &System{System: sys, tcpEng: eng}
+	if cfg.Recovery || cfg.Faults != nil {
+		// Real transport: failures are detected by heartbeat monitoring,
+		// not by scheduled notices.
+		eng.StartHeartbeats(tcpHeartbeatInterval, tcpHeartbeatDeadAfter)
+	}
+	if cfg.Faults != nil {
+		inj := faults.NewInjector(cfg.Faults, cfg.Metrics, cfg.Trace)
+		eng.SetFaultHook(func(now int64, src, dst, size int) transport.FaultVerdict {
+			v := inj.Decide(now, src, dst, size)
+			return transport.FaultVerdict{Drop: v.Drop, Corrupt: v.Corrupt, Dup: v.Dup, DelayNs: v.Delay}
+		})
+		start := time.Now()
+		faults.Schedule(cfg.Faults, s, func(at int64, fn func()) {
+			d := time.Duration(at) - time.Since(start)
+			if d < 0 {
+				d = 0
+			}
+			time.AfterFunc(d, fn)
+		}, false)
+	}
+	return s, nil
 }
 
 // NewSimSystem builds a simulated cluster of cfg.Daemons hosts. Run the
@@ -270,7 +330,44 @@ func NewSimSystem(cfg Config) (*System, error) {
 	// identical runs export byte-identical traces.
 	cluster.Observe(cfg.Trace, cfg.Metrics)
 	sys := core.NewSystem(core.NewSimEngine(cluster), cfg.topology(), cfg.options()...)
-	return &System{System: sys, kernel: k, cluster: cluster}, nil
+	s := &System{System: sys, kernel: k, cluster: cluster}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.Daemons); err != nil {
+			return nil, err
+		}
+		inj := faults.NewInjector(cfg.Faults, cfg.Metrics, cfg.Trace)
+		cluster.SetFaultHook(inj.LanHook(k))
+		// On the simulated engine, scheduled notices replace a failure
+		// detector: delivery is deterministic, so runs replay exactly.
+		faults.Schedule(cfg.Faults, s, func(at int64, fn func()) {
+			k.At(sim.Time(at), fn)
+		}, true)
+	}
+	return s, nil
+}
+
+// Crash kills daemon d mid-run: it stops processing and loses all
+// in-memory state (logical nodes, resident Messengers, GVT books), exactly
+// as a daemon process dying would. On TCP systems the daemon is also
+// severed from the network so heartbeat detection sees it die. Requires
+// Recovery (or a fault plan).
+func (s *System) Crash(d int) {
+	if s.tcpEng != nil {
+		s.tcpEng.KillDaemon(d)
+	}
+	s.System.Crash(d)
+}
+
+// Restart revives a crashed daemon as a fresh, empty daemon (init node
+// only). Survivors re-send what the dead daemon lost: unacknowledged
+// Messengers are respawned from their last transmitted snapshots.
+func (s *System) Restart(d int) {
+	s.System.Restart(d)
+	if s.tcpEng != nil {
+		if err := s.tcpEng.ReviveDaemon(d); err != nil {
+			s.tcpEng.KillDaemon(d)
+		}
+	}
 }
 
 // CompileAndRegister compiles MSL source and installs it in every daemon's
