@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures figures-short examples vet clean
+.PHONY: all build test race bench figures figures-short examples vet lint clean
 
-all: vet test
+all: vet lint test
 
 build:
 	$(GO) build ./...
 
 vet: build
 	$(GO) vet ./...
+
+# Repo-specific analyzers (determinism, sticky errors, obs namespace,
+# lock discipline); see docs/ANALYSIS.md. Exits nonzero on findings.
+lint: build
+	$(GO) run ./cmd/mlint
 
 test:
 	$(GO) test ./...

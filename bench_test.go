@@ -263,7 +263,10 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		snap := m.Snapshot()
+		snap, err := m.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := vm.Restore(prog, snap); err != nil {
 			b.Fatal(err)
 		}

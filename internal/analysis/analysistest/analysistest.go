@@ -1,0 +1,106 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its findings against expectations embedded in the source as comments, in
+// the style of golang.org/x/tools' package of the same name:
+//
+//	m.Counter(fmt.Sprintf("x.%d", i)) // want "string literal"
+//
+// Each `// want "substr"` demands exactly one finding on that line whose
+// message contains substr; findings on lines without a want comment, and
+// want comments without a finding, both fail the test. Suppression
+// directives (//lint:...) are honored, so the escape hatch itself is
+// testable.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"messengers/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the package in dir pretending it has import path asPath, runs
+// the analyzer, and compares diagnostics against // want comments.
+func Run(t *testing.T, dir, asPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	repoRoot, err := findRepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(repoRoot)
+	lp, err := loader.Load(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers(lp, analyzers, map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for _, f := range lp.Files {
+		name := lp.Fset.Position(f.Pos()).Filename
+		src, err := readFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(src, "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(lineText, -1) {
+				sub := strings.ReplaceAll(m[1], `\"`, `"`)
+				k := key{name, i + 1}
+				wants[k] = append(wants[k], sub)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ws := wants[k]
+		matched := -1
+		for i, w := range ws {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding at %s:%d: %s [%s]",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Analyzer)
+			continue
+		}
+		wants[k] = append(ws[:matched], ws[matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("missing finding at %s:%d: want message containing %q",
+				filepath.Base(k.file), k.line, w)
+		}
+	}
+}
+
+func findRepoRoot() (string, error) {
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		return "", err
+	}
+	for {
+		if ok, _ := fileExists(filepath.Join(dir, "go.mod")); ok {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errNoRoot
+		}
+		dir = parent
+	}
+}

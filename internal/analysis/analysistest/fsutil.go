@@ -1,0 +1,24 @@
+package analysistest
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoRoot = errors.New("analysistest: no go.mod found above working directory")
+
+func fileExists(path string) (bool, error) {
+	_, err := os.Stat(path)
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

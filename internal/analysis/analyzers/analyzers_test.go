@@ -1,0 +1,40 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"messengers/internal/analysis/analysistest"
+	"messengers/internal/analysis/analyzers"
+)
+
+// Each analyzer runs over a testdata package that poses as a real package
+// path, with expectations written as // want comments next to the seeded
+// violations (and //lint: suppressions proving the escape hatch works).
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/simdeterminism", "messengers/internal/sim",
+		analyzers.SimDeterminism)
+}
+
+func TestSimDeterminismSkipsNonDetPackages(t *testing.T) {
+	// The same file analyzed under a transport path reports nothing: the
+	// TCP engine is allowed wall clocks. No // want expectations fire
+	// because the analyzer never runs its body.
+	analysistest.Run(t, "testdata/nondet", "messengers/internal/transport",
+		analyzers.SimDeterminism)
+}
+
+func TestStickyErr(t *testing.T) {
+	analysistest.Run(t, "testdata/stickyerr", "messengers/internal/stickytest",
+		analyzers.StickyErr)
+}
+
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, "testdata/obsnames", "messengers/internal/obstest",
+		analyzers.ObsNames)
+}
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, "testdata/lockhold", "messengers/internal/core",
+		analyzers.LockHold)
+}

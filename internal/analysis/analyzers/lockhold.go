@@ -1,0 +1,256 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+
+	"messengers/internal/analysis"
+)
+
+// lockholdPkgs are the packages where daemons multiplex goroutines and a
+// mutex held across a blocking operation deadlocks the whole engine (or,
+// on the sim engine, serializes it into uselessness).
+var lockholdPkgs = map[string]bool{
+	"messengers/internal/core":      true,
+	"messengers/internal/transport": true,
+}
+
+// LockHold flags channel sends, channel receives, selects without a
+// default, time.Sleep, and WaitGroup.Wait performed while a sync mutex is
+// held in internal/core and internal/transport.
+//
+// The scan is syntactic and per-function, tracking the set of held locks
+// through an ordered statement walk: Lock/RLock adds, Unlock/RUnlock
+// removes, "defer mu.Unlock()" holds to the end of the function. Branch
+// bodies are scanned with a copy of the held set. sync.Cond.Wait is
+// exempt (it atomically releases the mutex — the workQueue pattern), and
+// function literals are scanned as separate functions starting with no
+// held locks (goroutine bodies do not inherit the spawn site's locks).
+// Suppress with //lint:lockhold when the channel is provably buffered and
+// non-full or the send is the handoff the lock orders.
+var LockHold = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "mutex held across channel operations or blocking waits",
+	Run:  runLockHold,
+}
+
+func runLockHold(pass *analysis.Pass) error {
+	if !lockholdPkgs[pass.PkgPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lh := &lockScan{pass: pass}
+			lh.block(fd.Body, map[string]bool{})
+		}
+		// Function literals anywhere in the file (including inside the
+		// decls above, where block() skipped them) start lock-free.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				lh := &lockScan{pass: pass}
+				lh.block(fl.Body, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type lockScan struct {
+	pass *analysis.Pass
+}
+
+// block walks stmts in order, mutating held as locks are taken/released
+// and reporting blocking operations performed under a lock.
+func (ls *lockScan) block(b *ast.BlockStmt, held map[string]bool) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		ls.stmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func anyHeld(held map[string]bool) (string, bool) {
+	for k := range held {
+		return k, true
+	}
+	return "", false
+}
+
+func (ls *lockScan) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		ls.checkExpr(s.X, held)
+		if recv, op, ok := mutexOp(ls.pass, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+		}
+	case *ast.DeferStmt:
+		if recv, op, ok := mutexOp(ls.pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Held until function end from wherever it was locked; leave
+			// the held set alone (the matching Lock added it).
+			_ = recv
+		}
+	case *ast.SendStmt:
+		if lock, ok := anyHeld(held); ok {
+			ls.pass.Reportf(s.Arrow, "lockhold",
+				"channel send while holding %s", lock)
+		}
+		ls.checkExpr(s.Value, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if lock, ok := anyHeld(held); ok && !hasDefault {
+			ls.pass.Reportf(s.Select, "lockhold",
+				"blocking select while holding %s", lock)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				h := copyHeld(held)
+				for _, cs := range cc.Body {
+					ls.stmt(cs, h)
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			ls.checkExpr(r, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		ls.checkExpr(s.Cond, held)
+		ls.block(s.Body, copyHeld(held))
+		if s.Else != nil {
+			ls.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		ls.block(s, held)
+	case *ast.ForStmt:
+		ls.block(s.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		ls.block(s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h := copyHeld(held)
+				for _, cs := range cc.Body {
+					ls.stmt(cs, h)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h := copyHeld(held)
+				for _, cs := range cc.Body {
+					ls.stmt(cs, h)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit held locks; its body is
+		// scanned separately via the FuncLit pass.
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ls.checkExpr(r, held)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+	}
+}
+
+// checkExpr looks for blocking expressions (channel receives, time.Sleep,
+// WaitGroup.Wait) evaluated while a lock is held. FuncLits are skipped —
+// they run later, lock-free.
+func (ls *lockScan) checkExpr(e ast.Expr, held map[string]bool) {
+	lock, locked := anyHeld(held)
+	if !locked || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ls.pass.Reportf(n.Pos(), "lockhold",
+					"channel receive while holding %s", lock)
+			}
+		case *ast.CallExpr:
+			obj := ls.pass.CalleeObj(n)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "time" && obj.Name() == "Sleep":
+				ls.pass.Reportf(n.Pos(), "lockhold",
+					"time.Sleep while holding %s", lock)
+			case obj.Pkg().Path() == "sync" && obj.Name() == "Wait":
+				// WaitGroup.Wait blocks; Cond.Wait releases the mutex and
+				// is the sanctioned pattern, so distinguish by receiver.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if t := ls.pass.TypeOf(sel.X); t != nil && strings.Contains(t.String(), "sync.Cond") {
+						return true
+					}
+				}
+				ls.pass.Reportf(n.Pos(), "lockhold",
+					"sync.Wait while holding %s", lock)
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp matches a call "x.Lock()" / "x.RLock()" / "x.Unlock()" /
+// "x.RUnlock()" where the method is sync's, returning a stable string key
+// for x and the method name.
+func mutexOp(pass *analysis.Pass, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return exprKey(pass.Fset, sel.X), sel.Sel.Name, true
+}
+
+func exprKey(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	_ = printer.Fprint(&b, fset, e)
+	return b.String()
+}

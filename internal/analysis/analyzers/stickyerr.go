@@ -1,0 +1,125 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"messengers/internal/analysis"
+)
+
+// StickyErr enforces the wire layer's sticky-error contract: an Encoder
+// swallows write errors (oversized strings, bad frames) into an internal
+// sticky error, so code that extracts the encoded bytes with Bytes or
+// Detach MUST consult Err (or EndFrame, which returns it) somewhere in the
+// same function — otherwise truncated garbage ships as if it were a valid
+// message. Suppress with //lint:stickyerr when the enclosing function
+// provably cannot fail (e.g. fixed-width integers only) or its caller owns
+// the check.
+var StickyErr = &analysis.Analyzer{
+	Name: "stickyerr",
+	Doc:  "wire.Encoder bytes consumed without an Err() check",
+	Run:  runStickyErr,
+}
+
+func runStickyErr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncSticky(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFuncSticky(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var consumes []*ast.SelectorExpr
+	checked := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isWireEncoder(pass, sel.X) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Bytes", "Detach":
+			consumes = append(consumes, sel)
+		case "Err", "EndFrame", "Fail":
+			// Fail counts: the function is explicitly managing the error
+			// state. EndFrame returns the sticky error.
+			checked = true
+		}
+		return true
+	})
+	if !checked {
+		// Passing the encoder to a call that returns an error transfers
+		// responsibility: the sticky error escapes through that call
+		// (msg.EncodeFrame(enc) is the canonical shape).
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if isWireEncoder(pass, arg) && callReturnsError(pass, call) {
+					checked = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if checked {
+		return
+	}
+	for _, sel := range consumes {
+		pass.Reportf(sel.Pos(), "stickyerr",
+			"%s() consumes encoder bytes but the function never checks Err()", sel.Sel.Name)
+	}
+}
+
+// callReturnsError reports whether the call's results include an error.
+func callReturnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	isErr := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErr(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErr(t)
+}
+
+// isWireEncoder reports whether e's type is *wire.Encoder (or wire.Encoder).
+func isWireEncoder(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Encoder" {
+		return false
+	}
+	return obj.Pkg().Path() == "messengers/internal/wire" || obj.Pkg().Name() == "wire"
+}

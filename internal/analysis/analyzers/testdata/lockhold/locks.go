@@ -1,0 +1,99 @@
+// Package locktest is analyzed under the path messengers/internal/core,
+// where the lock-hold rules apply.
+package locktest
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	wg   sync.WaitGroup
+	q    []int
+}
+
+func sendWhileLocked(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 // want "channel send while holding"
+	b.mu.Unlock()
+}
+
+func sendAfterUnlock(b *box) {
+	b.mu.Lock()
+	b.q = append(b.q, 1)
+	b.mu.Unlock()
+	b.ch <- 1 // fine: lock released
+}
+
+func recvWhileRLocked(b *box) int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return <-b.ch // want "channel receive while holding"
+}
+
+func deferKeepsHeld(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 2 // want "channel send while holding"
+}
+
+func selectNoDefault(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "blocking select while holding"
+	case v := <-b.ch:
+		b.q = append(b.q, v)
+	}
+}
+
+func selectWithDefault(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		b.q = append(b.q, v)
+	default:
+	}
+}
+
+func sleepWhileLocked(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+	b.mu.Unlock()
+}
+
+func waitGroupWhileLocked(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wg.Wait() // want "sync.Wait while holding"
+}
+
+// condWait is the sanctioned pattern: Cond.Wait releases the mutex.
+func condWait(b *box) int {
+	b.mu.Lock()
+	for len(b.q) == 0 {
+		b.cond.Wait()
+	}
+	v := b.q[0]
+	b.mu.Unlock()
+	return v
+}
+
+// goroutine bodies do not inherit the held set.
+func spawnWhileLocked(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 3 // fine: runs after the lock is gone
+	}()
+}
+
+func suppressedHandoff(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 4 //lint:lockhold buffered handoff channel, never full
+}

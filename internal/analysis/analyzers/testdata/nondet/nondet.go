@@ -1,0 +1,17 @@
+// Package nondet contains the same violations as the simdeterminism
+// testdata but is analyzed under a transport path, where they are legal.
+package nondet
+
+import "time"
+
+func wallclockIsFineHere() int64 {
+	return time.Now().UnixNano()
+}
+
+func mapsAreFineHere(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

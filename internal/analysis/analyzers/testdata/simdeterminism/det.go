@@ -1,0 +1,72 @@
+// Package dettest is analyzed under the path messengers/internal/sim, so
+// the determinism rules apply in full.
+package dettest
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallclock() time.Duration {
+	t0 := time.Now()      // want "reads the wall clock"
+	return time.Since(t0) // want "reads the wall clock"
+}
+
+func sleeper() {
+	time.Sleep(1) // want "reads the wall clock"
+}
+
+func timers(f func()) {
+	time.AfterFunc(time.Second, f)  // want "reads the wall clock"
+	_ = time.NewTicker(time.Second) // want "reads the wall clock"
+}
+
+// Duration arithmetic and constants never touch the clock.
+func durationsOK() time.Duration {
+	return 3 * time.Second
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "unseeded shared state"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "unseeded shared state"
+}
+
+// An explicitly seeded stream is the sanctioned route.
+func seededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func mapIteration(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want "iteration order is nondeterministic"
+		sum += v
+	}
+	return sum
+}
+
+// Slices range deterministically.
+func sliceOK(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+// The escape hatch: an annotated line reports nothing.
+func annotated() int64 {
+	return time.Now().UnixNano() //lint:wallclock test of the escape hatch
+}
+
+func annotatedAbove(m map[string]int) int {
+	n := 0
+	//lint:maporder counting is order-independent
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// suppressPrefix is the escape hatch: a comment "//lint:<category>" on the
+// offending line, or alone on the line above it, silences findings of that
+// category. Several categories may share one comment ("//lint:wallclock
+// real engine timers"); everything after the category word is free-form
+// justification.
+const suppressPrefix = "//lint:"
+
+// suppressions maps file -> line -> categories suppressed at that line.
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans the comments of the loaded files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, suppressPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				// The directive covers its own line and the next one, so it
+				// can trail the offending statement or sit above it.
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = map[string]bool{}
+					}
+					lines[ln][fields[0]] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) covers(d Diagnostic) bool {
+	return s[d.Pos.Filename][d.Pos.Line][d.Category]
+}
+
+// RunAnalyzers applies every analyzer to one loaded package and returns
+// the unsuppressed findings, sorted by position.
+func RunAnalyzers(lp *LoadedPackage, analyzers []*Analyzer, shared map[string]any) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			PkgPath:  lp.PkgPath,
+			Fset:     lp.Fset,
+			Files:    lp.Files,
+			Pkg:      lp.Pkg,
+			Info:     lp.Info,
+			Shared:   shared,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, lp.PkgPath, err)
+		}
+	}
+	sup := collectSuppressions(lp.Fset, lp.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiags(kept)
+	return kept, nil
+}
+
+// ModulePackages lists the import paths of every package directory under
+// the repo root (sorted), skipping testdata, hidden, and vendor-like
+// directories. Directories without Go files are skipped silently.
+func ModulePackages(repoRoot string) ([]string, error) {
+	var pkgs []string
+	err := filepath.WalkDir(repoRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != repoRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(repoRoot, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					pkgs = append(pkgs, modulePath)
+				} else {
+					pkgs = append(pkgs, modulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgs)
+	return pkgs, nil
+}
+
+// PackageDir maps an import path under the module back to its directory.
+func PackageDir(repoRoot, pkgPath string) string {
+	if pkgPath == modulePath {
+		return repoRoot
+	}
+	return filepath.Join(repoRoot, filepath.FromSlash(strings.TrimPrefix(pkgPath, modulePath+"/")))
+}

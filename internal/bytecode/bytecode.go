@@ -155,6 +155,12 @@ type Program struct {
 	Consts []value.Value
 	Names  []string
 	Funcs  []FuncInfo
+
+	// meta and verified are produced by Validate (see verify.go). They are
+	// derived facts, deliberately excluded from Encode/Hash: a program
+	// arriving over the wire is re-verified locally, never trusted.
+	meta     []funcMeta
+	verified bool
 }
 
 // Hash returns the content hash identifying this program in the shared

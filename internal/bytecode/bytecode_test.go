@@ -21,6 +21,10 @@ func sampleProgram() *Program {
 					{Op: OpStoreM, A: 0},
 					{Op: OpLoadNet, A: 1},
 					{Op: OpPop},
+					// One hop arm = three operands (ln, ll, ldir).
+					{Op: OpConst, A: 1},
+					{Op: OpConst, A: 1},
+					{Op: OpConst, A: 2},
 					{Op: OpHop, A: 1},
 					{Op: OpEnd},
 				},
@@ -51,7 +55,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if len(dec.Funcs) != 2 || dec.Funcs[1].NumParams != 1 || dec.Funcs[1].NumLocals != 2 {
 		t.Errorf("funcs = %+v", dec.Funcs)
 	}
-	if dec.Funcs[0].Code[4] != (Instr{Op: OpHop, A: 1}) {
+	if dec.Funcs[0].Code[7] != (Instr{Op: OpHop, A: 1}) {
 		t.Errorf("code = %+v", dec.Funcs[0].Code)
 	}
 }

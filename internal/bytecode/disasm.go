@@ -8,6 +8,18 @@ import (
 // Disassemble renders the program as readable assembly, one function per
 // section, for the msl tool and debugging.
 func (p *Program) Disassemble() string {
+	return p.disassemble(false)
+}
+
+// DisassembleDepths renders the assembly with the verifier's inferred
+// per-PC operand stack depth in a column before each instruction ("-" for
+// unreachable code) and each function's maximum depth in its header. The
+// program must be Verified; unverified programs render like Disassemble.
+func (p *Program) DisassembleDepths() string {
+	return p.disassemble(true)
+}
+
+func (p *Program) disassemble(depths bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "program %q  hash=%s\n", p.Name, p.Hash())
 	for i, c := range p.Consts {
@@ -16,15 +28,28 @@ func (p *Program) Disassemble() string {
 	for i, n := range p.Names {
 		fmt.Fprintf(&b, "  name[%d] = %s\n", i, n)
 	}
+	depths = depths && p.verified
 	for fi := range p.Funcs {
 		f := &p.Funcs[fi]
 		label := f.Name
 		if fi == 0 {
 			label = "<main>"
 		}
-		fmt.Fprintf(&b, "func %d %s (params=%d locals=%d)\n", fi, label, f.NumParams, f.NumLocals)
+		fmt.Fprintf(&b, "func %d %s (params=%d locals=%d", fi, label, f.NumParams, f.NumLocals)
+		if depths {
+			fmt.Fprintf(&b, " maxstack=%d", p.MaxStack(fi))
+		}
+		b.WriteString(")\n")
 		for pc, ins := range f.Code {
-			fmt.Fprintf(&b, "  %4d  %s", pc, p.instrString(ins))
+			if depths {
+				if d := p.StackDepth(fi, pc); d >= 0 {
+					fmt.Fprintf(&b, "  %4d [%3d]  %s", pc, d, p.instrString(ins))
+				} else {
+					fmt.Fprintf(&b, "  %4d [  -]  %s", pc, p.instrString(ins))
+				}
+			} else {
+				fmt.Fprintf(&b, "  %4d  %s", pc, p.instrString(ins))
+			}
 			b.WriteByte('\n')
 		}
 	}

@@ -68,6 +68,62 @@ func TestValidateRejections(t *testing.T) {
 		{"unknown op", func(p *Program) {
 			p.Funcs[0].Code[0] = Instr{Op: Op(99)}
 		}, "unknown opcode"},
+		// Abstract-interpretation rejections: structurally fine programs
+		// whose stack discipline is broken.
+		{"pop underflow", func(p *Program) {
+			p.Funcs[0].Code = []Instr{{Op: OpPop}, {Op: OpEnd}}
+		}, "stack underflow"},
+		{"ret underflow", func(p *Program) {
+			p.Funcs[1].Code = []Instr{{Op: OpRet}}
+		}, "stack underflow"},
+		{"hop underflow", func(p *Program) {
+			p.Funcs[0].Code = []Instr{{Op: OpHop, A: 1}, {Op: OpEnd}}
+		}, "stack underflow"},
+		{"unbalanced merge", func(p *Program) {
+			// One branch arm pushes a value the other does not, so the merge
+			// point would have a path-dependent stack depth.
+			p.Funcs[0].Code = []Instr{
+				{Op: OpConst},    // 1
+				{Op: OpJz, A: 3}, // 0, branches to 3
+				{Op: OpConst},    // 1, falls into 3
+				{Op: OpStoreM},   // merge at conflicting depths
+				{Op: OpEnd},
+			}
+		}, "inconsistent stack depth"},
+		{"hop above statement boundary", func(p *Program) {
+			// A fourth operand lingers beneath the hop's single arm: the hop
+			// is not at a statement boundary.
+			p.Funcs[0].Code = []Instr{
+				{Op: OpConst}, {Op: OpConst}, {Op: OpConst}, {Op: OpConst},
+				{Op: OpHop, A: 1},
+				{Op: OpEnd},
+			}
+		}, "operands left beneath its arms"},
+		{"create above statement boundary", func(p *Program) {
+			p.Funcs[0].Code = []Instr{
+				{Op: OpConst},
+				{Op: OpConst}, {Op: OpConst}, {Op: OpConst},
+				{Op: OpConst}, {Op: OpConst}, {Op: OpConst},
+				{Op: OpCreate, A: 1},
+				{Op: OpEnd},
+			}
+		}, "operands left beneath its arms"},
+		{"calln argc beyond depth", func(p *Program) {
+			p.Funcs[0].Code = []Instr{
+				{Op: OpConst},
+				{Op: OpCallNative, A: 0, B: 2},
+				{Op: OpPop},
+				{Op: OpEnd},
+			}
+		}, "exceeds stack depth"},
+		{"falls off end", func(p *Program) {
+			p.Funcs[0].Code = []Instr{{Op: OpConst}, {Op: OpPop}}
+		}, "falls off end"},
+		{"jump to code length", func(p *Program) {
+			// Branching one past the last instruction is falling off the end
+			// with extra steps; the verifier demands in-range targets.
+			p.Funcs[0].Code = []Instr{{Op: OpJmp, A: 2}, {Op: OpEnd}}
+		}, "jump target"},
 	}
 	for _, tc := range cases {
 		p := validProgram()
@@ -88,5 +144,117 @@ func TestDecodeRunsValidation(t *testing.T) {
 	p.Funcs[0].Code[0].A = 99 // invalid constant index, structurally fine
 	if _, err := Decode(p.Encode()); err == nil {
 		t.Error("Decode must validate operands")
+	}
+}
+
+func TestValidateBoundsStackDepth(t *testing.T) {
+	// A straight-line dup chain grows the stack by one per instruction;
+	// past maxStackDepth the verifier must refuse rather than admit a
+	// program whose snapshot size is unbounded by static analysis.
+	p := validProgram()
+	code := []Instr{{Op: OpConst}}
+	for i := 0; i <= maxStackDepth; i++ {
+		code = append(code, Instr{Op: OpDup})
+	}
+	code = append(code, Instr{Op: OpEnd})
+	p.Funcs[0].Code = code
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "exceeds maximum") {
+		t.Errorf("unbounded dup chain: err = %v", err)
+	}
+}
+
+func TestVerifierMetadata(t *testing.T) {
+	p := validProgram()
+	if p.Verified() {
+		t.Error("fresh program must not report verified")
+	}
+	if p.StackDepth(0, 0) != -1 || p.MaxStack(0) != -1 {
+		t.Error("unverified metadata must be -1")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Verified() {
+		t.Error("Validate must mark the program verified")
+	}
+	// <main>: const (0→1), storem (1→0), end.
+	for pc, want := range []int{0, 1, 0} {
+		if got := p.StackDepth(0, pc); got != want {
+			t.Errorf("StackDepth(0, %d) = %d, want %d", pc, got, want)
+		}
+	}
+	if got := p.MaxStack(0); got != 1 {
+		t.Errorf("MaxStack(0) = %d, want 1", got)
+	}
+	// Out-of-range queries stay -1 instead of panicking.
+	if p.StackDepth(0, 99) != -1 || p.StackDepth(5, 0) != -1 || p.MaxStack(9) != -1 {
+		t.Error("out-of-range metadata queries must be -1")
+	}
+	// Mutating and re-validating recomputes; a now-invalid program loses
+	// its verified status.
+	p.Funcs[0].Code[0] = Instr{Op: OpPop}
+	if err := p.Validate(); err == nil {
+		t.Fatal("mutated program should fail")
+	}
+	if p.Verified() || p.StackDepth(0, 0) != -1 {
+		t.Error("failed Validate must clear verified state")
+	}
+}
+
+func TestVerifierUnreachableCode(t *testing.T) {
+	// Dead code after an unconditional jump is accepted (the compiler can
+	// emit it) but reported unreachable in the metadata.
+	p := validProgram()
+	p.Funcs[0].Code = []Instr{
+		{Op: OpJmp, A: 2},
+		{Op: OpNop}, // unreachable
+		{Op: OpEnd},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.StackDepth(0, 1) != -1 {
+		t.Errorf("unreachable pc depth = %d, want -1", p.StackDepth(0, 1))
+	}
+	if p.StackDepth(0, 2) != 0 {
+		t.Errorf("reachable pc depth = %d, want 0", p.StackDepth(0, 2))
+	}
+	asm := p.DisassembleDepths()
+	if !strings.Contains(asm, "maxstack=") {
+		t.Errorf("DisassembleDepths missing maxstack header:\n%s", asm)
+	}
+	if !strings.Contains(asm, "[  -]") {
+		t.Errorf("DisassembleDepths missing unreachable marker:\n%s", asm)
+	}
+}
+
+func TestVerifierHopAtDepthInsideCall(t *testing.T) {
+	// The statement-boundary rule is relative to function entry, not an
+	// absolute empty stack: a hop inside a callee is legal even though the
+	// shared operand stack still holds the caller's pending operands.
+	p := &Program{
+		Name:   "deep",
+		Consts: []value.Value{value.Int(1), value.Str("x")},
+		Names:  []string{"x"},
+		Funcs: []FuncInfo{
+			{Name: "<main>", Code: []Instr{
+				{Op: OpConst}, // pending operand under the call (1 + f(1))
+				{Op: OpConst}, // the argument
+				{Op: OpCallFunc, A: 1, B: 1},
+				{Op: OpAdd},
+				{Op: OpStoreM},
+				{Op: OpEnd},
+			}},
+			{Name: "f", NumParams: 1, NumLocals: 1, Code: []Instr{
+				{Op: OpConst, A: 1}, {Op: OpConst, A: 1}, {Op: OpConst, A: 1},
+				{Op: OpHop, A: 1},
+				{Op: OpConst},
+				{Op: OpRet},
+			}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("hop at callee statement boundary rejected: %v", err)
 	}
 }

@@ -53,6 +53,14 @@ func CompileScript(name, src string, ast *script.Script) (*bytecode.Program, err
 	if err := c.compileMain(ast.Body); err != nil {
 		return nil, err
 	}
+	// Every compiled program must pass the bytecode verifier before it can
+	// be registered or shipped; a failure here is a compiler bug, reported
+	// as an error so daemons never execute unverifiable code. This also
+	// attaches the per-PC stack-depth metadata Restore checks snapshots
+	// against.
+	if err := c.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("msl: compiler emitted unverifiable bytecode: %w", err)
+	}
 	return c.prog, nil
 }
 

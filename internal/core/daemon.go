@@ -640,6 +640,7 @@ func (d *Daemon) localMin() float64 {
 	if len(d.waitQ) > 0 {
 		min = d.waitQ[0].at
 	}
+	//lint:maporder min over values is order-independent
 	for _, lvt := range d.activeLVTs {
 		if lvt < min {
 			min = lvt

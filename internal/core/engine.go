@@ -115,7 +115,7 @@ type ChanEngine struct {
 
 // NewChanEngine starts n daemon executors.
 func NewChanEngine(n int) *ChanEngine {
-	e := &ChanEngine{inboxes: make([]*workQueue, n), start: time.Now()}
+	e := &ChanEngine{inboxes: make([]*workQueue, n), start: time.Now()} //lint:wallclock real engine: wall time is its virtual time
 	for i := range e.inboxes {
 		e.inboxes[i] = newWorkQueue()
 	}
@@ -155,6 +155,7 @@ func (e *ChanEngine) Send(_, dst int, msg *Msg) {
 
 // SetTimer implements Engine using wall-clock time (1 engine ns = 1 ns).
 func (e *ChanEngine) SetTimer(d int, delay sim.Time, fn func()) {
+	//lint:wallclock real engine: timers are real timers by definition
 	time.AfterFunc(time.Duration(delay), func() {
 		e.inboxes[d].put(fn)
 	})
@@ -164,7 +165,7 @@ func (e *ChanEngine) SetTimer(d int, delay sim.Time, fn func()) {
 func (e *ChanEngine) Model() *lan.CostModel { return nil }
 
 // Now implements Engine with monotonic wall time since engine start.
-func (e *ChanEngine) Now() sim.Time { return sim.Time(time.Since(e.start)) }
+func (e *ChanEngine) Now() sim.Time { return sim.Time(time.Since(e.start)) } //lint:wallclock real engine clock
 
 // HostSpec implements Engine.
 func (e *ChanEngine) HostSpec(int) lan.HostSpec { return lan.HostSpec{} }

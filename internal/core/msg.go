@@ -207,6 +207,12 @@ func (m *Msg) AppendTo(e *wire.Encoder) {
 func (m *Msg) Encode() []byte {
 	e := wire.AppendingTo(make([]byte, 0, m.EncodedSize()))
 	m.AppendTo(e)
+	if err := e.Err(); err != nil {
+		// Production paths frame through EncodeFrame and handle the sticky
+		// error; Encode is the test/tooling spelling, where shipping
+		// truncated bytes silently would corrupt goldens — be loud instead.
+		panic(fmt.Sprintf("core: Msg.Encode: %v", err))
+	}
 	return e.Bytes()
 }
 

@@ -26,6 +26,7 @@ package core
 // make their natives idempotent (see docs/FAULTS.md).
 
 import (
+	"fmt"
 	"sort"
 
 	"messengers/internal/logical"
@@ -150,6 +151,30 @@ func (d *Daemon) ship(dst int, msg *Msg, counted bool) {
 		d.redirectDead(dst, msg)
 		return
 	}
+	if d.rec != nil && msg.XferVM != nil {
+		// Retransmission and duplicate delivery both need bytes that survive
+		// the first decode, so recovery mode forgoes the zero-copy ownership
+		// transfer and snapshots here — before the GVT books see the send, so
+		// an unserializable Messenger dies like any runtime failure instead
+		// of leaving a phantom transient.
+		snap, err := msg.XferVM.Snapshot()
+		if err != nil {
+			d.Stats.Errors++
+			if d.om != nil {
+				d.om.errs.Inc()
+			}
+			if d.tr != nil {
+				d.tr.Instant(d.id, "msgr", "error", msgrID(msg.MsgrID), obs.S("err", err.Error()))
+			}
+			d.sys.recordError(fmt.Errorf("daemon %d, messenger %d: %w", d.id, msg.MsgrID, err))
+			if msg.CarriesMessenger() {
+				d.sys.workDone(1)
+			}
+			return
+		}
+		msg.Snapshot = snap
+		msg.XferVM = nil
+	}
 	if counted {
 		d.sent++
 		if d.rec != nil {
@@ -167,13 +192,6 @@ func (d *Daemon) ship(dst int, msg *Msg, counted bool) {
 // message, arming its retransmission timer. The Messenger's liveness slot
 // stays with the retained entry until the ack arrives.
 func (d *Daemon) reliableSend(dst int, msg *Msg) {
-	if msg.XferVM != nil {
-		// Retransmission and duplicate delivery both need bytes that
-		// survive the first decode, so recovery mode forgoes the zero-copy
-		// ownership transfer and snapshots here.
-		msg.Snapshot = msg.XferVM.Snapshot()
-		msg.XferVM = nil
-	}
 	rec := d.rec
 	rec.nextSeq++
 	msg.HopSeq = rec.nextSeq
@@ -252,6 +270,7 @@ func (d *Daemon) maybeRelease(e *retxEntry) {
 // time retain their acknowledged entries for the whole run — which is also
 // what makes their Messengers respawnable at any point.
 func (d *Daemon) releaseFossils() {
+	//lint:maporder unordered delete of independent entries
 	for seq, e := range d.rec.pending {
 		if e.acked && e.lvt < d.gvt {
 			e.released = true
@@ -356,6 +375,7 @@ func (d *Daemon) PeerDown(peer int) {
 		}
 	}
 	var seqs []uint64
+	//lint:maporder keys are collected then sorted before use
 	for seq, e := range rec.pending {
 		if e.dst == peer {
 			seqs = append(seqs, seq)
@@ -375,6 +395,7 @@ func (d *Daemon) PeerUp(peer int) {
 		return
 	}
 	d.rec.peerDead[peer] = false
+	//lint:maporder unordered delete of independent entries
 	for addr := range d.rec.adopted {
 		if addr.Daemon == peer {
 			delete(d.rec.adopted, addr)
@@ -421,6 +442,7 @@ func (d *Daemon) respawnEntry(e *retxEntry) {
 func (d *Daemon) crashCleanup() {
 	d.epoch++
 	lost := len(d.activeLVTs) + len(d.waitQ)
+	//lint:maporder commutative counting over values
 	for _, e := range d.rec.pending {
 		e.released = true
 		if !e.acked && e.msg.CarriesMessenger() {

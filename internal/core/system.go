@@ -212,6 +212,7 @@ func (s *System) FlushVMProfiles() {
 		}
 		for op, n := range d.prof.Counts {
 			if n > 0 {
+				//lint:obsname one name per opcode mnemonic, a closed set
 				s.metrics.Counter("vm.op." + vm.OpName(op)).Add(n)
 				d.prof.Counts[op] = 0
 			}
@@ -563,6 +564,7 @@ func (c *coordinator) conclude() {
 	var sent, recv int64
 	min := math.Inf(1)
 	ids := make([]int, 0, len(c.reports))
+	//lint:maporder keys are collected then sorted before use
 	for id := range c.reports {
 		ids = append(ids, id)
 	}

@@ -36,6 +36,7 @@ type conservative struct {
 
 func (cs *conservative) unfinishedMin() float64 {
 	min := inf
+	//lint:maporder min over values is order-independent
 	for _, at := range cs.unfinished {
 		if at < min {
 			min = at

@@ -40,6 +40,7 @@ type IntState map[string]int64
 // Clone implements State.
 func (s IntState) Clone() State {
 	c := make(IntState, len(s))
+	//lint:maporder map copy is order-independent
 	for k, v := range s {
 		c[k] = v
 	}

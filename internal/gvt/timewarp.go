@@ -55,6 +55,7 @@ type timeWarp struct {
 
 func (tw *timeWarp) unfinishedMin() float64 {
 	min := inf
+	//lint:maporder min over values is order-independent
 	for _, at := range tw.unfinished {
 		if at < min {
 			min = at

@@ -195,6 +195,7 @@ func (c *Cluster) Observe(tr *obs.Tracer, m *obs.Metrics) {
 		c.Bus.bytes = m.Counter("bus.bytes")
 		c.Bus.busy = m.Counter("bus.busy_ns")
 		for _, h := range c.Hosts {
+			//lint:obsname per-host series; host IDs are dense and bounded
 			h.busy = m.Counter(fmt.Sprintf("host.%d.busy_ns", h.ID))
 		}
 	}

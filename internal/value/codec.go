@@ -160,6 +160,7 @@ func Decode(buf []byte) (Value, int, error) {
 // (deterministic), one pass, no intermediate buffers.
 func AppendEnvTo(e *wire.Encoder, env map[string]Value) {
 	keys := make([]string, 0, len(env))
+	//lint:maporder keys are collected then sorted before use
 	for k := range env {
 		keys = append(keys, k)
 	}
@@ -216,6 +217,7 @@ func DecodeEnv(buf []byte) (map[string]Value, int, error) {
 // agree byte-for-byte with AppendEnvTo.
 func EnvWireSize(env map[string]Value) int {
 	n := 4
+	//lint:maporder summation is order-independent
 	for k, v := range env {
 		n += 4 + len(k) + v.WireSize()
 	}
@@ -225,6 +227,7 @@ func EnvWireSize(env map[string]Value) int {
 // CloneEnv deep-copies a variable map.
 func CloneEnv(env map[string]Value) map[string]Value {
 	out := make(map[string]Value, len(env))
+	//lint:maporder map copy is order-independent
 	for k, v := range env {
 		out[k] = v.Clone()
 	}

@@ -1,0 +1,83 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"messengers/internal/bytecode"
+	"messengers/internal/compile"
+)
+
+// FuzzProgramValidate throws arbitrary bytes at the bytecode decoder and
+// its verifier, then executes whatever they accept. The properties under
+// test are the verifier's contract:
+//
+//   - Decode/Validate never panic, whatever the input;
+//   - any accepted program runs on the VM without panicking — in
+//     particular the shared operand stack never underflows even though
+//     Run skips the dynamic PC bounds check for verified programs.
+//
+// Runtime errors (type mismatches, unknown natives, budget exhaustion)
+// are fine; those are dynamic properties the verifier does not claim.
+func FuzzProgramValidate(f *testing.F) {
+	seeds := []string{
+		`x = 1;`,
+		`func rec(n) {
+			if (n < 1) { hop(ll = "deep"); return 100; }
+			return 1 + rec(n - 1);
+		}
+		total = 3 + rec(6);`,
+		`arr = [1, 2, "three"];
+		i = 0;
+		while (i < 3) { s = s + arr[i]; i = i + 1; }
+		create(ln = "a", ll = "l", ldir = ">", dn = "b", dl = "l", ddir = "<");`,
+		`node.count = node.count + 1; delete(ln = *);`,
+	}
+	for _, src := range seeds {
+		prog, err := compile.Compile("fuzzseed", src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(prog.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := bytecode.Decode(data)
+		if err != nil {
+			return
+		}
+		if !prog.Verified() {
+			t.Fatal("Decode returned an unverified program")
+		}
+		// Metadata queries must be total over the whole code space.
+		for fi := range prog.Funcs {
+			if prog.MaxStack(fi) < 0 {
+				t.Fatalf("verified func %d has no max stack", fi)
+			}
+			for pc := range prog.Funcs[fi].Code {
+				prog.StackDepth(fi, pc)
+			}
+		}
+		m := New(prog, nil)
+		res, err := m.Run(newTestHost(), 4096)
+		if err != nil {
+			if strings.Contains(err.Error(), "pc out of range") {
+				t.Fatalf("verified program escaped its code: %v", err)
+			}
+			return // dynamic errors are legal
+		}
+		// A VM paused at a navigational statement is exactly what daemons
+		// serialize; it must snapshot and restore losslessly.
+		switch res.Pause {
+		case PauseHop, PauseCreate, PauseDelete:
+			snap, err := m.Snapshot()
+			if err != nil {
+				return // oversized values: legal dynamic failure
+			}
+			if _, err := Restore(prog, snap); err != nil {
+				t.Fatalf("snapshot of verified program rejected: %v", err)
+			}
+		}
+	})
+}

@@ -33,12 +33,18 @@ func (m *VM) AppendSnapshot(e *wire.Encoder) {
 }
 
 // Snapshot builds the snapshot as a standalone slice, preallocated to its
-// exact encoded size (no regrows). Hot paths encode through AppendSnapshot
-// instead, straight into a pooled frame.
-func (m *VM) Snapshot() []byte {
+// exact encoded size (no regrows). An error means some value exceeded the
+// wire layer's length limit and the snapshot is unusable; callers must
+// treat the Messenger as unserializable rather than ship the truncated
+// bytes. Hot paths encode through AppendSnapshot instead, straight into a
+// pooled frame whose sticky error the frame writer checks.
+func (m *VM) Snapshot() ([]byte, error) {
 	e := wire.AppendingTo(make([]byte, 0, m.SnapshotSize()))
 	m.AppendSnapshot(e)
-	return e.Bytes()
+	if err := e.Err(); err != nil {
+		return nil, fmt.Errorf("vm: snapshot: %w", err)
+	}
+	return e.Bytes(), nil
 }
 
 // SnapshotSize returns the exact encoded size of AppendSnapshot's output
@@ -63,7 +69,14 @@ func (m *VM) SnapshotSize() int {
 // WireSize is SnapshotSize under the name the cost-model call sites use.
 func (m *VM) WireSize() int { return m.SnapshotSize() }
 
-// Restore rebuilds a VM from a snapshot against its program.
+// Restore rebuilds a VM from a snapshot against its program. For verified
+// programs (every compiled or wire-decoded program) the restored state is
+// checked against the verifier's stack-depth metadata: each frame must
+// resume at a reachable PC, interior frames must sit just past the call
+// instruction that entered their callee, and the operand stack must have
+// exactly the depth the verifier proved for that resume point. A snapshot
+// taken at any hop therefore restores by construction, and anything else
+// is rejected here instead of crashing the VM mid-run.
 func Restore(prog *bytecode.Program, buf []byte) (*VM, error) {
 	vars, p, err := value.DecodeEnv(buf)
 	if err != nil {
@@ -104,6 +117,10 @@ func Restore(prog *bytecode.Program, buf []byte) (*VM, error) {
 		if pc > len(prog.Funcs[fn].Code) {
 			return nil, fmt.Errorf("vm: snapshot pc %d beyond code of %q", pc, prog.Funcs[fn].Name)
 		}
+		if nloc != prog.Funcs[fn].NumLocals {
+			return nil, fmt.Errorf("vm: snapshot carries %d locals for %q declaring %d",
+				nloc, prog.Funcs[fn].Name, prog.Funcs[fn].NumLocals)
+		}
 		if nloc > 1<<20 || nloc > len(buf)-p {
 			return nil, fmt.Errorf("vm: snapshot local count %d exceeds buffer", nloc)
 		}
@@ -134,5 +151,46 @@ func Restore(prog *bytecode.Program, buf []byte) (*VM, error) {
 		m.stack[i] = v
 		p += n
 	}
+	if prog.Verified() {
+		if err := m.checkResumeState(); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
+}
+
+// checkResumeState proves a restored VM consistent with the verifier's
+// metadata: the operand stack depth must equal the sum of what each frame's
+// resume PC contributes. The top frame contributes its full entry depth;
+// an interior frame sits one instruction past the OpCallFunc that entered
+// the next frame, and its pending return value has not been pushed yet, so
+// it contributes one less than the depth recorded after the call.
+func (m *VM) checkResumeState() error {
+	want := 0
+	for i := range m.frames {
+		f := &m.frames[i]
+		code := m.prog.Funcs[f.fn].Code
+		if f.pc >= len(code) {
+			return fmt.Errorf("vm: snapshot resumes %q at pc %d past end of code", m.prog.Funcs[f.fn].Name, f.pc)
+		}
+		d := m.prog.StackDepth(f.fn, f.pc)
+		if d < 0 {
+			return fmt.Errorf("vm: snapshot resumes %q at unreachable pc %d", m.prog.Funcs[f.fn].Name, f.pc)
+		}
+		if i < len(m.frames)-1 {
+			call := f.pc - 1
+			if call < 0 || code[call].Op != bytecode.OpCallFunc || int(code[call].A) != m.frames[i+1].fn {
+				return fmt.Errorf("vm: snapshot frame %d of %q does not resume after a call into %q",
+					i, m.prog.Funcs[f.fn].Name, m.prog.Funcs[m.frames[i+1].fn].Name)
+			}
+			want += d - 1
+		} else {
+			want += d
+		}
+	}
+	if len(m.stack) != want {
+		return fmt.Errorf("vm: snapshot stack depth %d inconsistent with resume point (verifier proved %d)",
+			len(m.stack), want)
+	}
+	return nil
 }

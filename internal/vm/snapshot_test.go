@@ -39,7 +39,11 @@ func pausedDeepVM(t testing.TB) (*VM, []byte) {
 	if res.Pause != PauseHop {
 		t.Fatalf("pause = %v, want hop", res.Pause)
 	}
-	return m, m.Snapshot()
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, snap
 }
 
 func TestSnapshotRestoreAtDepth(t *testing.T) {
@@ -119,12 +123,19 @@ func FuzzSnapshotRestore(f *testing.F) {
 		if err != nil {
 			return
 		}
-		again := m1.Snapshot()
+		again, err := m1.Snapshot()
+		if err != nil {
+			t.Fatalf("re-snapshot of accepted snapshot failed: %v", err)
+		}
 		m2, err := Restore(prog, again)
 		if err != nil {
 			t.Fatalf("re-restore of accepted snapshot failed: %v", err)
 		}
-		if !bytes.Equal(again, m2.Snapshot()) {
+		snap2, err := m2.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, snap2) {
 			t.Fatal("snapshot of restored VM is not stable")
 		}
 	})

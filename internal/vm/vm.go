@@ -212,10 +212,16 @@ func (m *VM) runtimeError(format string, args ...any) error {
 func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
 	var steps int64
 	prof := m.prof
+	// Verified programs have statically proven control flow: every jump
+	// target is in range and no path falls off the end of the code, so the
+	// per-step PC bounds check is redundant (Restore already vets resume
+	// PCs against the same metadata). Unverified programs — hand-built in
+	// tests — keep the dynamic guard.
+	verified := m.prog.Verified()
 	for {
 		f := m.top()
 		code := m.prog.Funcs[f.fn].Code
-		if f.pc < 0 || f.pc >= len(code) {
+		if !verified && (f.pc < 0 || f.pc >= len(code)) {
 			return Result{}, m.runtimeError("program counter out of range (%d)", f.pc)
 		}
 		ins := code[f.pc]

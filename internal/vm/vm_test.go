@@ -572,7 +572,10 @@ func TestSnapshotRestoreMidExecution(t *testing.T) {
 		t.Fatalf("pause = %v", res.Pause)
 	}
 
-	snap := m.Snapshot()
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := m.WireSize(); got != len(snap) {
 		t.Errorf("WireSize = %d, snapshot = %d bytes", got, len(snap))
 	}
@@ -617,7 +620,11 @@ func TestRestoreErrors(t *testing.T) {
 	if _, err := m.Run(newTestHost(), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Restore(prog, m.Snapshot()); err == nil {
+	crossSnap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(prog, crossSnap); err == nil {
 		t.Error("cross-program restore should fail validation")
 	}
 }

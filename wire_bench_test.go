@@ -42,7 +42,11 @@ func wireBenchVM(b *testing.B) (*vm.VM, []byte) {
 	if _, err := m.Run(discardHost{}, 0); err != nil {
 		b.Fatal(err)
 	}
-	return m, m.Snapshot()
+	snap, err := m.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, snap
 }
 
 // BenchmarkWireEncode measures serializing one Messenger-carrying message
