@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures figures-short examples vet lint clean
+.PHONY: all build test race bench bench-serve figures figures-short examples vet lint clean
 
 all: vet lint test
 
@@ -25,6 +25,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
+
+# Load-test the multi-tenant admission service (internal/serve) on both
+# engines and record the service perf trajectory: throughput, latency
+# percentiles, and rejection rates land in BENCH_serve.json. Exits nonzero
+# on any quota violation or missing backpressure.
+bench-serve:
+	$(GO) run ./cmd/mload -mode both -sessions 100000 -tcp-sessions 5000 -out BENCH_serve.json
 
 # Regenerate every paper figure/table into experiments/.
 figures:

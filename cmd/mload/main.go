@@ -1,0 +1,462 @@
+// mload load-tests the multi-tenant admission service (internal/serve): it
+// drives hundreds of thousands of short-lived Messenger sessions through a
+// daemon network and verifies that quotas hold — no tenant ever exceeds its
+// instruction budget — and that overload produces explicit backpressure
+// rather than latency collapse.
+//
+// Two engines, same service stack:
+//
+//   - sim: the deterministic simulated cluster. Submissions are driven by
+//     simulation events, admission token buckets run on virtual time, and
+//     six-figure session counts take seconds of wall time.
+//   - tcp: real daemons over TCP sockets, real goroutine submitters with
+//     retry-on-429, wall-clock token buckets.
+//
+// The workload mixes three session shapes: well-behaved ring walkers (hop a
+// logical ring, touch node variables, die), runaway hogs (infinite compute
+// loops that the per-session step budget must evict), and an overloaded
+// tenant whose burst of submissions must bounce off its admission quota.
+//
+//	mload -mode both -sessions 100000 -out BENCH_serve.json
+//	mload -mode tcp -tcp-sessions 2000
+//
+// mload exits nonzero if any quota violation is observed (a session's
+// metered steps exceeding its budget), if hogs are not evicted, or if the
+// overloaded tenant is not backpressured.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"messengers"
+	"messengers/internal/serve"
+	"messengers/internal/sim"
+)
+
+// walker is the well-behaved session: walk the ring, stamp nodes, die.
+const walkerSrc = `
+	for (k = 0; k < hops; k++) {
+		node.visits = node.visits + 1;
+		hop(ll = "ring", ldir = +);
+	}
+`
+
+// hog is the runaway session: an unbounded compute loop. Only the
+// per-session instruction budget stops it.
+const hogSrc = `
+	for (k = 0; k >= 0; k++) {
+		x = x + 1;
+	}
+`
+
+type runResult struct {
+	Engine     string  `json:"engine"`
+	Daemons    int     `json:"daemons"`
+	Tenants    int     `json:"tenants"`
+	Offered    int64   `json:"offered"`
+	Admitted   int64   `json:"admitted"`
+	Completed  int64   `json:"completed"`
+	Evicted    int64   `json:"evicted"`
+	Rejected   int64   `json:"rejected"`
+	Violations int64   `json:"violations"`
+	Throughput float64 `json:"throughput_per_s"` // completions per engine-time second
+	P50Ms      float64 `json:"p50_ms"`           // engine-time latency percentiles
+	P99Ms      float64 `json:"p99_ms"`
+	RejectRate float64 `json:"reject_rate"` // rejected / offered (incl. driver retries)
+	// The overload experiment: a burst from the "greedy" tenant against a
+	// tiny admission quota. Its rejection rate is the backpressure
+	// demonstration, separated from the well-behaved drivers' retries.
+	OverloadOffered  int64   `json:"overload_offered"`
+	OverloadRejected int64   `json:"overload_rejected"`
+	OverloadRate     float64 `json:"overload_reject_rate"`
+	WallS            float64 `json:"wall_s"`
+}
+
+type benchFile struct {
+	Bench string      `json:"bench"`
+	Date  string      `json:"date"`
+	Go    string      `json:"go"`
+	Runs  []runResult `json:"runs"`
+}
+
+type params struct {
+	daemons  int
+	tenants  int
+	sessions int
+	hops     int
+	budget   int64
+	hogEvery int
+	verbose  bool
+}
+
+func main() {
+	mode := flag.String("mode", "both", "engines to run: sim, tcp, or both")
+	daemons := flag.Int("daemons", 4, "daemon count")
+	tenants := flag.Int("tenants", 4, "well-behaved tenant count")
+	sessions := flag.Int("sessions", 100000, "target admitted sessions (sim)")
+	tcpSessions := flag.Int("tcp-sessions", 2000, "target admitted sessions (tcp)")
+	hops := flag.Int("hops", 4, "ring hops per walker session")
+	budget := flag.Int64("budget", 4096, "per-session instruction step budget")
+	hogEvery := flag.Int("hog-every", 50, "every Nth session is a runaway hog (0 = none)")
+	out := flag.String("out", "", "write results as JSON to this file")
+	verbose := flag.Bool("v", false, "per-tenant stats")
+	flag.Parse()
+
+	p := params{
+		daemons: *daemons, tenants: *tenants, sessions: *sessions,
+		hops: *hops, budget: *budget, hogEvery: *hogEvery, verbose: *verbose,
+	}
+	var runs []runResult
+	if *mode == "sim" || *mode == "both" {
+		runs = append(runs, runSim(p))
+	}
+	if *mode == "tcp" || *mode == "both" {
+		tp := p
+		tp.sessions = *tcpSessions
+		runs = append(runs, runTCP(tp))
+	}
+	for _, r := range runs {
+		fmt.Printf("%s: offered=%d admitted=%d completed=%d evicted=%d rejected=%d violations=%d overload=%d/%d (%.1f%%) throughput=%.0f/s p50=%.3fms p99=%.3fms wall=%.1fs\n",
+			r.Engine, r.Offered, r.Admitted, r.Completed, r.Evicted, r.Rejected,
+			r.Violations, r.OverloadRejected, r.OverloadOffered, 100*r.OverloadRate,
+			r.Throughput, r.P50Ms, r.P99Ms, r.WallS)
+	}
+	if *out != "" {
+		bf := benchFile{
+			Bench: "serve",
+			Date:  time.Now().UTC().Format(time.RFC3339),
+			Go:    runtime.Version(),
+			Runs:  runs,
+		}
+		data, _ := json.MarshalIndent(bf, "", "  ")
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+// tenantSetup builds the tenant roster: n well-behaved tenants plus one
+// "greedy" tenant with a tiny admission quota whose burst must bounce.
+func tenantSetup(p params) []serve.TenantConfig {
+	var ts []serve.TenantConfig
+	for i := 0; i < p.tenants; i++ {
+		ts = append(ts, serve.TenantConfig{
+			ID: fmt.Sprintf("t%d", i),
+			Quota: serve.Quota{
+				StepBudget: p.budget,
+				MemBudget:  64 << 10,
+				// Admission paced by live-cap + queue, not by rate: the
+				// drivers self-pace on backpressure.
+				MaxQueue: 512,
+				MaxLive:  256,
+			},
+		})
+	}
+	ts = append(ts, serve.TenantConfig{
+		ID: "greedy",
+		Quota: serve.Quota{
+			StepBudget: p.budget,
+			// 20 sessions/s with a burst of 5 and almost no queue: a
+			// 500-session burst must be overwhelmingly rejected with 429.
+			InjectRate: 20, InjectBurst: 5,
+			MaxQueue: 4,
+		},
+	})
+	return ts
+}
+
+// ringSpec lays down the shared logical ring, one node per daemon.
+func ringSpec(daemons int) messengers.NetSpec {
+	spec := messengers.NetSpec{}
+	for i := 0; i < daemons; i++ {
+		spec.Nodes = append(spec.Nodes, messengers.NetNode{Name: fmt.Sprintf("r%d", i), Daemon: i})
+		spec.Links = append(spec.Links, messengers.NetLink{
+			A: fmt.Sprintf("r%d", i), B: fmt.Sprintf("r%d", (i+1)%daemons), Name: "ring", Dir: 1,
+		})
+	}
+	return spec
+}
+
+// submission builds the i-th session: round-robin tenant and daemon, every
+// hogEvery-th a runaway hog.
+func submission(p params, i int) serve.Submission {
+	d := i % p.daemons
+	sub := serve.Submission{
+		Tenant: fmt.Sprintf("t%d", i%p.tenants),
+		Name:   "walker",
+		Source: walkerSrc,
+		Node:   fmt.Sprintf("r%d", d),
+		Daemon: d,
+		Vars:   map[string]messengers.Value{"hops": messengers.IntValue(int64(p.hops))},
+	}
+	if p.hogEvery > 0 && i%p.hogEvery == p.hogEvery-1 {
+		sub.Name, sub.Source, sub.Vars = "hog", hogSrc, nil
+	}
+	return sub
+}
+
+// collector accumulates completions (thread-safe; the sim engine calls it
+// from the kernel goroutine, TCP from daemon executors).
+type collector struct {
+	mu        sync.Mutex
+	latencies []sim.Time
+	completed int64
+	evicted   int64
+}
+
+func (c *collector) observe(comp serve.Completion) {
+	c.mu.Lock()
+	c.latencies = append(c.latencies, comp.Latency)
+	if comp.Evicted {
+		c.evicted++
+	} else {
+		c.completed++
+	}
+	c.mu.Unlock()
+}
+
+// runSim drives the simulated engine: a submission chain self-paced by
+// backpressure plus a greedy burst, all in virtual time.
+func runSim(p params) runResult {
+	sys, err := messengers.NewSimSystem(messengers.Config{Daemons: p.daemons})
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.BuildNetwork(ringSpec(p.daemons)); err != nil {
+		fatal(err)
+	}
+	k := sys.Kernel()
+	col := &collector{}
+	srv, err := serve.New(sys.System, serve.Config{
+		Tenants:    tenantSetup(p),
+		Clock:      k.Now,
+		After:      func(d sim.Time, fn func()) { k.After(d, fn) },
+		OnComplete: col.observe,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var offered, rejected, greedyOffered, greedyRejected int64
+	// Driver chain: each virtual millisecond, submit until the target is
+	// reached or a tenant pushes back; backpressure pauses the driver for
+	// a tick, so the offered load tracks the service's admission rate.
+	admitted := 0
+	var tick func()
+	tick = func() {
+		backoff := sim.Millisecond
+		for admitted < p.sessions {
+			offered++
+			_, _, err := srv.Submit(submission(p, admitted))
+			if err != nil {
+				rejected++
+				backoff = 5 * sim.Millisecond // saturated: probe less often
+				break
+			}
+			admitted++
+		}
+		if admitted < p.sessions {
+			k.After(backoff, tick)
+		}
+	}
+	k.At(0, tick)
+	// Greedy burst at t=100ms: 500 submissions in one instant against a
+	// 20/s quota with a queue of 4 — explicit backpressure, not queueing.
+	k.At(100*sim.Millisecond, func() {
+		for i := 0; i < 500; i++ {
+			greedyOffered++
+			_, _, err := srv.Submit(serve.Submission{
+				Tenant: "greedy", Name: "walker", Source: walkerSrc,
+				Node: "r0", Daemon: 0,
+				Vars: map[string]messengers.Value{"hops": messengers.IntValue(int64(p.hops))},
+			})
+			if err != nil {
+				greedyRejected++
+			}
+		}
+	})
+
+	wallStart := time.Now()
+	makespan := sys.RunSim()
+	wall := time.Since(wallStart)
+
+	res := report("sim", p, srv, col, offered+greedyOffered, rejected+greedyRejected,
+		greedyOffered, greedyRejected,
+		float64(makespan)/float64(sim.Second), wall.Seconds())
+	if greedyRejected < 400 {
+		fatalf("greedy tenant was not backpressured: %d/%d rejected", greedyRejected, greedyOffered)
+	}
+	return res
+}
+
+// runTCP drives real daemons over TCP sockets with goroutine submitters
+// that retry on backpressure.
+func runTCP(p params) runResult {
+	sys, err := messengers.NewTCPSystem(messengers.Config{Daemons: p.daemons}, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.BuildNetwork(ringSpec(p.daemons)); err != nil {
+		fatal(err)
+	}
+	col := &collector{}
+	srv, err := serve.New(sys.System, serve.Config{
+		Tenants:    tenantSetup(p),
+		OnComplete: col.observe,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var offered, rejected, greedyOffered, greedyRejected atomic.Int64
+	var next atomic.Int64
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	workers := 2 * p.tenants
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= p.sessions {
+					return
+				}
+				sub := submission(p, i)
+				for {
+					offered.Add(1)
+					if _, _, err := srv.Submit(sub); err == nil {
+						break
+					}
+					rejected.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	// Greedy burst, concurrent with the well-behaved load.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			greedyOffered.Add(1)
+			if _, _, err := srv.Submit(serve.Submission{
+				Tenant: "greedy", Name: "walker", Source: walkerSrc,
+				Node: "r0", Daemon: 0,
+				Vars: map[string]messengers.Value{"hops": messengers.IntValue(int64(p.hops))},
+			}); err != nil {
+				greedyRejected.Add(1)
+			}
+		}
+	}()
+	wg.Wait()
+	// Let the admission queues empty before draining — Drain sheds queued
+	// submissions, and accepted work should run, not be flushed.
+	for {
+		queued := 0
+		for _, ts := range srv.Stats() {
+			queued += ts.Queue
+		}
+		if queued == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv.Drain()
+	srv.WaitIdle()
+	wall := time.Since(wallStart)
+
+	res := report("tcp", p, srv, col, offered.Load()+greedyOffered.Load(),
+		rejected.Load()+greedyRejected.Load(), greedyOffered.Load(), greedyRejected.Load(),
+		wall.Seconds(), wall.Seconds())
+	if greedyRejected.Load() < 400 {
+		fatalf("greedy tenant was not backpressured: %d/%d rejected", greedyRejected.Load(), greedyOffered.Load())
+	}
+	return res
+}
+
+// report verifies the quota invariants and assembles the run result.
+func report(engine string, p params, srv *serve.Server, col *collector,
+	offered, rejected, overloadOffered, overloadRejected int64,
+	engineSeconds, wallSeconds float64) runResult {
+	stats := srv.Stats()
+	var admitted, evicted, violations int64
+	for _, ts := range stats {
+		admitted += ts.Admitted
+		evicted += ts.Evicted
+		violations += ts.Violations
+		if ts.MaxSessionSteps > p.budget {
+			fatalf("tenant %s: session consumed %d steps over budget %d", ts.ID, ts.MaxSessionSteps, p.budget)
+		}
+		if p.verbose {
+			fmt.Printf("  %s: tenant %-8s admitted=%d completed=%d evicted=%d rejected=%d steps=%d hops=%d max_session=%d\n",
+				engine, ts.ID, ts.Admitted, ts.Completed, ts.Evicted, ts.Rejected, ts.Steps, ts.Hops, ts.MaxSessionSteps)
+		}
+	}
+	if violations != 0 {
+		fatalf("%s: %d quota violations", engine, violations)
+	}
+	if p.hogEvery > 0 && evicted == 0 {
+		fatalf("%s: no hog was evicted", engine)
+	}
+	if live := srv.LiveSessions(); live != 0 {
+		fatalf("%s: %d sessions still live after drain", engine, live)
+	}
+
+	col.mu.Lock()
+	lats := append([]sim.Time(nil), col.latencies...)
+	completed := col.completed
+	colEvicted := col.evicted
+	col.mu.Unlock()
+	if completed+colEvicted != admitted {
+		fatalf("%s: %d completions for %d admissions", engine, completed+colEvicted, admitted)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i]) / float64(sim.Millisecond)
+	}
+	var tput float64
+	if engineSeconds > 0 {
+		tput = float64(completed+colEvicted) / engineSeconds
+	}
+	return runResult{
+		Engine:           engine,
+		Daemons:          p.daemons,
+		Tenants:          p.tenants,
+		Offered:          offered,
+		Admitted:         admitted,
+		Completed:        completed,
+		Evicted:          evicted,
+		Rejected:         rejected,
+		Violations:       violations,
+		Throughput:       tput,
+		P50Ms:            pct(0.50),
+		P99Ms:            pct(0.99),
+		RejectRate:       float64(rejected) / float64(offered),
+		OverloadOffered:  overloadOffered,
+		OverloadRejected: overloadRejected,
+		OverloadRate:     float64(overloadRejected) / float64(overloadOffered),
+		WallS:            wallSeconds,
+	}
+}
+
+func fatal(err error) { fatalf("%v", err) }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -5,12 +5,36 @@ import (
 	"go/types"
 	"regexp"
 	"strconv"
+	"strings"
 
 	"messengers/internal/analysis"
 )
 
 // metricNameRE: dot-namespaced, lowercase — "hops.remote", "gvt.rounds".
 var metricNameRE = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)+$`)
+
+// metricNamespaces is the closed set of first segments a metric name may
+// use. One namespace per subsystem keeps dashboards greppable; adding a
+// subsystem means adding its namespace here (and documenting it in
+// docs/OBSERVABILITY.md), not minting ad-hoc prefixes.
+var metricNamespaces = map[string]bool{
+	"bus":       true, // simulated Ethernet segment
+	"daemon":    true, // daemon executor activity
+	"faults":    true, // injected fault decisions
+	"gvt":       true, // global virtual time protocol
+	"host":      true, // per-host busy accounting (dynamic, suppressed)
+	"hop":       true, // hop payload accounting
+	"hops":      true, // navigation counts
+	"logical":   true, // logical-network store
+	"mandel":    true, // mandelbrot example app
+	"msgr":      true, // Messenger lifecycle
+	"net":       true, // inter-daemon traffic
+	"pvm":       true, // message-passing comparison engine
+	"serve":     true, // multi-tenant admission service
+	"transport": true, // TCP transport internals
+	"vm":        true, // MSL virtual machine
+	"wire":      true, // serialization layer
+}
 
 // traceNameRE: trace categories and names; a single word is fine here
 // ("hop", "msgr"), but the alphabet is the same.
@@ -86,6 +110,11 @@ func checkMetricName(pass *analysis.Pass, kinds obsNameKinds, call *ast.CallExpr
 	if !metricNameRE.MatchString(name) {
 		pass.Reportf(lit.Pos(), "obsname",
 			"metric name %q must be lowercase dot-namespaced (%s)", name, metricNameRE)
+		return
+	}
+	if ns := name[:strings.IndexByte(name, '.')]; !metricNamespaces[ns] {
+		pass.Reportf(lit.Pos(), "obsname",
+			"metric %q uses unknown namespace %q (register it in metricNamespaces)", name, ns)
 		return
 	}
 	if prev, ok := kinds[name]; ok && prev != kind {

@@ -11,9 +11,11 @@ func metrics(m *obs.Metrics, i int) {
 	m.Counter("hops.remote").Inc()                  // fine
 	m.Gauge("gvt.value").Set(1)                     // fine
 	m.Histogram("hop.bytes").Observe(64)            // fine
+	m.Counter("serve.admitted").Inc()               // fine
 	m.Counter(fmt.Sprintf("host.%d.busy", i)).Inc() // want "must be a string literal"
 	m.Counter("NoDots").Inc()                       // want "lowercase dot-namespaced"
 	m.Counter("Upper.Case").Inc()                   // want "lowercase dot-namespaced"
+	m.Counter("madeup.thing").Inc()                 // want "unknown namespace"
 	m.Gauge("hops.remote").Set(2)                   // want "registered as both"
 	m.Counter("hops.remote").Add(2)                 // fine: same kind re-registration
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -27,6 +28,15 @@ type Messenger struct {
 	Node logical.NodeID
 	Last string
 	LVT  float64
+
+	// Tenant and Session identify the admission account this Messenger is
+	// charged to (empty/zero outside service mode); the tags travel on the
+	// wire and survive hops, clones, and recovery respawn. gate is the
+	// resolved per-session quota gate — daemon-local scheduling state,
+	// re-resolved wherever the Messenger materializes.
+	Tenant  string
+	Session uint64
+	gate    SessionGate
 }
 
 // NativeFunc is a registered native-mode function (the paper's dynamically
@@ -91,6 +101,7 @@ type Stats struct {
 	Finished   int64 // Messengers that terminated here
 	Died       int64 // Messengers with zero matching destinations
 	Errors     int64 // Messengers destroyed by runtime errors
+	Evicted    int64 // Messengers destroyed by tenant quota enforcement
 	GVTRounds  int64 // coordinator rounds (daemon 0 only)
 	Suspends   int64 // virtual-time suspensions
 }
@@ -114,7 +125,7 @@ type Daemon struct {
 	// Conservative GVT state.
 	gvt        float64
 	waitQ      wakeHeap
-	activeLVTs map[uint64]float64 // live, runnable Messengers' LVTs
+	active     map[uint64]*Messenger // live, runnable Messengers
 	sent, recv int64
 	notified   bool
 
@@ -140,16 +151,16 @@ type Daemon struct {
 
 func newDaemon(id int, eng Engine, topo *Topology, sys *System) *Daemon {
 	d := &Daemon{
-		id:         id,
-		eng:        eng,
-		topo:       topo,
-		store:      logical.NewStore(id),
-		sys:        sys,
-		programs:   map[bytecode.Hash]*bytecode.Program{},
-		byName:     map[string]*bytecode.Program{},
-		activeLVTs: map[uint64]float64{},
-		tr:         sys.trace,
-		om:         sys.om,
+		id:       id,
+		eng:      eng,
+		topo:     topo,
+		store:    logical.NewStore(id),
+		sys:      sys,
+		programs: map[bytecode.Hash]*bytecode.Program{},
+		byName:   map[string]*bytecode.Program{},
+		active:   map[uint64]*Messenger{},
+		tr:       sys.trace,
+		om:       sys.om,
 	}
 	if sys.metrics != nil {
 		d.prof = &vm.Profile{}
@@ -239,9 +250,9 @@ func (d *Daemon) fail(m *Messenger, err error) {
 	if d.tr != nil {
 		d.tr.Instant(d.id, "msgr", "error", msgrID(m.ID), obs.S("err", err.Error()))
 	}
-	delete(d.activeLVTs, m.ID)
+	delete(d.active, m.ID)
 	d.sys.recordError(fmt.Errorf("daemon %d, messenger %d: %w", d.id, m.ID, err))
-	d.sys.workDone(1)
+	d.sys.sessionWork(m.Tenant, m.Session, -1)
 }
 
 // die destroys a Messenger that has no matching destination (the hop
@@ -255,8 +266,8 @@ func (d *Daemon) die(m *Messenger) {
 	if d.tr != nil {
 		d.tr.Instant(d.id, "msgr", "die", msgrID(m.ID))
 	}
-	delete(d.activeLVTs, m.ID)
-	d.sys.workDone(1)
+	delete(d.active, m.ID)
+	d.sys.sessionWork(m.Tenant, m.Session, -1)
 }
 
 // finish completes a Messenger normally.
@@ -268,13 +279,13 @@ func (d *Daemon) finish(m *Messenger) {
 	if d.tr != nil {
 		d.tr.Instant(d.id, "msgr", "terminate", msgrID(m.ID))
 	}
-	delete(d.activeLVTs, m.ID)
-	d.sys.workDone(1)
+	delete(d.active, m.ID)
+	d.sys.sessionWork(m.Tenant, m.Session, -1)
 }
 
 // spawnLocal starts running a Messenger resident on this daemon.
 func (d *Daemon) spawnLocal(m *Messenger) {
-	d.activeLVTs[m.ID] = m.LVT
+	d.active[m.ID] = m
 	d.step(m)
 }
 
@@ -289,12 +300,17 @@ func (d *Daemon) step(m *Messenger) {
 	}
 	host := &msgrHost{d: d, m: m, node: node}
 	m.VM.SetProfile(d.prof)
+	m.VM.SetMeter(m.gate)
 	var segStart int64
 	if d.tr != nil {
 		segStart = int64(d.eng.Now())
 	}
 	res, err := m.VM.Run(host, maxSegmentSteps)
 	if err != nil {
+		if errors.Is(err, vm.ErrStepBudget) {
+			d.evict(m, err)
+			return
+		}
 		d.fail(m, err)
 		return
 	}
@@ -394,6 +410,20 @@ func (d *Daemon) doHop(m *Messenger, node *logical.Node, arms []vm.NavArm, isDel
 			}
 		}
 	}
+	// Nav boundaries are where quota enforcement bites: the Messenger is
+	// about to occupy the network, so vet its serialized size against the
+	// tenant's memory cap and charge one hop per replica against the hop-
+	// rate bucket before anything replicates.
+	if m.gate != nil {
+		if err := m.gate.CheckMem(m.VM.SnapshotSize()); err != nil {
+			d.evict(m, err)
+			return
+		}
+		if err := m.gate.ChargeHop(d.eng.Now(), len(matches)); err != nil {
+			d.evict(m, err)
+			return
+		}
+	}
 	if isDelete {
 		// Remove the local half of every traversed link now; the remote
 		// halves are removed when the replicas arrive.
@@ -407,8 +437,8 @@ func (d *Daemon) doHop(m *Messenger, node *logical.Node, arms []vm.NavArm, isDel
 			}
 		}
 	}
-	d.sys.workAdded(len(matches) - 1)
-	delete(d.activeLVTs, m.ID)
+	d.sys.sessionWork(m.Tenant, m.Session, len(matches)-1)
+	delete(d.active, m.ID)
 	for i, match := range matches {
 		clone := m.VM
 		if i < len(matches)-1 {
@@ -418,19 +448,22 @@ func (d *Daemon) doHop(m *Messenger, node *logical.Node, arms []vm.NavArm, isDel
 		if isDelete && match.Link != nil {
 			removeLink = match.Link.ID
 		}
-		d.routeMessenger(clone, m.LVT, match.Dest, match.Via, removeLink)
+		d.routeMessenger(m, clone, match.Dest, match.Via, removeLink)
 	}
 }
 
 // routeMessenger delivers a (possibly cloned) Messenger VM to a destination
-// node, locally or over the network.
-func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via string, removeLink logical.LinkID) {
+// node, locally or over the network. m supplies the LVT and tenant context
+// the replica inherits.
+func (d *Daemon) routeMessenger(m *Messenger, mvm *vm.VM, dest logical.Addr, via string, removeLink logical.LinkID) {
+	lvt := m.LVT
 	if dest.Daemon == d.id {
 		d.Stats.LocalHops++
 		if d.om != nil {
 			d.om.localHops.Inc()
 		}
-		nm := &Messenger{ID: d.newMsgrID(), VM: mvm, Node: dest.Node, Last: via, LVT: lvt}
+		nm := &Messenger{ID: d.newMsgrID(), VM: mvm, Node: dest.Node, Last: via, LVT: lvt,
+			Tenant: m.Tenant, Session: m.Session, gate: m.gate}
 		if d.tr != nil {
 			d.tr.Instant(d.id, "msgr", "hop.local", msgrID(nm.ID))
 		}
@@ -439,7 +472,7 @@ func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via 
 				d.store.DetachHalf(n, removeLink)
 			}
 		}
-		d.activeLVTs[nm.ID] = lvt
+		d.active[nm.ID] = nm
 		localCost := d.modelTime(func(cm *lan.CostModel) sim.Time { return cm.CallFixed })
 		d.exec(localCost, func() { d.step(nm) })
 		return
@@ -458,6 +491,8 @@ func (d *Daemon) routeMessenger(mvm *vm.VM, lvt float64, dest logical.Addr, via 
 		DestNode:   dest.Node,
 		Last:       via,
 		RemoveLink: removeLink,
+		Tenant:     m.Tenant,
+		Session:    m.Session,
 	}
 	// Under the shared-code registry (the paper's shared-file-system
 	// optimization) only the hash travels; the A4 ablation disables the
@@ -507,8 +542,18 @@ func (d *Daemon) doCreate(m *Messenger, node *logical.Node, arms []vm.NavArm, al
 		d.die(m)
 		return
 	}
-	d.sys.workAdded(len(targets) - 1)
-	delete(d.activeLVTs, m.ID)
+	if m.gate != nil {
+		if err := m.gate.CheckMem(m.VM.SnapshotSize()); err != nil {
+			d.evict(m, err)
+			return
+		}
+		if err := m.gate.ChargeHop(d.eng.Now(), len(targets)); err != nil {
+			d.evict(m, err)
+			return
+		}
+	}
+	d.sys.sessionWork(m.Tenant, m.Session, len(targets)-1)
+	delete(d.active, m.ID)
 	origin := d.store.Addr(node)
 	for i, tg := range targets {
 		clone := m.VM
@@ -536,8 +581,9 @@ func (d *Daemon) doCreate(m *Messenger, node *logical.Node, arms []vm.NavArm, al
 			d.store.AttachHalf(node, linkID, linkName, directed, dir == 1, d.store.Addr(nn), nn.Name)
 			d.store.AttachHalf(nn, linkID, linkName, directed, dir == 2, origin, node.Name)
 			nm := &Messenger{ID: d.newMsgrID(), VM: clone, Node: nn.ID,
-				Last: logical.RefName(linkID, linkName), LVT: m.LVT}
-			d.activeLVTs[nm.ID] = nm.LVT
+				Last: logical.RefName(linkID, linkName), LVT: m.LVT,
+				Tenant: m.Tenant, Session: m.Session, gate: m.gate}
+			d.active[nm.ID] = nm
 			localCost := d.modelTime(func(cm *lan.CostModel) sim.Time { return cm.CallFixed })
 			d.exec(localCost, func() { d.step(nm) })
 			continue
@@ -557,6 +603,8 @@ func (d *Daemon) doCreate(m *Messenger, node *logical.Node, arms []vm.NavArm, al
 			LinkDir:    dir,
 			Origin:     origin,
 			OriginName: node.Name,
+			Tenant:     m.Tenant,
+			Session:    m.Session,
 		}
 		if d.om != nil {
 			d.om.msgrBytes.Observe(int64(msg.SnapshotLen()))
@@ -614,7 +662,7 @@ func (d *Daemon) suspend(m *Messenger, wake float64) {
 	if d.tr != nil {
 		d.tr.Instant(d.id, "gvt", "suspend", msgrID(m.ID), obs.F("wake", wake))
 	}
-	delete(d.activeLVTs, m.ID)
+	delete(d.active, m.ID)
 	heap.Push(&d.waitQ, wakeEntry{at: wake, seq: m.ID, m: m})
 	if !d.notified {
 		d.notified = true
@@ -641,9 +689,9 @@ func (d *Daemon) localMin() float64 {
 		min = d.waitQ[0].at
 	}
 	//lint:maporder min over values is order-independent
-	for _, lvt := range d.activeLVTs {
-		if lvt < min {
-			min = lvt
+	for _, m := range d.active {
+		if m.LVT < min {
+			min = m.LVT
 		}
 	}
 	return min
@@ -668,7 +716,7 @@ func (d *Daemon) advanceGVT(gvt float64) {
 		if e.at > m.LVT {
 			m.LVT = e.at
 		}
-		d.activeLVTs[m.ID] = m.LVT
+		d.active[m.ID] = m
 		d.exec(0, func() { d.step(m) })
 	}
 	if len(d.waitQ) == 0 {
@@ -753,7 +801,7 @@ func (d *Daemon) HandleMsg(msg *Msg) {
 			GMin:    d.localMin(),
 			GSent:   d.sent,
 			GRecv:   d.recv,
-			GActive: int64(len(d.activeLVTs)),
+			GActive: int64(len(d.active)),
 		})
 
 	case MsgGVTAdvance:
@@ -795,7 +843,7 @@ func (d *Daemon) handleArrival(msg *Msg) {
 	mvm, err := d.restore(msg)
 	if err != nil {
 		d.sys.recordError(fmt.Errorf("daemon %d: arrival: %w", d.id, err))
-		d.sys.workDone(1)
+		d.sys.sessionWork(msg.Tenant, msg.Session, -1)
 		return
 	}
 	node, ok := d.store.Node(msg.DestNode)
@@ -808,7 +856,7 @@ func (d *Daemon) handleArrival(msg *Msg) {
 		if d.tr != nil {
 			d.tr.Instant(d.id, "msgr", "die", msgrID(msg.MsgrID))
 		}
-		d.sys.workDone(1)
+		d.sys.sessionWork(msg.Tenant, msg.Session, -1)
 		return
 	}
 	if d.tr != nil {
@@ -832,11 +880,12 @@ func (d *Daemon) handleArrival(msg *Msg) {
 			if d.tr != nil {
 				d.tr.Instant(d.id, "msgr", "die", msgrID(msg.MsgrID))
 			}
-			d.sys.workDone(1)
+			d.sys.sessionWork(msg.Tenant, msg.Session, -1)
 			return
 		}
 	}
-	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: node.ID, Last: msg.Last, LVT: msg.LVT}
+	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: node.ID, Last: msg.Last, LVT: msg.LVT,
+		Tenant: msg.Tenant, Session: msg.Session, gate: d.resolveGate(msg.Tenant, msg.Session)}
 	d.spawnLocal(m)
 }
 
@@ -844,7 +893,7 @@ func (d *Daemon) handleCreate(msg *Msg) {
 	mvm, err := d.restore(msg)
 	if err != nil {
 		d.sys.recordError(fmt.Errorf("daemon %d: create: %w", d.id, err))
-		d.sys.workDone(1)
+		d.sys.sessionWork(msg.Tenant, msg.Session, -1)
 		return
 	}
 	nn := d.store.CreateNode(msg.CreateName)
@@ -875,7 +924,8 @@ func (d *Daemon) handleCreate(msg *Msg) {
 		d.sendGVT(msg.From, ack)
 	}
 	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: nn.ID,
-		Last: logical.RefName(msg.LinkID, msg.LinkName), LVT: msg.LVT}
+		Last: logical.RefName(msg.LinkID, msg.LinkName), LVT: msg.LVT,
+		Tenant: msg.Tenant, Session: msg.Session, gate: d.resolveGate(msg.Tenant, msg.Session)}
 	d.spawnLocal(m)
 }
 
@@ -883,7 +933,7 @@ func (d *Daemon) handleInject(msg *Msg) {
 	mvm, err := d.restore(msg)
 	if err != nil {
 		d.sys.recordError(fmt.Errorf("daemon %d: inject: %w", d.id, err))
-		d.sys.workDone(1)
+		d.sys.sessionWork(msg.Tenant, msg.Session, -1)
 		return
 	}
 	target := d.store.Init()
@@ -903,7 +953,8 @@ func (d *Daemon) handleInject(msg *Msg) {
 		d.tr.Instant(d.id, "msgr", "inject",
 			msgrID(msg.MsgrID), obs.S("script", mvm.Program().Name), obs.S("node", target.Name))
 	}
-	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: target.ID, Last: "", LVT: lvt}
+	m := &Messenger{ID: msg.MsgrID, VM: mvm, Node: target.ID, Last: "", LVT: lvt,
+		Tenant: msg.Tenant, Session: msg.Session, gate: d.resolveGate(msg.Tenant, msg.Session)}
 	d.spawnLocal(m)
 }
 

@@ -120,6 +120,22 @@ type Msg struct {
 	// (recovery mode; zero otherwise). Together with From it keys duplicate
 	// suppression and MsgHopAck matching.
 	HopSeq uint64
+
+	// Tenant and Session tag a Messenger admitted through a multi-tenant
+	// admission gate (internal/serve); they follow the Messenger through
+	// every hop, create, and recovery respawn so quota charging survives
+	// migration. Empty/zero outside service mode.
+	Tenant  string
+	Session uint64
+	// Budget is the session's instruction-step budget, carried on the
+	// injection frame so a remote admission front end can communicate the
+	// grant; daemons account against the gate, not this field.
+	Budget int64
+	// AckFloor piggybacks the sender's reliable-delivery floor: every
+	// HopSeq at or below it has been released (acknowledged and processed),
+	// so the receiver can evict its dedup entries up to the floor. Keeps
+	// the duplicate-suppression map bounded in long-running service mode.
+	AckFloor uint64
 }
 
 // CarriesMessenger reports whether this message transfers computation (and
@@ -155,7 +171,8 @@ func (m *Msg) EncodedSize() int {
 		12 + 4 + len(m.AckPeerName) + // AckPeer
 		4 + len(m.ProgBytes) + // program blob
 		6*8 + // GVT fields
-		8 // HopSeq
+		8 + // HopSeq
+		4 + len(m.Tenant) + 8 + 8 + 8 // Tenant, Session, Budget, AckFloor
 }
 
 // AppendTo serializes the message into e in one pass. A Messenger carried
@@ -199,6 +216,10 @@ func (m *Msg) AppendTo(e *wire.Encoder) {
 	e.U64(uint64(m.GActive))
 	e.F64(m.GVT)
 	e.U64(m.HopSeq)
+	e.Str(m.Tenant)
+	e.U64(m.Session)
+	e.U64(uint64(m.Budget))
+	e.U64(m.AckFloor)
 }
 
 // Encode serializes the message into a standalone slice, allocated at its
@@ -230,7 +251,7 @@ func (m *Msg) EncodeFrame(e *wire.Encoder) error {
 func (m *Msg) WireSize() int {
 	switch m.Kind {
 	case MsgMessenger, MsgCreate, MsgInject:
-		return 48 + m.SnapshotLen() + len(m.Last) + len(m.CreateName) + len(m.LinkName) + len(m.ProgBytes)
+		return 48 + m.SnapshotLen() + len(m.Last) + len(m.CreateName) + len(m.LinkName) + len(m.ProgBytes) + len(m.Tenant)
 	case MsgProgram:
 		return 32 + len(m.ProgBytes)
 	default:
@@ -272,6 +293,10 @@ func DecodeMsg(buf []byte) (*Msg, error) {
 	m.GActive = int64(r.u64())
 	m.GVT = math.Float64frombits(r.u64())
 	m.HopSeq = r.u64()
+	m.Tenant = r.str()
+	m.Session = r.u64()
+	m.Budget = int64(r.u64())
+	m.AckFloor = r.u64()
 	if r.err != nil {
 		return nil, fmt.Errorf("core: decode %v message: %w", m.Kind, r.err)
 	}

@@ -44,6 +44,14 @@ type RecoveryConfig struct {
 	// declared dead retries at this cadence forever (an unhealed partition
 	// without a crash notice stalls the run rather than corrupting it).
 	MaxBackoff sim.Time
+	// RetainBudget caps how many acknowledged Messenger transfers a daemon
+	// retains for GVT-safe respawn. Zero (the default) keeps every acked
+	// entry until fossil collection frees it — full respawnability, but a
+	// run that never advances virtual time retains them forever. Service
+	// mode sets a budget: the oldest acked entries are force-released past
+	// it, trading respawn coverage of long-dead history for bounded memory
+	// (and a dedup-eviction floor that actually advances).
+	RetainBudget int
 }
 
 func (c RecoveryConfig) withDefaults() RecoveryConfig {
@@ -87,23 +95,30 @@ type retxEntry struct {
 	timeout  sim.Time
 }
 
-// dedupKey identifies one reliable transfer end-to-end.
-type dedupKey struct {
-	from   int
-	msgrID uint64
-	seq    uint64
-}
-
 // recovery is one daemon's reliable-delivery state (nil unless the system
 // was built WithRecovery). Executor-confined, like the rest of the daemon.
 type recovery struct {
 	cfg     RecoveryConfig
 	nextSeq uint64
 	pending map[uint64]*retxEntry
-	// seen records processed reliable transfers for duplicate suppression.
-	// It grows one small entry per transfer for the length of the run.
-	seen     map[dedupKey]struct{}
-	peerDead []bool
+	// floorSeq is the reliable-delivery floor: every sequence at or below
+	// it has been released (acked and freed, or respawned to a dead peer).
+	// Piggybacked on outbound reliable messages as AckFloor so receivers
+	// can evict dedup state; advances amortized O(1) as entries release.
+	floorSeq uint64
+	// retained is the FIFO of acked-but-GVT-retained sequence numbers,
+	// maintained only when RetainBudget > 0 (entries released by fossil
+	// collection linger as stale numbers and are skipped on pop).
+	retained []uint64
+	// seen records processed reliable transfers per sender for duplicate
+	// suppression, keyed by the sender's HopSeq. evictedTo is the per-
+	// sender watermark: every sequence at or below it was processed and
+	// evicted from seen (a straggling duplicate below it is recognized by
+	// the comparison alone). Bounded by each sender's in-flight window
+	// instead of growing for the length of the run.
+	seen      []map[uint64]struct{}
+	evictedTo []uint64
+	peerDead  []bool
 	// adopted maps a dead daemon's orphaned node addresses to their local
 	// replacement (valid while that peer is marked dead).
 	adopted map[logical.Addr]logical.NodeID
@@ -114,13 +129,25 @@ type recovery struct {
 
 func newRecovery(n int, cfg RecoveryConfig) *recovery {
 	return &recovery{
-		cfg:      cfg,
-		pending:  map[uint64]*retxEntry{},
-		seen:     map[dedupKey]struct{}{},
-		peerDead: make([]bool, n),
-		adopted:  map[logical.Addr]logical.NodeID{},
-		sentTo:   make([]int64, n),
-		recvFrom: make([]int64, n),
+		cfg:       cfg,
+		pending:   map[uint64]*retxEntry{},
+		seen:      make([]map[uint64]struct{}, n),
+		evictedTo: make([]uint64, n),
+		peerDead:  make([]bool, n),
+		adopted:   map[logical.Addr]logical.NodeID{},
+		sentTo:    make([]int64, n),
+		recvFrom:  make([]int64, n),
+	}
+}
+
+// advanceFloor pushes the delivery floor past every released sequence.
+// Sequences are allocated densely, so "not pending" means "released".
+func (r *recovery) advanceFloor() {
+	for r.floorSeq < r.nextSeq {
+		if _, ok := r.pending[r.floorSeq+1]; ok {
+			return
+		}
+		r.floorSeq++
 	}
 }
 
@@ -168,7 +195,7 @@ func (d *Daemon) ship(dst int, msg *Msg, counted bool) {
 			}
 			d.sys.recordError(fmt.Errorf("daemon %d, messenger %d: %w", d.id, msg.MsgrID, err))
 			if msg.CarriesMessenger() {
-				d.sys.workDone(1)
+				d.sys.sessionWork(msg.Tenant, msg.Session, -1)
 			}
 			return
 		}
@@ -195,6 +222,7 @@ func (d *Daemon) reliableSend(dst int, msg *Msg) {
 	rec := d.rec
 	rec.nextSeq++
 	msg.HopSeq = rec.nextSeq
+	msg.AckFloor = rec.floorSeq
 	e := &retxEntry{
 		seq: rec.nextSeq, dst: dst, msg: msg, lvt: msg.LVT,
 		attempts: 1, timeout: rec.cfg.AckTimeout,
@@ -232,6 +260,9 @@ func (d *Daemon) retxFire(e *retxEntry) {
 		d.tr.Instant(d.id, "rec", "msgr.retx",
 			obs.I("to", int64(e.dst)), obs.I("seq", int64(e.seq)), obs.I("attempt", int64(e.attempts)))
 	}
+	// Each retransmission carries the current floor, so even a quiet link
+	// eventually propagates dedup-eviction progress.
+	e.msg.AckFloor = rec.floorSeq
 	d.netSend(e.dst, e.msg)
 	d.armRetx(e)
 }
@@ -246,9 +277,32 @@ func (d *Daemon) handleHopAck(msg *Msg) {
 	}
 	e.acked = true
 	if e.msg.CarriesMessenger() {
-		d.sys.workDone(1)
+		d.sys.sessionWork(e.msg.Tenant, e.msg.Session, -1)
 	}
 	d.maybeRelease(e)
+	if !e.released && d.rec.cfg.RetainBudget > 0 {
+		d.rec.retained = append(d.rec.retained, e.seq)
+		d.enforceRetainBudget()
+	}
+}
+
+// enforceRetainBudget force-releases the oldest acked-but-retained entries
+// beyond RetainBudget. A force-released entry can no longer respawn its
+// Messenger if the receiving daemon later dies — the documented tradeoff
+// for bounded memory in long-running service mode.
+func (d *Daemon) enforceRetainBudget() {
+	rec := d.rec
+	for len(rec.retained) > rec.cfg.RetainBudget {
+		seq := rec.retained[0]
+		rec.retained = rec.retained[1:]
+		e, ok := rec.pending[seq]
+		if !ok || !e.acked || e.released {
+			continue // already freed by fossil collection or respawn
+		}
+		e.released = true
+		delete(rec.pending, seq)
+	}
+	rec.advanceFloor()
 }
 
 // maybeRelease frees an acknowledged entry once GVT has passed its LVT (the
@@ -263,6 +317,7 @@ func (d *Daemon) maybeRelease(e *retxEntry) {
 	}
 	e.released = true
 	delete(d.rec.pending, e.seq)
+	d.rec.advanceFloor()
 }
 
 // releaseFossils frees acknowledged entries whose LVT the new GVT has
@@ -277,6 +332,7 @@ func (d *Daemon) releaseFossils() {
 			delete(d.rec.pending, seq)
 		}
 	}
+	d.rec.advanceFloor()
 }
 
 // dedupCheck runs on every inbound reliable message: re-acknowledge
@@ -286,8 +342,27 @@ func (d *Daemon) releaseFossils() {
 // processing (its error paths release it via workDone as usual).
 func (d *Daemon) dedupCheck(msg *Msg) (dup bool) {
 	d.netSend(msg.From, &Msg{Kind: MsgHopAck, From: d.id, MsgrID: msg.MsgrID, HopSeq: msg.HopSeq})
-	key := dedupKey{from: msg.From, msgrID: msg.MsgrID, seq: msg.HopSeq}
-	if _, seen := d.rec.seen[key]; seen {
+	rec := d.rec
+	from := msg.From
+	sm := rec.seen[from]
+	if sm == nil {
+		sm = map[uint64]struct{}{}
+		rec.seen[from] = sm
+	}
+	// The sender's floor covers only released entries — acknowledged, so
+	// already processed here — which makes their dedup records evictable:
+	// any straggling duplicate at or below the watermark is recognized by
+	// the comparison alone.
+	for rec.evictedTo[from] < msg.AckFloor {
+		rec.evictedTo[from]++
+		delete(sm, rec.evictedTo[from])
+	}
+	if msg.HopSeq <= rec.evictedTo[from] {
+		dup = true
+	} else if _, seen := sm[msg.HopSeq]; seen {
+		dup = true
+	}
+	if dup {
 		if d.om != nil {
 			d.om.dedup.Inc()
 		}
@@ -296,9 +371,9 @@ func (d *Daemon) dedupCheck(msg *Msg) (dup bool) {
 		}
 		return true
 	}
-	d.rec.seen[key] = struct{}{}
+	sm[msg.HopSeq] = struct{}{}
 	if msg.CarriesMessenger() {
-		d.sys.workAdded(1)
+		d.sys.sessionWork(msg.Tenant, msg.Session, 1)
 	}
 	return false
 }
@@ -330,7 +405,7 @@ func (d *Daemon) redirectDead(dst int, msg *Msg) {
 			if d.tr != nil {
 				d.tr.Instant(d.id, "msgr", "die", msgrID(msg.MsgrID))
 			}
-			d.sys.workDone(1)
+			d.sys.sessionWork(msg.Tenant, msg.Session, -1)
 			return
 		}
 		if d.tr != nil {
@@ -417,12 +492,13 @@ func (d *Daemon) PeerUp(peer int) {
 func (d *Daemon) respawnEntry(e *retxEntry) {
 	e.released = true
 	delete(d.rec.pending, e.seq)
+	d.rec.advanceFloor()
 	msg := e.msg
 	if msg.Kind == MsgCreateAck {
 		return // the link's origin died with the daemon
 	}
 	if e.acked {
-		d.sys.workAdded(1)
+		d.sys.sessionWork(msg.Tenant, msg.Session, 1)
 	}
 	if d.om != nil {
 		d.om.respawns.Inc()
@@ -441,23 +517,38 @@ func (d *Daemon) respawnEntry(e *retxEntry) {
 // orphans every continuation and timer scheduled before the crash.
 func (d *Daemon) crashCleanup() {
 	d.epoch++
-	lost := len(d.activeLVTs) + len(d.waitQ)
-	//lint:maporder commutative counting over values
+	lost := 0
+	//lint:maporder commutative release of independent slots
+	for _, m := range d.active {
+		lost++
+		d.sys.sessionWork(m.Tenant, m.Session, -1)
+	}
+	for _, e := range d.waitQ {
+		lost++
+		d.sys.sessionWork(e.m.Tenant, e.m.Session, -1)
+	}
+	//lint:maporder commutative release of independent slots
 	for _, e := range d.rec.pending {
 		e.released = true
 		if !e.acked && e.msg.CarriesMessenger() {
 			lost++ // the entry's in-flight slot dies with the daemon
+			d.sys.sessionWork(e.msg.Tenant, e.msg.Session, -1)
 		}
 	}
 	d.rec.pending = map[uint64]*retxEntry{}
-	d.rec.seen = map[dedupKey]struct{}{}
+	d.rec.floorSeq = d.rec.nextSeq // everything outstanding was released
+	d.rec.retained = nil
+	for i := range d.rec.seen {
+		d.rec.seen[i] = nil
+		d.rec.evictedTo[i] = 0
+	}
 	for i := range d.rec.peerDead {
 		d.rec.peerDead[i] = false
 		d.rec.sentTo[i] = 0
 		d.rec.recvFrom[i] = 0
 	}
 	d.rec.adopted = map[logical.Addr]logical.NodeID{}
-	d.activeLVTs = map[uint64]float64{}
+	d.active = map[uint64]*Messenger{}
 	d.waitQ = nil
 	d.notified = false
 	d.sent, d.recv = 0, 0
@@ -471,9 +562,6 @@ func (d *Daemon) crashCleanup() {
 	}
 	if d.tr != nil {
 		d.tr.Instant(d.id, "rec", "daemon.crash", obs.I("lost", int64(lost)))
-	}
-	if lost > 0 {
-		d.sys.workDone(lost)
 	}
 }
 

@@ -35,6 +35,7 @@ type System struct {
 	metrics     *obs.Metrics
 	om          *sysObs
 	recCfg      *RecoveryConfig // non-nil enables fault recovery (WithRecovery)
+	gate        Gate            // admission gate (SetAdmission); nil outside service mode
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -78,6 +79,7 @@ type sysObs struct {
 	injected, arrived, segments, steps     *obs.Counter
 	localHops, remoteHops, zeroCopyHops    *obs.Counter
 	creates, deletes, finished, died, errs *obs.Counter
+	evicted                                *obs.Counter
 	suspends, gvtRounds                    *obs.Counter
 	netMsgs, netBytes                      *obs.Counter
 	retx, dedup, respawns, adoptions       *obs.Counter
@@ -101,6 +103,7 @@ func newSysObs(m *obs.Metrics) *sysObs {
 		finished:     m.Counter("msgr.finished"),
 		died:         m.Counter("msgr.died"),
 		errs:         m.Counter("msgr.errors"),
+		evicted:      m.Counter("msgr.evicted"),
 		suspends:     m.Counter("gvt.suspends"),
 		gvtRounds:    m.Counter("gvt.rounds"),
 		netMsgs:      m.Counter("net.msgs"),
@@ -180,9 +183,12 @@ func (s *System) registerSystemNatives() {
 			}
 			vars[rest[i].AsStr()] = rest[i+1]
 		}
-		// The child inherits its parent's local virtual time: it cannot
-		// observe or schedule anything before its creation.
-		if err := s.injectAt(ctx.DaemonID(), script, node, vars, ctx.LVT()); err != nil {
+		// The child inherits its parent's local virtual time (it cannot
+		// observe or schedule anything before its creation) and its
+		// parent's tenant/session, so script-spawned children stay inside
+		// the session's quota instead of escaping the books.
+		if err := s.injectAt(ctx.DaemonID(), script, node, vars, ctx.LVT(),
+			ctx.m.Tenant, ctx.m.Session, 0); err != nil {
 			return value.Nil(), err
 		}
 		return value.Nil(), nil
@@ -278,14 +284,20 @@ func (s *System) Inject(d int, script string, vars map[string]value.Value) error
 // InjectAt injects at a named logical node of daemon d (first node with
 // that name; init when absent).
 func (s *System) InjectAt(d int, script, node string, vars map[string]value.Value) error {
-	return s.injectAt(d, script, node, vars, 0)
+	return s.injectAt(d, script, node, vars, 0, "", 0, 0)
 }
 
-func (s *System) injectAt(d int, script, node string, vars map[string]value.Value, lvt float64) error {
+func (s *System) injectAt(d int, script, node string, vars map[string]value.Value,
+	lvt float64, tenant string, session uint64, budget int64) error {
 	prog, ok := s.programs[script]
 	if !ok {
 		return fmt.Errorf("core: script %q not registered", script)
 	}
+	return s.injectProg(d, prog, node, vars, lvt, tenant, session, budget)
+}
+
+func (s *System) injectProg(d int, prog *bytecode.Program, node string, vars map[string]value.Value,
+	lvt float64, tenant string, session uint64, budget int64) error {
 	if d < 0 || d >= len(s.daemons) {
 		return fmt.Errorf("core: no daemon %d", d)
 	}
@@ -302,8 +314,11 @@ func (s *System) injectAt(d int, script, node string, vars map[string]value.Valu
 		MsgrID:     1<<63 | seq, // top bit marks injected Messengers
 		LVT:        lvt,
 		CreateName: node,
+		Tenant:     tenant,
+		Session:    session,
+		Budget:     budget,
 	}
-	s.workAdded(1)
+	s.sessionWork(tenant, session, 1)
 	dae := s.daemons[d]
 	s.eng.Exec(d, 0, func() { dae.HandleMsg(msg) })
 	return nil
@@ -398,6 +413,7 @@ func (s *System) TotalStats() Stats {
 		t.Finished += d.Stats.Finished
 		t.Died += d.Stats.Died
 		t.Errors += d.Stats.Errors
+		t.Evicted += d.Stats.Evicted
 		t.GVTRounds += d.Stats.GVTRounds
 		t.Suspends += d.Stats.Suspends
 	}

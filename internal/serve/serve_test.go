@@ -1,0 +1,475 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"messengers"
+	"messengers/internal/serve"
+	"messengers/internal/sim"
+)
+
+const walker = `
+	for (k = 0; k < hops; k++) {
+		node.visits = node.visits + 1;
+		hop(ll = "ring", ldir = +);
+	}
+`
+
+const hog = `for (k = 0; k >= 0; k++) { x = x + 1; }`
+
+func ringSpec(daemons int) messengers.NetSpec {
+	spec := messengers.NetSpec{}
+	for i := 0; i < daemons; i++ {
+		spec.Nodes = append(spec.Nodes, messengers.NetNode{Name: fmt.Sprintf("r%d", i), Daemon: i})
+		spec.Links = append(spec.Links, messengers.NetLink{
+			A: fmt.Sprintf("r%d", i), B: fmt.Sprintf("r%d", (i+1)%daemons), Name: "ring", Dir: 1,
+		})
+	}
+	return spec
+}
+
+// simService builds a simulated system with the shared ring plus an
+// admission server on virtual time.
+func simService(t *testing.T, daemons int, cfg messengers.Config, scfg serve.Config) (*messengers.System, *serve.Server) {
+	t.Helper()
+	cfg.Daemons = daemons
+	sys, err := messengers.NewSimSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.BuildNetwork(ringSpec(daemons)); err != nil {
+		t.Fatal(err)
+	}
+	k := sys.Kernel()
+	scfg.Clock = k.Now
+	scfg.After = func(d sim.Time, fn func()) { k.After(d, fn) }
+	srv, err := serve.New(sys.System, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, srv
+}
+
+func tcpService(t *testing.T, daemons int, cfg messengers.Config, scfg serve.Config) (*messengers.System, *serve.Server) {
+	t.Helper()
+	cfg.Daemons = daemons
+	sys, err := messengers.NewTCPSystem(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.BuildNetwork(ringSpec(daemons)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(sys.System, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, srv
+}
+
+func walkerSub(tenant string, hops, daemon int) serve.Submission {
+	return serve.Submission{
+		Tenant: tenant,
+		Name:   "walker",
+		Source: walker,
+		Node:   fmt.Sprintf("r%d", daemon),
+		Daemon: daemon,
+		Vars:   map[string]messengers.Value{"hops": messengers.IntValue(int64(hops))},
+	}
+}
+
+func rejectCode(t *testing.T, err error) serve.RejectCode {
+	t.Helper()
+	var rej *serve.Reject
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v (%T), want *serve.Reject", err, err)
+	}
+	return rej.Code
+}
+
+// TestRejectTaxonomy exercises every admission refusal and its transport
+// status mapping.
+func TestRejectTaxonomy(t *testing.T) {
+	_, srv := simService(t, 2, messengers.Config{}, serve.Config{
+		Tenants: []serve.TenantConfig{
+			{ID: "a", Quota: serve.Quota{MaxProgram: 256, MaxLive: 1, MaxQueue: 1}},
+		},
+	})
+
+	if _, _, err := srv.Submit(walkerSub("nobody", 1, 0)); rejectCode(t, err) != serve.RejectUnknownTenant {
+		t.Errorf("unknown tenant: got %v", err)
+	}
+	if _, _, err := srv.Submit(serve.Submission{Tenant: "a", Name: "bad", Source: "hop(("}); rejectCode(t, err) != serve.RejectVerify {
+		t.Errorf("unparsable program: got %v", err)
+	}
+	if _, _, err := srv.Submit(serve.Submission{Tenant: "a", Name: "big",
+		Source: "x = 1; " + strings.Repeat("x = x + 1; ", 64)}); rejectCode(t, err) != serve.RejectTooLarge {
+		t.Errorf("oversized program: got %v", err)
+	}
+	// MaxLive 1, MaxQueue 1: first admitted, second queued, third bounced.
+	if _, st, err := srv.Submit(walkerSub("a", 1, 0)); err != nil || st != serve.StatusAdmitted {
+		t.Fatalf("first submit: %v %v", st, err)
+	}
+	if _, st, err := srv.Submit(walkerSub("a", 1, 0)); err != nil || st != serve.StatusQueued {
+		t.Fatalf("second submit: %v %v", st, err)
+	}
+	_, _, err := srv.Submit(walkerSub("a", 1, 0))
+	if rejectCode(t, err) != serve.RejectBackpressure {
+		t.Errorf("overflow: got %v", err)
+	}
+	var rej *serve.Reject
+	errors.As(err, &rej)
+	if rej.HTTPStatus() != 429 {
+		t.Errorf("backpressure status = %d, want 429", rej.HTTPStatus())
+	}
+	srv.Drain()
+	if _, _, err := srv.Submit(walkerSub("a", 1, 0)); rejectCode(t, err) != serve.RejectDraining {
+		t.Errorf("draining: got %v", err)
+	}
+}
+
+// evictionRun drives one eviction scenario on the sim engine and returns
+// the completions and final stats.
+func evictionRun(t *testing.T, quota serve.Quota, sub serve.Submission) (serve.Completion, serve.TenantStats, *messengers.System) {
+	t.Helper()
+	var comps []serve.Completion
+	sys, srv := simService(t, 2, messengers.Config{}, serve.Config{
+		Tenants:    []serve.TenantConfig{{ID: "a", Quota: quota}},
+		OnComplete: func(c serve.Completion) { comps = append(comps, c) },
+	})
+	if _, _, err := srv.Submit(sub); err != nil {
+		t.Fatal(err)
+	}
+	// RunSim returning at all is the liveness statement: the kernel drains
+	// only when the GVT/termination books balance, so an eviction that
+	// leaked liveness (or wedged GVT) would hang here, not just fail.
+	sys.RunSim()
+	if len(comps) != 1 {
+		t.Fatalf("%d completions, want 1", len(comps))
+	}
+	if live := sys.Live(); live != 0 {
+		t.Fatalf("%d live work after quiescence", live)
+	}
+	if srv.LiveSessions() != 0 {
+		t.Fatal("server still tracks live sessions")
+	}
+	return comps[0], srv.Stats()[0], sys
+}
+
+// TestStepBudgetEvictionMidHopSim: a multi-hop walker whose instruction
+// budget trips partway through its journey must terminate cleanly — the
+// session ends as evicted, its liveness is released, and the system
+// quiesces with GVT advancing. (Satellite of the admission tentpole.)
+func TestStepBudgetEvictionMidHopSim(t *testing.T) {
+	comp, ts, sys := evictionRun(t,
+		serve.Quota{StepBudget: 100},
+		walkerSub("a", 50, 0))
+	if !comp.Evicted {
+		t.Fatal("walker was not evicted")
+	}
+	if !strings.Contains(comp.Reason, "step budget") {
+		t.Errorf("reason = %q", comp.Reason)
+	}
+	if ts.MaxSessionSteps > 100 {
+		t.Errorf("session consumed %d steps over budget 100", ts.MaxSessionSteps)
+	}
+	if ts.Violations != 0 {
+		t.Errorf("%d violations", ts.Violations)
+	}
+	if ev := sys.TotalStats().Evicted; ev != 1 {
+		t.Errorf("daemon evicted count = %d, want 1", ev)
+	}
+	// The walker made progress before tripping: it hopped at least once.
+	if ts.Hops == 0 {
+		t.Error("walker never hopped; budget tripped before mid-journey")
+	}
+	if len(sys.Errors()) != 0 {
+		t.Errorf("eviction recorded as program error: %v", sys.Errors())
+	}
+}
+
+// TestHopRateEviction: the hop-rate bucket empties mid-journey and the
+// walker is evicted at a nav boundary.
+func TestHopRateEviction(t *testing.T) {
+	comp, ts, _ := evictionRun(t,
+		serve.Quota{HopRate: 0.5, HopBurst: 3},
+		walkerSub("a", 50, 0))
+	if !comp.Evicted {
+		t.Fatal("walker was not evicted")
+	}
+	if !strings.Contains(comp.Reason, "hop rate") {
+		t.Errorf("reason = %q", comp.Reason)
+	}
+	if ts.Hops == 0 || ts.Hops > 3 {
+		t.Errorf("charged hops = %d, want 1..3 (burst)", ts.Hops)
+	}
+}
+
+// TestMemCapEviction: a Messenger carrying more serialized state than the
+// tenant's cap is evicted at the first nav boundary.
+func TestMemCapEviction(t *testing.T) {
+	sub := walkerSub("a", 5, 0)
+	sub.Vars["ballast"] = messengers.StrValue(strings.Repeat("m", 4096))
+	comp, _, _ := evictionRun(t, serve.Quota{MemBudget: 512}, sub)
+	if !comp.Evicted {
+		t.Fatal("oversized messenger was not evicted")
+	}
+	if !strings.Contains(comp.Reason, "exceeds cap") {
+		t.Errorf("reason = %q", comp.Reason)
+	}
+}
+
+// TestStepBudgetEvictionMidHopTCP is the same mid-hop budget exhaustion on
+// the real TCP engine: clean termination, released liveness, quiescence.
+func TestStepBudgetEvictionMidHopTCP(t *testing.T) {
+	done := make(chan serve.Completion, 1)
+	sys, srv := tcpService(t, 2, messengers.Config{}, serve.Config{
+		Tenants:    []serve.TenantConfig{{ID: "a", Quota: serve.Quota{StepBudget: 100}}},
+		OnComplete: func(c serve.Completion) { done <- c },
+	})
+	if _, _, err := srv.Submit(walkerSub("a", 50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var comp serve.Completion
+	select {
+	case comp = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("evicted session never completed")
+	}
+	if !comp.Evicted || !strings.Contains(comp.Reason, "step budget") {
+		t.Fatalf("completion = %+v", comp)
+	}
+	srv.Drain()
+	srv.WaitIdle()
+	ts := srv.Stats()[0]
+	if ts.MaxSessionSteps > 100 {
+		t.Errorf("session consumed %d steps over budget 100", ts.MaxSessionSteps)
+	}
+	if ts.Violations != 0 {
+		t.Errorf("%d violations", ts.Violations)
+	}
+	if ev := sys.TotalStats().Evicted; ev == 0 {
+		t.Error("no daemon recorded the eviction")
+	}
+	if len(sys.Errors()) != 0 {
+		t.Errorf("eviction recorded as program error: %v", sys.Errors())
+	}
+}
+
+// TestFairShareQueueing: one tenant floods its queue; another tenant's
+// trickle must still be admitted and complete (round-robin pump, not FIFO
+// across tenants).
+func TestFairShareQueueing(t *testing.T) {
+	quota := serve.Quota{MaxLive: 1, MaxQueue: 64}
+	counts := map[string]int{}
+	sys, srv := simService(t, 2, messengers.Config{}, serve.Config{
+		Tenants: []serve.TenantConfig{
+			{ID: "flood", Quota: quota},
+			{ID: "trickle", Quota: quota},
+		},
+		OnComplete: func(c serve.Completion) { counts[c.Tenant]++ },
+	})
+	for i := 0; i < 30; i++ {
+		if _, _, err := srv.Submit(walkerSub("flood", 2, i%2)); err != nil {
+			t.Fatalf("flood %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := srv.Submit(walkerSub("trickle", 2, i%2)); err != nil {
+			t.Fatalf("trickle %d: %v", i, err)
+		}
+	}
+	sys.RunSim()
+	if counts["flood"] != 30 || counts["trickle"] != 3 {
+		t.Errorf("completions = %v, want flood:30 trickle:3", counts)
+	}
+	for _, ts := range srv.Stats() {
+		if ts.Queue != 0 || ts.Live != 0 {
+			t.Errorf("tenant %s: queue=%d live=%d after quiescence", ts.ID, ts.Queue, ts.Live)
+		}
+	}
+}
+
+// TestQuotaUnderFaults: message drops and duplicates (with recovery
+// retransmitting and suppressing) must not corrupt quota accounting — no
+// session exceeds its budget, and every admitted session terminates.
+func TestQuotaUnderFaults(t *testing.T) {
+	var comps int
+	plan := &messengers.FaultPlan{Seed: 7, Drop: 0.15, Dup: 0.25}
+	sys, srv := simService(t, 2, messengers.Config{Faults: plan, RecoveryRetain: 8}, serve.Config{
+		Tenants:    []serve.TenantConfig{{ID: "a", Quota: serve.Quota{StepBudget: 4096, MaxLive: 8, MaxQueue: 64}}},
+		OnComplete: func(serve.Completion) { comps++ },
+	})
+	const n = 24
+	for i := 0; i < n; i++ {
+		if _, _, err := srv.Submit(walkerSub("a", 4, i%2)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	sys.RunSim()
+	ts := srv.Stats()[0]
+	if ts.Admitted != n {
+		t.Errorf("admitted = %d, want %d", ts.Admitted, n)
+	}
+	if comps != n {
+		t.Errorf("%d completions, want %d", comps, n)
+	}
+	if ts.Violations != 0 {
+		t.Errorf("%d quota violations under faults", ts.Violations)
+	}
+	if ts.MaxSessionSteps > 4096 {
+		t.Errorf("session consumed %d steps over budget", ts.MaxSessionSteps)
+	}
+	if srv.LiveSessions() != 0 {
+		t.Error("sessions leaked under faults")
+	}
+}
+
+// TestHogEvictionAmongWalkers: runaway hogs must be evicted while
+// well-behaved walkers complete untouched, on shared daemons.
+func TestHogEvictionAmongWalkers(t *testing.T) {
+	evicted, completed := 0, 0
+	sys, srv := simService(t, 2, messengers.Config{}, serve.Config{
+		Tenants: []serve.TenantConfig{{ID: "a", Quota: serve.Quota{StepBudget: 2048, MaxLive: 8, MaxQueue: 64}}},
+		OnComplete: func(c serve.Completion) {
+			if c.Evicted {
+				evicted++
+			} else {
+				completed++
+			}
+		},
+	})
+	for i := 0; i < 12; i++ {
+		sub := walkerSub("a", 3, i%2)
+		if i%4 == 3 {
+			sub.Name, sub.Source, sub.Vars = "hog", hog, nil
+		}
+		if _, _, err := srv.Submit(sub); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	sys.RunSim()
+	if evicted != 3 || completed != 9 {
+		t.Errorf("evicted=%d completed=%d, want 3/9", evicted, completed)
+	}
+}
+
+// TestDrainTCP: draining rejects new work, flushes queues, and WaitIdle
+// returns once in-flight sessions finish.
+func TestDrainTCP(t *testing.T) {
+	_, srv := tcpService(t, 2, messengers.Config{}, serve.Config{
+		Tenants: []serve.TenantConfig{{ID: "a", Quota: serve.Quota{MaxLive: 2, MaxQueue: 16}}},
+	})
+	for i := 0; i < 8; i++ {
+		if _, _, err := srv.Submit(walkerSub("a", 2, i%2)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	srv.Drain()
+	if _, _, err := srv.Submit(walkerSub("a", 2, 0)); rejectCode(t, err) != serve.RejectDraining {
+		t.Errorf("post-drain submit: %v", err)
+	}
+	doneCh := make(chan struct{})
+	go func() { srv.WaitIdle(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitIdle never returned")
+	}
+	ts := srv.Stats()[0]
+	if ts.Queue != 0 {
+		t.Errorf("queue = %d after drain", ts.Queue)
+	}
+	if ts.Live != 0 {
+		t.Errorf("live = %d after drain", ts.Live)
+	}
+}
+
+// TestHTTPFrontEnd drives the JSON API end to end on the TCP engine.
+func TestHTTPFrontEnd(t *testing.T) {
+	done := make(chan serve.Completion, 4)
+	_, srv := tcpService(t, 2, messengers.Config{}, serve.Config{
+		Tenants:    []serve.TenantConfig{{ID: "a", Quota: serve.Quota{StepBudget: 4096, MaxLive: 4, MaxQueue: 8}}},
+		OnComplete: func(c serve.Completion) { done <- c },
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/submit", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, out := post(`{"tenant":"a","name":"walker","node":"r0","daemon":0,
+		"source":` + fmt.Sprintf("%q", walker) + `,"vars":{"hops":2}}`)
+	if code != http.StatusAccepted || out["status"] != "admitted" {
+		t.Fatalf("submit: %d %v", code, out)
+	}
+	select {
+	case c := <-done:
+		if c.Evicted {
+			t.Errorf("walker evicted: %s", c.Reason)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("session never completed")
+	}
+
+	if code, _ := post(`{"tenant":"nobody","name":"w","source":"x = 1;"}`); code != 403 {
+		t.Errorf("unknown tenant status = %d, want 403", code)
+	}
+	if code, _ := post(`{"tenant":"a","name":"bad","source":"hop(("}`); code != 400 {
+		t.Errorf("verify failure status = %d, want 400", code)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Tenants []serve.TenantStats `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(stats.Tenants) != 1 || stats.Tenants[0].Admitted == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestRecoveryRespawnDenied: ensure unknown-session gates exist and deny.
+// A direct Session lookup for a session that never existed must return a
+// gate that refuses execution rather than nil (the recovery respawn path
+// depends on this to keep finished sessions from re-running over budget).
+func TestRecoveryRespawnDenied(t *testing.T) {
+	_, srv := simService(t, 2, messengers.Config{}, serve.Config{
+		Tenants: []serve.TenantConfig{{ID: "a"}},
+	})
+	gate := srv.Session("a", 999)
+	if gate == nil {
+		t.Fatal("unknown session resolved to nil gate")
+	}
+	if gate.Allowance() != 0 {
+		t.Error("unknown session was granted instruction allowance")
+	}
+	if err := gate.ChargeHop(0, 1); err == nil {
+		t.Error("unknown session was allowed to hop")
+	}
+}

@@ -1,0 +1,96 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"messengers/internal/compile"
+)
+
+// meterRec is a test StepMeter: a fixed allowance, recording charges.
+type meterRec struct {
+	allowance int64
+	charged   int64
+}
+
+func (m *meterRec) Allowance() int64 { return m.allowance - m.charged }
+func (m *meterRec) Charge(n int64)   { m.charged += n }
+
+func meterVM(t *testing.T, src string) *VM {
+	t.Helper()
+	prog, err := compile.Compile("metered", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return New(prog, nil)
+}
+
+// TestMeterBudgetExhaustion: a runaway loop against a finite allowance must
+// return ErrStepBudget with the charge never exceeding the allowance.
+func TestMeterBudgetExhaustion(t *testing.T) {
+	m := meterVM(t, `for (k = 0; k >= 0; k++) { x = x + 1; }`)
+	meter := &meterRec{allowance: 100}
+	m.SetMeter(meter)
+	_, err := m.Run(newTestHost(), 1_000_000)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+	if meter.charged > 100 {
+		t.Errorf("charged %d steps, over the allowance of 100", meter.charged)
+	}
+	if meter.charged == 0 {
+		t.Error("no steps charged before the budget tripped")
+	}
+}
+
+// TestMeterExhaustedBeforeStart: zero allowance refuses to execute at all.
+func TestMeterExhaustedBeforeStart(t *testing.T) {
+	m := meterVM(t, `x = 1;`)
+	m.SetMeter(&meterRec{allowance: 0})
+	_, err := m.Run(newTestHost(), 1_000_000)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+// TestMeterChargesCompletedRun: a program that finishes within its
+// allowance is charged exactly its executed steps, and repeated segments
+// accumulate against the same meter.
+func TestMeterChargesCompletedRun(t *testing.T) {
+	m := meterVM(t, `for (k = 0; k < 10; k++) { x = x + 1; }`)
+	meter := &meterRec{allowance: 1 << 20}
+	m.SetMeter(meter)
+	res, err := m.Run(newTestHost(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pause != PauseEnd {
+		t.Fatalf("pause = %v", res.Pause)
+	}
+	if meter.charged == 0 {
+		t.Error("completed run charged nothing")
+	}
+	if meter.charged != res.Steps {
+		t.Errorf("charged %d, executed %d", meter.charged, res.Steps)
+	}
+}
+
+// TestMeterTighterThanMaxSteps: when the allowance is tighter than the
+// engine's runaway guard, exhaustion reports the budget error (evictable
+// quota condition), not the runaway error (program bug).
+func TestMeterTighterThanMaxSteps(t *testing.T) {
+	m := meterVM(t, `for (k = 0; k >= 0; k++) { x = x + 1; }`)
+	m.SetMeter(&meterRec{allowance: 50})
+	_, err := m.Run(newTestHost(), 1_000)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+	// And the reverse: a generous allowance leaves the runaway guard as
+	// the binding limit, with its original error.
+	m2 := meterVM(t, `for (k = 0; k >= 0; k++) { x = x + 1; }`)
+	m2.SetMeter(&meterRec{allowance: 1 << 30})
+	_, err = m2.Run(newTestHost(), 1_000)
+	if err == nil || errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want runaway-guard error", err)
+	}
+}

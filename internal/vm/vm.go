@@ -17,6 +17,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -130,12 +131,39 @@ type VM struct {
 	stack  []value.Value
 	frames []frame
 	prof   *Profile
+	meter  StepMeter
 }
 
 // SetProfile attaches (or detaches, with nil) an opcode profile. The
 // daemon re-attaches its own profile before every segment, so a Messenger
 // hopping between daemons is counted where it executes.
 func (m *VM) SetProfile(p *Profile) { m.prof = p }
+
+// StepMeter is an external instruction budget. When attached, Run caps each
+// segment at the meter's remaining allowance in addition to its own
+// maxSteps limit, and debits the instructions it actually executed when the
+// segment ends — including segments that end in an error. An exhausted
+// allowance surfaces as ErrStepBudget, which admission layers treat as a
+// quota eviction rather than a program bug. Implementations are shared
+// across daemons (a session's clones execute concurrently) and must be
+// safe for concurrent use.
+type StepMeter interface {
+	// Allowance returns the remaining instruction allowance; values <= 0
+	// mean the budget is exhausted.
+	Allowance() int64
+	// Charge debits n executed instructions from the allowance.
+	Charge(n int64)
+}
+
+// ErrStepBudget reports that an attached StepMeter's allowance ran out.
+// Callers distinguish it from ordinary runtime errors with errors.Is.
+var ErrStepBudget = errors.New("instruction step budget exhausted")
+
+// SetMeter attaches (or detaches, with nil) a step meter. Like the
+// profile, the meter is daemon-local scheduling state: it does not travel
+// in snapshots or clones, and the daemon re-attaches the owning session's
+// meter before every segment.
+func (m *VM) SetMeter(sm StepMeter) { m.meter = sm }
 
 // New returns a VM at the start of the program's main body with the given
 // initial Messenger variables (may be nil).
@@ -212,6 +240,22 @@ func (m *VM) runtimeError(format string, args ...any) error {
 func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
 	var steps int64
 	prof := m.prof
+	// An attached meter tightens the segment limit to the session's
+	// remaining allowance and is debited for what actually executed, on
+	// every exit path. metered distinguishes "the meter capped us" (quota
+	// eviction, ErrStepBudget) from "the daemon's runaway guard fired"
+	// (runtime error).
+	limit, metered := maxSteps, false
+	if m.meter != nil {
+		a := m.meter.Allowance()
+		if a <= 0 {
+			return Result{}, fmt.Errorf("msl (%s): %w", m.prog.Name, ErrStepBudget)
+		}
+		if limit <= 0 || a < limit {
+			limit, metered = a, true
+		}
+		defer func() { m.meter.Charge(steps) }()
+	}
 	// Verified programs have statically proven control flow: every jump
 	// target is in range and no path falls off the end of the code, so the
 	// per-step PC bounds check is redundant (Restore already vets resume
@@ -230,7 +274,17 @@ func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
 		if prof != nil && int(ins.Op) < NumOps {
 			prof.Counts[ins.Op]++
 		}
-		if maxSteps > 0 && steps > maxSteps {
+		if limit > 0 && steps > limit {
+			if metered {
+				// The tripping instruction was fetched but not executed:
+				// roll it back so the deferred Charge debits exactly the
+				// executed count and a session can never exceed its budget.
+				steps--
+				if prof != nil && int(ins.Op) < NumOps {
+					prof.Counts[ins.Op]--
+				}
+				return Result{}, fmt.Errorf("msl (%s): %w after %d steps", m.prog.Name, ErrStepBudget, steps)
+			}
 			return Result{}, m.runtimeError("instruction budget of %d exceeded (runaway Messenger?)", maxSteps)
 		}
 

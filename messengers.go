@@ -185,6 +185,11 @@ type Config struct {
 	// acknowledgements, retransmission, duplicate suppression, crash
 	// respawn from snapshots) even without a fault plan. Implied by Faults.
 	Recovery bool
+	// RecoveryRetain bounds how many acknowledged Messenger snapshots each
+	// daemon retains for crash respawn (0 = keep all until GVT fossil
+	// collection). Long-running services should set it: it also bounds the
+	// duplicate-suppression memory on receivers.
+	RecoveryRetain int
 }
 
 // FaultPlan is a deterministic, seedable fault-injection plan.
@@ -208,7 +213,7 @@ func (c *Config) options() []core.Option {
 		opts = append(opts, core.WithMetrics(c.Metrics))
 	}
 	if c.Recovery || c.Faults != nil {
-		opts = append(opts, core.WithRecovery(core.RecoveryConfig{}))
+		opts = append(opts, core.WithRecovery(core.RecoveryConfig{RetainBudget: c.RecoveryRetain}))
 	}
 	return opts
 }
