@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-serve figures figures-short examples vet lint clean
+.PHONY: all build test race bench bench-serve bench-gvt bench-gvt-short figures figures-short examples vet lint clean
 
 all: vet lint test
 
@@ -32,6 +32,18 @@ bench:
 # on any quota violation or missing backpressure.
 bench-serve:
 	$(GO) run ./cmd/mload -mode both -sessions 100000 -tcp-sessions 5000 -out BENCH_serve.json
+
+# Benchmark GVT maintenance and the scale-out kernel: coordinator vs.
+# ring-reduction GVT swept over daemon counts (sim + 16-daemon TCP), the
+# 1k-host scale point, and the heap/calendar event-kernel microbenchmark.
+# Results land in BENCH_gvt.json; exits nonzero if the ring exceeds its
+# 2-control-messages-per-daemon-per-round budget.
+bench-gvt:
+	$(GO) run ./cmd/mgvt -out BENCH_gvt.json
+
+# Reduced sweep for CI sanity (keeps the 1k-host scale point).
+bench-gvt-short:
+	$(GO) run ./cmd/mgvt -short -out BENCH_gvt.json
 
 # Regenerate every paper figure/table into experiments/.
 figures:

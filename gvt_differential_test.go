@@ -1,0 +1,105 @@
+package messengers
+
+import (
+	"testing"
+
+	"messengers/internal/apps"
+	"messengers/internal/lan"
+)
+
+// These tests are the differential acceptance for the distributed
+// ring-reduction GVT at application scale: the legacy coordinator is the
+// oracle, and on the deterministic sim engine the ring must commit the
+// identical sequence of GVT values while producing the identical results.
+
+// TestGVTDifferentialE1 runs the E1 Mandelbrot configuration under both
+// GVT implementations and compares images and committed GVT sequences.
+func TestGVTDifferentialE1(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	p := apps.PaperMandelParams(128, 8, 4)
+	coord, err := apps.MandelMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DistributedGVT = true
+	ring, err := apps.MandelMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Checksum != coord.Checksum {
+		t.Errorf("ring image %x differs from coordinator image %x", ring.Checksum, coord.Checksum)
+	}
+	assertSameCommits(t, coord.GVTCommits, ring.GVTCommits)
+}
+
+// TestGVTDifferentialMatmul uses the matmul workload because its sched_abs
+// phase barriers make virtual time do real work: every rotation step is a
+// GVT commit, so the sequences compared here are long and meaningful.
+func TestGVTDifferentialMatmul(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	p := apps.MatmulParams{M: 3, S: 5, Host: lan.SPARC110, Seed: 7}
+	coord, err := apps.MatmulMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DistributedGVT = true
+	ring, err := apps.MatmulMessengers(cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coord.GVTCommits) == 0 {
+		t.Fatal("matmul committed no GVT values; differential is vacuous")
+	}
+	assertSameCommits(t, coord.GVTCommits, ring.GVTCommits)
+	if got := ring.Obs.CounterValue("gvt.commits"); got == 0 {
+		t.Error("ring run recorded no gvt.commits metric")
+	}
+}
+
+// TestGVTDifferentialChaos runs the chaos acceptance scenario under the
+// ring protocol. Fault injection draws from the message stream, which
+// differs between protocols, so the oracle here is the sequential image
+// plus seed-determinism of the ring itself, not commit-sequence equality.
+func TestGVTDifferentialChaos(t *testing.T) {
+	cm := lan.DefaultCostModel()
+	p := apps.PaperMandelParams(128, 8, 4)
+	p.DistributedGVT = true
+	clean, err := apps.MandelMessengers(cm, p)
+	if err != nil {
+		t.Fatalf("fault-free probe run: %v", err)
+	}
+
+	run := func() *apps.MandelResult {
+		pc := p
+		pc.Faults = chaosPlan(clean.Elapsed, 2)
+		res, err := apps.MandelMessengers(cm, pc)
+		if err != nil {
+			t.Fatalf("chaos run: %v", err)
+		}
+		return res
+	}
+	got := run()
+	if want := apps.MandelSequential(cm, p); got.Checksum != want.Checksum {
+		t.Errorf("ring chaos image = %x, sequential = %x", got.Checksum, want.Checksum)
+	}
+	if got.Obs.CounterValue("daemon.deaths") != 1 {
+		t.Error("plan crashed no daemon; chaos differential is vacuous")
+	}
+	again := run()
+	if again.Elapsed != got.Elapsed {
+		t.Errorf("ring chaos runs diverge: %v vs %v", got.Elapsed, again.Elapsed)
+	}
+	assertSameCommits(t, got.GVTCommits, again.GVTCommits)
+}
+
+func assertSameCommits(t *testing.T, want, got []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("commit counts differ: got %d %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("commit %d differs: got %v, want %v", i, got, want)
+		}
+	}
+}

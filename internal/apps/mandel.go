@@ -41,6 +41,12 @@ type MandelParams struct {
 	// a complete image (every block deposited), though blocks recomputed
 	// after a crash may be deposited more than once.
 	Faults *faults.Plan
+	// DistributedGVT selects the ring-reduction GVT protocol for the
+	// MESSENGERS run (the differential tests compare its committed GVT
+	// sequence against the default coordinator's).
+	DistributedGVT bool
+	// HopBatching coalesces same-destination hop traffic into batch frames.
+	HopBatching bool
 }
 
 // PaperMandelParams returns the paper's configuration for a given image
@@ -66,6 +72,9 @@ type MandelResult struct {
 	// host.<i>.busy_ns, pvm.drops, mandel.deposits, and (MESSENGERS runs)
 	// the msgr.*/vm.*/gvt.* counters. Nil for the sequential baseline.
 	Obs *obs.Metrics
+	// GVTCommits is the sequence of GVT values committed during a
+	// MESSENGERS run, in commit order (nil for PVM/sequential runs).
+	GVTCommits []float64
 }
 
 // MsgrMandelScript is the paper's Figure 3 program in MSL. The single
@@ -98,6 +107,12 @@ func MandelMessengers(cm *lan.CostModel, p MandelParams) (*MandelResult, error) 
 	metrics := obs.NewMetrics()
 	cluster.Observe(p.Trace, metrics)
 	opts := []core.Option{core.WithTracer(p.Trace), core.WithMetrics(metrics)}
+	if p.DistributedGVT {
+		opts = append(opts, core.WithDistributedGVT())
+	}
+	if p.HopBatching {
+		opts = append(opts, core.WithHopBatching())
+	}
 	if p.Faults != nil {
 		if err := p.Faults.Validate(n); err != nil {
 			return nil, err
@@ -162,10 +177,11 @@ func MandelMessengers(cm *lan.CostModel, p MandelParams) (*MandelResult, error) 
 	sys.FlushVMProfiles()
 	metrics.Counter("mandel.deposits").Add(deposits)
 	return &MandelResult{
-		Elapsed:  elapsed,
-		Checksum: img.Checksum(),
-		Image:    img,
-		Obs:      metrics,
+		Elapsed:    elapsed,
+		Checksum:   img.Checksum(),
+		Image:      img,
+		Obs:        metrics,
+		GVTCommits: sys.CommitLog(),
 	}, nil
 }
 

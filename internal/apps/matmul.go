@@ -38,6 +38,11 @@ type MatmulParams struct {
 	// Trace, when non-nil, receives the run's events (one track per
 	// daemon/host plus the bus track, simulated-time timestamps).
 	Trace *obs.Tracer
+	// DistributedGVT selects the ring-reduction GVT protocol for the
+	// MESSENGERS run.
+	DistributedGVT bool
+	// HopBatching coalesces same-destination hop traffic into batch frames.
+	HopBatching bool
 }
 
 // N returns the full matrix dimension.
@@ -50,6 +55,9 @@ type MatmulResult struct {
 	// Obs is the run's metrics registry (bus.*, host.*, gvt.rounds, ...);
 	// nil for the sequential baselines.
 	Obs *obs.Metrics
+	// GVTCommits is the sequence of GVT values committed during a
+	// MESSENGERS run, in commit order (nil for PVM/sequential runs).
+	GVTCommits []float64
 }
 
 // macsCost is the CPU cost of `macs` multiply-accumulates at block size s.
@@ -98,8 +106,14 @@ func MatmulMessengers(cm *lan.CostModel, p MatmulParams) (*MatmulResult, error) 
 	cluster := lan.NewCluster(k, cm, n, p.Host)
 	metrics := obs.NewMetrics()
 	cluster.Observe(p.Trace, metrics)
-	sys := core.NewSystem(core.NewSimEngine(cluster), core.FullMesh(n),
-		core.WithTracer(p.Trace), core.WithMetrics(metrics))
+	opts := []core.Option{core.WithTracer(p.Trace), core.WithMetrics(metrics)}
+	if p.DistributedGVT {
+		opts = append(opts, core.WithDistributedGVT())
+	}
+	if p.HopBatching {
+		opts = append(opts, core.WithHopBatching())
+	}
+	sys := core.NewSystem(core.NewSimEngine(cluster), core.FullMesh(n), opts...)
 
 	// Fig. 10 logical network.
 	spec := core.NetSpec{}
@@ -204,9 +218,10 @@ func MatmulMessengers(cm *lan.CostModel, p MatmulParams) (*MatmulResult, error) 
 	}
 	sys.FlushVMProfiles()
 	return &MatmulResult{
-		Elapsed: elapsed,
-		C:       c,
-		Obs:     metrics,
+		Elapsed:    elapsed,
+		C:          c,
+		Obs:        metrics,
+		GVTCommits: sys.CommitLog(),
 	}, nil
 }
 

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"messengers/internal/faults"
+	"messengers/internal/obs"
+	"messengers/internal/sim"
+	"messengers/internal/value"
+)
+
+// fanSpec puts two logical nodes of the same daemon behind one link name, so
+// a single hop replicates into two same-destination wire messages — the
+// shape WithHopBatching coalesces into one MsgBatch frame.
+func fanSpec() NetSpec {
+	return NetSpec{
+		Nodes: []NetNode{
+			{Name: "src", Daemon: 0},
+			{Name: "a", Daemon: 1},
+			{Name: "b", Daemon: 1},
+		},
+		Links: []NetLink{
+			{A: "src", B: "a", Name: "wire"},
+			{A: "src", B: "b", Name: "wire"},
+		},
+	}
+}
+
+func runFan(t *testing.T, opts ...Option) (int64, *obs.Metrics) {
+	t.Helper()
+	metrics := obs.NewMetrics()
+	k, sys := simSystem(t, 2, append(opts, WithMetrics(metrics))...)
+	if err := sys.BuildNetwork(fanSpec()); err != nil {
+		t.Fatal(err)
+	}
+	register(t, sys, "fan", `
+		hop(ll = "wire");
+		hop(ll = "wire");
+		node.total = node.total + 1;
+	`)
+	if err := sys.InjectAt(0, "fan", "src", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	return metrics.CounterValue("net.msgs"), metrics
+}
+
+// TestHopBatchingCoalescesSameDestination checks the mechanism and the
+// saving: with batching on, the two replicas cross the wire in one frame,
+// results are unchanged, and fewer wire messages are sent.
+func TestHopBatchingCoalescesSameDestination(t *testing.T) {
+	plainMsgs, plainM := runFan(t)
+	if plainM.CounterValue("net.batches") != 0 {
+		t.Error("batches sent without WithHopBatching")
+	}
+
+	batchMsgs, batchM := runFan(t, WithHopBatching())
+	if batchM.CounterValue("net.batches") == 0 {
+		t.Error("no batch frames despite coalescible fan-out")
+	}
+	if batchMsgs >= plainMsgs {
+		t.Errorf("batching sent %d wire messages, plain sent %d; expected a reduction",
+			batchMsgs, plainMsgs)
+	}
+}
+
+func TestHopBatchingSameResults(t *testing.T) {
+	results := func(opts ...Option) int64 {
+		metrics := obs.NewMetrics()
+		k, sys := simSystem(t, 2, append(opts, WithMetrics(metrics))...)
+		if err := sys.BuildNetwork(fanSpec()); err != nil {
+			t.Fatal(err)
+		}
+		register(t, sys, "fan", `
+			hop(ll = "wire");
+			hop(ll = "wire");
+			node.total = node.total + 1;
+		`)
+		if err := sys.InjectAt(0, "fan", "src", nil); err != nil {
+			t.Fatal(err)
+		}
+		runSim(t, k, sys)
+		return sys.Daemon(0).Store().FindByName("src")[0].Vars["total"].AsInt()
+	}
+	if got, want := results(), results(WithHopBatching()); got != want || want != 2 {
+		t.Errorf("plain total = %d, batched total = %d, want 2 and 2", got, want)
+	}
+}
+
+// TestHopBatchingPreservesVirtualTimeOrder reruns the conservative-GVT hop
+// test with batching on: a batched hop still counts as sent at ship time and
+// received at unpack, so no epoch can outrun an in-flight (batched) payload.
+func TestHopBatchingPreservesVirtualTimeOrder(t *testing.T) {
+	k, sys := simSystem(t, 2, WithHopBatching())
+	spec := NetSpec{
+		Nodes: []NetNode{{Name: "src", Daemon: 0}, {Name: "dst", Daemon: 1}},
+		Links: []NetLink{{A: "src", B: "dst", Name: "wire"}},
+	}
+	if err := sys.BuildNetwork(spec); err != nil {
+		t.Fatal(err)
+	}
+	register(t, sys, "sender", `
+		for (k = 0; k < 4; k++) {
+			sched_abs(k);
+			msgr.payload = k + 1;
+			hop(ll = "wire");
+			node.box = msgr.payload;
+			hop(ll = "wire");
+		}
+	`)
+	register(t, sys, "reader", `
+		for (k = 0; k < 4; k++) {
+			sched_abs(k + 0.5);
+			print("read", node.box);
+		}
+	`)
+	if err := sys.InjectAt(0, "sender", "src", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InjectAt(1, "reader", "dst", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	got := strings.Join(sys.Output(), ", ")
+	want := "read 1, read 2, read 3, read 4"
+	if got != want {
+		t.Errorf("reads = %q, want %q", got, want)
+	}
+}
+
+// TestHopBatchingUnderLossAndDup runs batch frames over a lossy, duplicating
+// wire: retransmission re-ships members individually or re-batched, and
+// per-member dedup keeps effects exactly-once.
+func TestHopBatchingUnderLossAndDup(t *testing.T) {
+	plan := &faults.Plan{Seed: 7, Drop: 0.25, Dup: 0.25}
+	k, sys, metrics := faultSystem(t, 2, plan, WithHopBatching())
+	register(t, sys, "crosser", `
+		create(ALL);
+		hop(ll = $last);
+		node.mark = 1;
+		hop(ll = $last);
+		hop(ll = $last);
+		node.mark = node.mark + 1;
+	`)
+	if err := sys.Inject(0, "crosser", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	if got := sys.Daemon(0).Store().Init().Vars["mark"].AsInt(); got != 2 {
+		t.Errorf("init mark = %d, want 2", got)
+	}
+	if metrics.CounterValue("faults.injected.drop") == 0 {
+		t.Error("plan injected no drops; test is vacuous")
+	}
+}
+
+// TestHopBatchingCrashDropsOutbox crashes a daemon with batching enabled:
+// unsent outbox contents die with the process and the respawn path still
+// completes the computation.
+func TestHopBatchingCrashDropsOutbox(t *testing.T) {
+	plan := &faults.Plan{
+		Seed: 1,
+		Crashes: []faults.Crash{{
+			Daemon:       1,
+			At:           int64(50 * sim.Millisecond),
+			RestartAfter: int64(20 * sim.Millisecond),
+		}},
+	}
+	k, sys, _ := faultSystem(t, 2, plan, WithHopBatching())
+	sys.RegisterNative("spin", func(ctx *NativeCtx, _ []value.Value) (value.Value, error) {
+		ctx.Charge(200 * sim.Millisecond)
+		return value.Nil(), nil
+	})
+	register(t, sys, "survivor", `
+		create(ALL);
+		spin();
+		hop(ll = $last);
+		node.done = node.done + 1;
+	`)
+	if err := sys.Inject(0, "survivor", nil); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, k, sys)
+	if got := sys.Daemon(0).Store().Init().Vars["done"].AsInt(); got != 1 {
+		t.Errorf("done = %d, want 1", got)
+	}
+}
+
+// TestChanEngineHopBatching is the real-engine smoke test for batch frames.
+func TestChanEngineHopBatching(t *testing.T) {
+	sys := chanSystem(t, 2, WithHopBatching())
+	if err := sys.BuildNetwork(fanSpec()); err != nil {
+		t.Fatal(err)
+	}
+	register(t, sys, "fan", `
+		hop(ll = "wire");
+		hop(ll = "wire");
+		node.total = node.total + 1;
+	`)
+	if err := sys.InjectAt(0, "fan", "src", nil); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, sys)
+	result := make(chan int64, 1)
+	sys.Do(0, func(d *Daemon) { result <- d.Store().FindByName("src")[0].Vars["total"].AsInt() })
+	if got := <-result; got != 2 {
+		t.Errorf("total = %d, want 2", got)
+	}
+}
+
+func TestMsgBatchEncodeDecodeRoundTrip(t *testing.T) {
+	sub1 := &Msg{Kind: MsgCreate, From: 0, CreateName: "fan", LinkName: "wire", HopSeq: 3}
+	sub2 := &Msg{Kind: MsgMessenger, From: 0, MsgrID: 99, LVT: 1.5, Last: "wire", HopSeq: 4}
+	batch := &Msg{Kind: MsgBatch, From: 0, Batch: []*Msg{sub1, sub2}}
+	dec, err := DecodeMsg(batch.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != MsgBatch || dec.From != 0 || len(dec.Batch) != 2 {
+		t.Fatalf("decoded frame = %+v", dec)
+	}
+	if got := dec.Batch[0]; got.Kind != MsgCreate || got.CreateName != "fan" ||
+		got.LinkName != "wire" || got.HopSeq != 3 {
+		t.Errorf("member 0 = %+v", got)
+	}
+	if got := dec.Batch[1]; got.Kind != MsgMessenger || got.MsgrID != 99 ||
+		got.LVT != 1.5 || got.Last != "wire" || got.HopSeq != 4 {
+		t.Errorf("member 1 = %+v", got)
+	}
+}

@@ -15,7 +15,7 @@ import (
 func chanSystem(t *testing.T, n int, opts ...Option) *System {
 	t.Helper()
 	eng := NewChanEngine(n)
-	sys := NewSystem(eng, FullMesh(n), opts...)
+	sys := NewSystem(eng, FullMesh(n), distGVTEnv(opts)...)
 	t.Cleanup(eng.Close)
 	return sys
 }
@@ -169,17 +169,17 @@ func TestChanEngineCloseIsIdempotentAndStopsWork(t *testing.T) {
 	eng.Exec(0, 0, func() {})
 }
 
-func TestWorkQueueFIFO(t *testing.T) {
-	q := newWorkQueue()
+func TestExecQueueFIFOWithinLane(t *testing.T) {
+	q := NewExecQueue()
 	var got []int
 	for i := 0; i < 100; i++ {
 		i := i
-		q.put(func() { got = append(got, i) })
+		q.Put(LaneNet, func() { got = append(got, i) })
 	}
 	for i := 0; i < 100; i++ {
-		fn, ok := q.get()
+		fn, ok := q.next()
 		if !ok {
-			t.Fatal("queue closed early")
+			t.Fatal("queue drained early")
 		}
 		fn()
 	}
@@ -188,8 +188,70 @@ func TestWorkQueueFIFO(t *testing.T) {
 			t.Fatalf("order broken at %d: %v", i, v)
 		}
 	}
-	q.close()
-	if _, ok := q.get(); ok {
-		t.Error("closed empty queue should report !ok")
+	q.Close()
+	if _, ok := q.next(); ok {
+		t.Error("drained queue should report !ok")
+	}
+}
+
+func TestExecQueueLanePriority(t *testing.T) {
+	q := NewExecQueue()
+	var got []string
+	q.Put(LaneLocal, func() { got = append(got, "local") })
+	q.Put(LaneNet, func() { got = append(got, "net") })
+	q.Put(LaneControl, func() { got = append(got, "control") })
+	for {
+		fn, ok := q.next()
+		if !ok {
+			break
+		}
+		fn()
+	}
+	want := []string{"control", "net", "local"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExecQueueRunDrainsOnClose(t *testing.T) {
+	q := NewExecQueue()
+	done := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		q.Put(LaneLocal, func() { done <- i })
+	}
+	q.Close()
+	finished := make(chan struct{})
+	go func() {
+		q.Run()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Close")
+	}
+	if len(done) != 3 {
+		t.Errorf("Run drained %d of 3 queued items before exiting", len(done))
+	}
+	// Post-close puts are dropped rather than panicking.
+	q.Put(LaneNet, func() {})
+}
+
+func TestLaneForClassifiesKinds(t *testing.T) {
+	control := []MsgKind{MsgGVTNotify, MsgGVTQuery, MsgGVTReport, MsgGVTAdvance,
+		MsgGVTToken, MsgHopAck, MsgHeartbeat, MsgHalt}
+	for _, k := range control {
+		if LaneFor(k) != LaneControl {
+			t.Errorf("LaneFor(%v) = %v, want LaneControl", k, LaneFor(k))
+		}
+	}
+	net := []MsgKind{MsgMessenger, MsgCreate, MsgCreateAck, MsgInject, MsgProgram, MsgBatch}
+	for _, k := range net {
+		if LaneFor(k) != LaneNet {
+			t.Errorf("LaneFor(%v) = %v, want LaneNet", k, LaneFor(k))
+		}
 	}
 }

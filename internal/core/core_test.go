@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -12,13 +13,24 @@ import (
 	"messengers/internal/value"
 )
 
+// distGVTEnv prepends WithDistributedGVT when MSGR_DIST_GVT=1, so the CI
+// scale job (and anyone debugging) can run the entire core suite under the
+// ring-reduction GVT protocol with no code changes. Prepended, not
+// appended: a test that explicitly sets a GVT implementation still wins.
+func distGVTEnv(opts []Option) []Option {
+	if os.Getenv("MSGR_DIST_GVT") == "1" {
+		return append([]Option{WithDistributedGVT()}, opts...)
+	}
+	return opts
+}
+
 // simSystem builds a simulated n-daemon system on a full-mesh daemon
 // network.
 func simSystem(t *testing.T, n int, opts ...Option) (*sim.Kernel, *System) {
 	t.Helper()
 	k := sim.New()
 	cluster := lan.NewCluster(k, lan.DefaultCostModel(), n, lan.SPARC110)
-	sys := NewSystem(NewSimEngine(cluster), FullMesh(n), opts...)
+	sys := NewSystem(NewSimEngine(cluster), FullMesh(n), distGVTEnv(opts)...)
 	return k, sys
 }
 

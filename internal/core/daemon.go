@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -102,8 +101,16 @@ type Stats struct {
 	Died       int64 // Messengers with zero matching destinations
 	Errors     int64 // Messengers destroyed by runtime errors
 	Evicted    int64 // Messengers destroyed by tenant quota enforcement
-	GVTRounds  int64 // coordinator rounds (daemon 0 only)
+	GVTRounds  int64 // GVT rounds initiated (daemon 0 only)
 	Suspends   int64 // virtual-time suspensions
+
+	// GVTCtlMsgs counts GVT control messages this daemon put on the wire
+	// (self-sends excluded); GVTRoundTime accumulates engine time from
+	// round launch to completion (daemon 0 only). Together they are the
+	// scale experiment's signal: ring rounds send ≤2 per daemon with O(1)
+	// through daemon 0, the coordinator 3 per daemon, all through daemon 0.
+	GVTCtlMsgs   int64
+	GVTRoundTime sim.Time
 }
 
 // Daemon is one MESSENGERS daemon: the interpreter process resident on one
@@ -124,12 +131,20 @@ type Daemon struct {
 
 	// Conservative GVT state.
 	gvt        float64
-	waitQ      wakeHeap
+	waitQ      wakeQ
 	active     map[uint64]*Messenger // live, runnable Messengers
 	sent, recv int64
 	notified   bool
 
-	coord *coordinator // non-nil on daemon 0
+	coord *coordinator // non-nil on daemon 0 (centralized GVT)
+	ring  *ringGVT     // non-nil under WithDistributedGVT
+
+	// Hop batching (WithHopBatching; nil otherwise): outbox[dst] collects
+	// the Messenger-carrying messages this executor turn emits toward dst;
+	// a flush scheduled behind the turn wraps each non-trivial group in one
+	// MsgBatch frame. Executor-confined like all daemon state.
+	outbox     [][]*Msg
+	flushArmed bool
 
 	// Fault recovery (nil unless the system was built WithRecovery).
 	// downFlag marks a crashed daemon; epoch counts incarnations so that
@@ -159,6 +174,7 @@ func newDaemon(id int, eng Engine, topo *Topology, sys *System) *Daemon {
 		programs: map[bytecode.Hash]*bytecode.Program{},
 		byName:   map[string]*bytecode.Program{},
 		active:   map[uint64]*Messenger{},
+		waitQ:    newWakeQ(),
 		tr:       sys.trace,
 		om:       sys.om,
 	}
@@ -168,8 +184,13 @@ func newDaemon(id int, eng Engine, topo *Topology, sys *System) *Daemon {
 	if sys.recCfg != nil {
 		d.rec = newRecovery(eng.NumDaemons(), *sys.recCfg)
 	}
-	if id == 0 {
+	if sys.distGVT {
+		d.ring = &ringGVT{d: d}
+	} else if id == 0 {
 		d.coord = &coordinator{d: d}
+	}
+	if sys.hopBatch {
+		d.outbox = make([][]*Msg, eng.NumDaemons())
 	}
 	return d
 }
@@ -233,12 +254,61 @@ func msgrID(id uint64) obs.Field {
 }
 
 // netSend ships a message to another daemon, accounting wire traffic.
+// Under WithHopBatching, Messenger-carrying messages detour through the
+// per-destination outbox and leave in a coalesced frame at end of turn.
 func (d *Daemon) netSend(dst int, msg *Msg) {
+	if d.outbox != nil && dst != d.id && batchableKind(msg.Kind) {
+		d.outbox[dst] = append(d.outbox[dst], msg)
+		if !d.flushArmed {
+			d.flushArmed = true
+			d.exec(0, d.flushOutbox)
+		}
+		return
+	}
+	d.netSendNow(dst, msg)
+}
+
+// netSendNow puts one message on the wire immediately.
+func (d *Daemon) netSendNow(dst int, msg *Msg) {
 	if d.om != nil {
 		d.om.netMsgs.Inc()
 		d.om.netBytes.Add(int64(msg.WireSize()))
 	}
 	d.eng.Send(d.id, dst, msg)
+}
+
+// batchableKind reports whether a message may ride in a MsgBatch frame:
+// the Messenger-carrying hop traffic, whose per-message overhead batching
+// amortizes. Control messages (GVT, acks, heartbeats) stay un-coalesced —
+// they are latency-sensitive and already pay only fixed costs.
+func batchableKind(k MsgKind) bool {
+	return k == MsgMessenger || k == MsgCreate
+}
+
+// flushOutbox ships every destination's accumulated messages: alone when a
+// group has one member, wrapped in a single MsgBatch frame otherwise.
+// Destinations flush in ascending order for determinism on the sim engine.
+func (d *Daemon) flushOutbox() {
+	d.flushArmed = false
+	for dst := range d.outbox {
+		group := d.outbox[dst]
+		if len(group) == 0 {
+			continue
+		}
+		d.outbox[dst] = nil
+		if len(group) == 1 {
+			d.netSendNow(dst, group[0])
+			continue
+		}
+		if d.om != nil {
+			d.om.netBatches.Inc()
+		}
+		if d.tr != nil {
+			d.tr.Instant(d.id, "net", "net.batch",
+				obs.I("to", int64(dst)), obs.I("count", int64(len(group))))
+		}
+		d.netSendNow(dst, &Msg{Kind: MsgBatch, From: d.id, Batch: group})
+	}
 }
 
 // fail destroys a Messenger due to a runtime error.
@@ -663,7 +733,7 @@ func (d *Daemon) suspend(m *Messenger, wake float64) {
 		d.tr.Instant(d.id, "gvt", "suspend", msgrID(m.ID), obs.F("wake", wake))
 	}
 	delete(d.active, m.ID)
-	heap.Push(&d.waitQ, wakeEntry{at: wake, seq: m.ID, m: m})
+	d.waitQ.Push(wakeEntry{at: wake, seq: m.ID, m: m})
 	if !d.notified {
 		d.notified = true
 		d.sendGVT(0, &Msg{Kind: MsgGVTNotify, From: d.id})
@@ -677,6 +747,10 @@ func (d *Daemon) sendGVT(dst int, msg *Msg) {
 		d.HandleMsg(msg)
 		return
 	}
+	d.Stats.GVTCtlMsgs++
+	if d.om != nil {
+		d.om.gvtCtlMsgs.Inc()
+	}
 	d.netSend(dst, msg)
 }
 
@@ -685,8 +759,8 @@ func (d *Daemon) sendGVT(dst int, msg *Msg) {
 // Messengers.
 func (d *Daemon) localMin() float64 {
 	min := math.Inf(1)
-	if len(d.waitQ) > 0 {
-		min = d.waitQ[0].at
+	if d.waitQ.Len() > 0 {
+		min = d.waitQ.Peek().at
 	}
 	//lint:maporder min over values is order-independent
 	for _, m := range d.active {
@@ -704,14 +778,17 @@ func (d *Daemon) advanceGVT(gvt float64) {
 		return
 	}
 	d.gvt = gvt
+	if d.id == 0 {
+		d.sys.recordCommit(gvt)
+	}
 	if d.tr != nil {
 		d.tr.Instant(d.id, "gvt", "gvt.advance", obs.F("gvt", gvt))
 	}
 	if d.rec != nil {
 		d.releaseFossils()
 	}
-	for len(d.waitQ) > 0 && d.waitQ[0].at <= gvt {
-		e := heap.Pop(&d.waitQ).(wakeEntry)
+	for d.waitQ.Len() > 0 && d.waitQ.Peek().at <= gvt {
+		e := d.waitQ.Pop()
 		m := e.m
 		if e.at > m.LVT {
 			m.LVT = e.at
@@ -719,7 +796,7 @@ func (d *Daemon) advanceGVT(gvt float64) {
 		d.active[m.ID] = m
 		d.exec(0, func() { d.step(m) })
 	}
-	if len(d.waitQ) == 0 {
+	if d.waitQ.Len() == 0 {
 		d.notified = false
 	}
 }
@@ -791,6 +868,21 @@ func (d *Daemon) HandleMsg(msg *Msg) {
 	case MsgGVTNotify, MsgGVTReport:
 		if d.coord != nil {
 			d.coord.handle(msg)
+		} else if d.ring != nil && msg.Kind == MsgGVTNotify {
+			d.ring.handleNotify()
+		}
+
+	case MsgGVTToken:
+		if d.ring != nil {
+			d.ring.handleToken(msg)
+		}
+
+	case MsgBatch:
+		// Unpack in order: each member takes the full inbound path itself
+		// (dedup, transient counting, admission), so a batch is semantically
+		// just its members arriving back to back in one frame.
+		for _, sub := range msg.Batch {
+			d.HandleMsg(sub)
 		}
 
 	case MsgGVTQuery:
@@ -1006,22 +1098,20 @@ type wakeEntry struct {
 	m   *Messenger
 }
 
-// wakeHeap orders suspended Messengers by (wake time, ID) for determinism.
-type wakeHeap []wakeEntry
-
-func (h wakeHeap) Len() int { return len(h) }
-func (h wakeHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// wakeBefore orders suspended Messengers by (wake time, ID) for
+// determinism.
+func wakeBefore(a, b wakeEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h wakeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *wakeHeap) Push(x any)   { *h = append(*h, x.(wakeEntry)) }
-func (h *wakeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// wakeQ is the suspended-Messenger queue: the shared generic heap
+// (sim.Heap) under the wakeBefore order. Items exposes the backing slice
+// for recovery's whole-queue drains.
+type wakeQ struct {
+	*sim.Heap[wakeEntry]
 }
+
+func newWakeQ() wakeQ { return wakeQ{sim.NewHeap(wakeBefore)} }

@@ -73,7 +73,7 @@ func (e *SimEngine) Send(src, dst int, msg *Msg) {
 	cm := e.Cluster.Model
 	size := msg.WireSize()
 	var sendCost, recvCost sim.Time
-	if msg.CarriesMessenger() || msg.Kind == MsgProgram {
+	if msg.CarriesMessenger() || msg.Kind == MsgProgram || msg.Kind == MsgBatch {
 		sendCost = sim.Time(size) * cm.MsgrSendPerByte
 		recvCost = sim.Time(size)*cm.MsgrRecvPerByte + cm.CallFixed
 	} else {
@@ -104,33 +104,27 @@ func (e *SimEngine) HostSpec(d int) lan.HostSpec { return e.Cluster.Hosts[d].Spe
 // --- Real concurrent engine (in-process) ---
 
 // ChanEngine is the real runtime on one machine: one goroutine per daemon,
-// unbounded FIFO inboxes, wall-clock timers. Costs are ignored — work takes
-// however long it takes.
+// unbounded sharded inboxes (see ExecQueue), wall-clock timers. Costs are
+// ignored — work takes however long it takes.
 type ChanEngine struct {
 	daemons []*Daemon
-	inboxes []*workQueue
+	inboxes []*ExecQueue
 	start   time.Time
 	wg      sync.WaitGroup
 }
 
 // NewChanEngine starts n daemon executors.
 func NewChanEngine(n int) *ChanEngine {
-	e := &ChanEngine{inboxes: make([]*workQueue, n), start: time.Now()} //lint:wallclock real engine: wall time is its virtual time
+	e := &ChanEngine{inboxes: make([]*ExecQueue, n), start: time.Now()} //lint:wallclock real engine: wall time is its virtual time
 	for i := range e.inboxes {
-		e.inboxes[i] = newWorkQueue()
+		e.inboxes[i] = NewExecQueue()
 	}
 	e.wg.Add(n)
 	for i := range e.inboxes {
 		q := e.inboxes[i]
 		go func() {
 			defer e.wg.Done()
-			for {
-				fn, ok := q.get()
-				if !ok {
-					return
-				}
-				fn()
-			}
+			q.Run()
 		}()
 	}
 	return e
@@ -144,20 +138,21 @@ func (e *ChanEngine) NumDaemons() int { return len(e.inboxes) }
 
 // Exec implements Engine (cost ignored: real work takes real time).
 func (e *ChanEngine) Exec(d int, _ sim.Time, fn func()) {
-	e.inboxes[d].put(fn)
+	e.inboxes[d].Put(LaneLocal, fn)
 }
 
 // Send implements Engine. In-process delivery keeps FIFO order per pair
-// (single queue per destination).
+// within a lane (see ExecQueue for why cross-lane reordering is safe).
 func (e *ChanEngine) Send(_, dst int, msg *Msg) {
-	e.inboxes[dst].put(func() { e.daemons[dst].HandleMsg(msg) })
+	e.inboxes[dst].Put(LaneFor(msg.Kind), func() { e.daemons[dst].HandleMsg(msg) })
 }
 
 // SetTimer implements Engine using wall-clock time (1 engine ns = 1 ns).
+// Timer callbacks are control work: watchdogs, retransmissions, GVT pacing.
 func (e *ChanEngine) SetTimer(d int, delay sim.Time, fn func()) {
 	//lint:wallclock real engine: timers are real timers by definition
 	time.AfterFunc(time.Duration(delay), func() {
-		e.inboxes[d].put(fn)
+		e.inboxes[d].Put(LaneControl, fn)
 	})
 }
 
@@ -174,53 +169,7 @@ func (e *ChanEngine) HostSpec(int) lan.HostSpec { return lan.HostSpec{} }
 // work items are discarded.
 func (e *ChanEngine) Close() {
 	for _, q := range e.inboxes {
-		q.close()
+		q.Close()
 	}
 	e.wg.Wait()
-}
-
-// workQueue is an unbounded MPSC FIFO: senders never block, so daemons can
-// freely send to each other (and themselves) without deadlock.
-type workQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []func()
-	closed bool
-}
-
-func newWorkQueue() *workQueue {
-	q := &workQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *workQueue) put(fn func()) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return
-	}
-	q.items = append(q.items, fn)
-	q.cond.Signal()
-}
-
-func (q *workQueue) get() (func(), bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
-		return nil, false
-	}
-	fn := q.items[0]
-	q.items = q.items[1:]
-	return fn, true
-}
-
-func (q *workQueue) close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.closed = true
-	q.cond.Broadcast()
 }

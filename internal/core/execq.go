@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ExecQueue is the sharded per-daemon executor queue used by the real
+// engines (ChanEngine and the TCP transport). The previous design funneled
+// every producer — GVT control traffic, inbound hop delivery, and the
+// daemon's own instruction-retirement continuations — through one mutex,
+// which at scale made the lock itself the serialization point. Here each
+// class of work has its own lane with its own mutex, so producers of
+// different classes never contend; a single consumer goroutine still drains
+// them serially, preserving the daemon's executor-confinement contract.
+//
+// Lanes also encode priority: control work (GVT tokens, acks, watchdog
+// timers) runs before queued hop deliveries, which run before local
+// continuations. That keeps virtual-time synchronization responsive when a
+// daemon has a deep backlog of arrivals. The reorder across lanes is safe:
+// the GVT commit rule tolerates late-counted arrivals (unbalanced counters
+// just retry the round), and every FIFO-dependent pair of messages —
+// Messenger after CreateAck over the same link, duplicates behind originals
+// — shares the net lane, whose internal order is strict FIFO.
+type ExecQueue struct {
+	lanes  [numLanes]execLane
+	ready  chan struct{}
+	done   chan struct{}
+	closed atomic.Bool
+}
+
+// ExecLane classifies work for an ExecQueue. Lower values drain first.
+type ExecLane int
+
+// The lanes, in drain-priority order.
+const (
+	// LaneControl: GVT synchronization, reliable-delivery acks, liveness
+	// probes, and timer callbacks (watchdogs, retransmissions).
+	LaneControl ExecLane = iota
+	// LaneNet: inbound messages that carry computation or mutate the
+	// logical network (Messengers, creates, create acks, programs, batches).
+	// Strict FIFO — cross-daemon ordering invariants all live here.
+	LaneNet
+	// LaneLocal: the daemon's own continuations (VM segment retirement,
+	// hop resolution, injection).
+	LaneLocal
+	numLanes
+)
+
+// LaneFor maps a message kind to the lane its delivery runs on.
+func LaneFor(k MsgKind) ExecLane {
+	switch k {
+	case MsgGVTNotify, MsgGVTQuery, MsgGVTReport, MsgGVTAdvance, MsgGVTToken,
+		MsgHopAck, MsgHeartbeat, MsgHalt:
+		return LaneControl
+	default:
+		return LaneNet
+	}
+}
+
+type execLane struct {
+	mu    sync.Mutex
+	items []func()
+}
+
+func (l *execLane) put(fn func()) {
+	l.mu.Lock()
+	l.items = append(l.items, fn)
+	l.mu.Unlock()
+}
+
+func (l *execLane) pop() (func(), bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.items) == 0 {
+		return nil, false
+	}
+	fn := l.items[0]
+	l.items[0] = nil
+	l.items = l.items[1:]
+	return fn, true
+}
+
+// NewExecQueue returns an empty queue; the caller runs Run in the daemon's
+// executor goroutine.
+func NewExecQueue() *ExecQueue {
+	return &ExecQueue{
+		ready: make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+}
+
+// Put enqueues fn on the given lane. Puts after Close are dropped.
+func (q *ExecQueue) Put(lane ExecLane, fn func()) {
+	if q.closed.Load() {
+		return
+	}
+	q.lanes[lane].put(fn)
+	select {
+	case q.ready <- struct{}{}:
+	default: // a wake-up is already pending; the consumer re-scans anyway
+	}
+}
+
+// next pops the highest-priority pending item.
+func (q *ExecQueue) next() (func(), bool) {
+	for i := range q.lanes {
+		if fn, ok := q.lanes[i].pop(); ok {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+// Run drains the queue until Close, running items one at a time (the
+// daemon's serial executor). Items still queued at Close are run before
+// returning only if already visible; late stragglers are discarded.
+func (q *ExecQueue) Run() {
+	for {
+		if fn, ok := q.next(); ok {
+			fn()
+			continue
+		}
+		if q.closed.Load() {
+			return
+		}
+		select {
+		case <-q.ready:
+		case <-q.done:
+		}
+	}
+}
+
+// Close stops the queue: subsequent Puts are dropped and Run returns after
+// draining what it can see.
+func (q *ExecQueue) Close() {
+	if q.closed.CompareAndSwap(false, true) {
+		close(q.done)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+
+	"messengers/internal/obs"
+	"messengers/internal/sim"
+)
+
+// ringGVT is the distributed replacement for the conservative GVT
+// coordinator (WithDistributedGVT): a Mattern-style ring reduction in
+// which no daemon ever sees more than its two ring neighbours' traffic.
+//
+// The centralized coordinator costs 3 messages per daemon per round
+// (query, report, advance), every one of them through daemon 0 — the
+// paper's acknowledged serialization point. Here a single token makes two
+// trips around the daemon ring:
+//
+//	pass 1 (accumulate): each daemon folds its local minimum (earliest
+//	  suspended wake-up ∧ runnable LVTs) into GMin and adds its cumulative
+//	  sent/received Messenger counts to GSent/GRecv, then forwards.
+//	pass 2 (commit): if the counters balanced (no Messenger in transit
+//	  anywhere) and the minimum advanced, the token circulates once more
+//	  carrying the new GVT; every daemon installs it through the same
+//	  advanceGVT path the coordinator used.
+//
+// That is at most 2 control messages per daemon per round, with per-link
+// (not per-star) load. Daemon 0 still paces rounds — something must start
+// them, and MsgGVTNotify already lands there — but it handles O(1)
+// messages per round instead of O(N).
+//
+// The commit rule is the coordinator's, unchanged: counters must balance
+// and the minimum must exceed the installed GVT (recovery mode also
+// re-commits an unchanged minimum so a daemon that lost an advance can
+// catch up). Because both implementations decide from the same invariant
+// over the same advanceGVT path, a deterministic sim run commits the
+// identical GVT sequence under either — which the differential tests
+// assert.
+type ringGVT struct {
+	d *Daemon
+
+	// Initiator state (meaningful on daemon 0 only).
+	polling   bool
+	epoch     int64
+	inFlight  bool // a token of the current epoch is circulating
+	wdBackoff sim.Time
+	roundFrom sim.Time // engine clock at round launch (latency accounting)
+}
+
+// succ returns the next daemon after i on the token ring, skipping peers
+// this daemon currently believes dead (recovery mode). With every peer
+// dead it returns d.id: the ring degenerates to a self-round.
+func (r *ringGVT) succ(i int) int {
+	n := r.d.eng.NumDaemons()
+	for hops := 0; hops < n; hops++ {
+		i = r.d.topo.RingSuccessor(i)
+		if i == r.d.id || r.d.rec == nil || !r.d.rec.peerDead[i] {
+			return i
+		}
+	}
+	return r.d.id
+}
+
+// handleNotify reacts to a MsgGVTNotify landing on the initiator: some
+// daemon suspended a Messenger, so rounds must run until quiescence.
+func (r *ringGVT) handleNotify() {
+	if r.d.id != 0 || r.polling {
+		return
+	}
+	r.polling = true
+	r.startRound()
+}
+
+// startRound launches a fresh accumulation token (initiator only).
+func (r *ringGVT) startRound() {
+	r.epoch++
+	r.inFlight = true
+	r.d.Stats.GVTRounds++
+	if r.d.om != nil {
+		r.d.om.gvtRounds.Inc()
+	}
+	if r.d.tr != nil {
+		r.d.tr.Instant(r.d.id, "gvt", "gvt.round", obs.I("epoch", r.epoch))
+	}
+	r.roundFrom = r.d.eng.Now()
+	tok := &Msg{
+		Kind:   MsgGVTToken,
+		From:   r.d.id,
+		GPass:  1,
+		GEpoch: r.epoch,
+		GMin:   r.d.localMin(),
+		GSent:  r.d.sent,
+		GRecv:  r.d.recv,
+	}
+	r.forward(tok)
+	r.armWatchdog()
+}
+
+// forward ships the token to the ring successor, or hands it straight
+// back to the initiator's handler when this daemon is alone.
+func (r *ringGVT) forward(tok *Msg) {
+	if r.d.om != nil {
+		r.d.om.gvtTokenHops.Inc()
+	}
+	tok.From = r.d.id
+	r.d.sendGVT(r.succ(r.d.id), tok)
+}
+
+// handleToken processes a MsgGVTToken arriving at this daemon.
+func (r *ringGVT) handleToken(tok *Msg) {
+	if r.d.id == 0 {
+		// The token came home: the reduction (pass 1) or the commit wave
+		// (pass 2) has covered the ring.
+		if tok.GEpoch != r.epoch || !r.inFlight {
+			return // stale token from a round the watchdog already restarted
+		}
+		if tok.GPass == 1 {
+			r.conclude(tok)
+		} else {
+			r.roundDone()
+		}
+		return
+	}
+	if r.d.rec != nil && r.d.rec.peerDead[0] {
+		// The initiator is (believed) dead: the token has nowhere to
+		// terminate, so drop it — exactly as coordinator rounds die with
+		// daemon 0. A restarted daemon 0 resumes rounds on the next notify.
+		return
+	}
+	switch tok.GPass {
+	case 1:
+		if m := r.d.localMin(); m < tok.GMin {
+			tok.GMin = m
+		}
+		tok.GSent += r.d.sent
+		tok.GRecv += r.d.recv
+	case 2:
+		r.d.advanceGVT(tok.GVT)
+	}
+	r.forward(tok)
+}
+
+// conclude applies the coordinator's commit rule to a completed
+// accumulation pass.
+func (r *ringGVT) conclude(tok *Msg) {
+	d := r.d
+	r.inFlight = false
+	r.wdBackoff = 0
+	interval := d.sys.gvtInterval
+	if tok.GSent != tok.GRecv {
+		// Messengers in transit: their virtual times are unobservable, so
+		// the minimum is not yet safe. Retry soon.
+		d.eng.SetTimer(d.id, interval/4+1, func() { r.restart() })
+		return
+	}
+	min := tok.GMin
+	if math.IsInf(min, 1) {
+		// Nothing suspended anywhere: go quiet until the next notify.
+		r.polling = false
+		return
+	}
+	if min > d.gvt || (d.rec != nil && min >= d.gvt) {
+		// Install locally, then circulate the commit wave.
+		d.advanceGVT(min)
+		if r.d.om != nil {
+			r.d.om.gvtCommits.Inc()
+		}
+		r.inFlight = true
+		r.forward(&Msg{Kind: MsgGVTToken, GPass: 2, GEpoch: r.epoch, GVT: min})
+		r.armWatchdog()
+		return
+	}
+	r.roundDone()
+}
+
+// roundDone finishes a round (commit wave returned, or nothing to commit)
+// and paces the next one.
+func (r *ringGVT) roundDone() {
+	r.inFlight = false
+	r.wdBackoff = 0
+	r.d.Stats.GVTRoundTime += r.d.eng.Now() - r.roundFrom
+	r.d.eng.SetTimer(r.d.id, r.d.sys.gvtInterval, func() { r.restart() })
+}
+
+// restart begins a new round if polling is still wanted.
+func (r *ringGVT) restart() {
+	if r.d.id != 0 || !r.polling {
+		return
+	}
+	r.startRound()
+}
+
+// armWatchdog relaunches a token lost to a dropped message or a dead
+// daemon. Recovery mode only, with the same exponential backoff as the
+// coordinator's stalled-round watchdog.
+func (r *ringGVT) armWatchdog() {
+	if r.d.rec == nil {
+		return
+	}
+	r.wdBackoff = nextBackoff(r.wdBackoff, r.d.sys.gvtInterval)
+	ep := r.epoch
+	r.d.safeTimer(r.wdBackoff, func() {
+		if r.epoch == ep && r.inFlight {
+			r.startRound()
+		}
+	})
+}
+
+// crashReset clears initiator state when this daemon crashes (mirrors the
+// coordinator reset in crashCleanup).
+func (r *ringGVT) crashReset() {
+	r.polling = false
+	r.inFlight = false
+	r.wdBackoff = 0
+}

@@ -45,6 +45,13 @@ const (
 	// MsgHeartbeat is a periodic liveness probe between daemons (recovery
 	// mode on real transports; intercepted at the transport layer).
 	MsgHeartbeat
+	// MsgGVTToken is the distributed ring-reduction GVT token: it circulates
+	// the daemon ring accumulating the global minimum and transient counters
+	// (pass 1, GPass=1), then again committing the new GVT (pass 2, GPass=2).
+	MsgGVTToken
+	// MsgBatch carries several same-destination messages coalesced into one
+	// frame (hop batching); the receiver unpacks and handles each in order.
+	MsgBatch
 )
 
 // String names the kind.
@@ -55,6 +62,7 @@ func (k MsgKind) String() string {
 		MsgGVTQuery: "gvt-query", MsgGVTReport: "gvt-report",
 		MsgGVTAdvance: "gvt-advance", MsgHalt: "halt",
 		MsgHopAck: "hop-ack", MsgHeartbeat: "heartbeat",
+		MsgGVTToken: "gvt-token", MsgBatch: "batch",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -115,6 +123,13 @@ type Msg struct {
 	GRecv   int64
 	GActive int64
 	GVT     float64
+	// GPass is the ring-token pass number (MsgGVTToken): 1 accumulates,
+	// 2 commits.
+	GPass uint8
+
+	// Batch holds the coalesced sub-messages of a MsgBatch. Sub-messages
+	// never nest (a batch member is always a leaf kind).
+	Batch []*Msg
 
 	// HopSeq is the sender's per-daemon reliable-transfer sequence number
 	// (recovery mode; zero otherwise). Together with From it keys duplicate
@@ -170,9 +185,20 @@ func (m *Msg) EncodedSize() int {
 		12 + 4 + len(m.OriginName) + // Origin
 		12 + 4 + len(m.AckPeerName) + // AckPeer
 		4 + len(m.ProgBytes) + // program blob
-		6*8 + // GVT fields
+		6*8 + 1 + // GVT fields, GPass
 		8 + // HopSeq
-		4 + len(m.Tenant) + 8 + 8 + 8 // Tenant, Session, Budget, AckFloor
+		4 + len(m.Tenant) + 8 + 8 + 8 + // Tenant, Session, Budget, AckFloor
+		m.batchSize()
+}
+
+// batchSize is the encoded length of the batch tail: a count plus one
+// length-prefixed sub-encoding per member.
+func (m *Msg) batchSize() int {
+	n := 4
+	for _, sub := range m.Batch {
+		n += 4 + sub.EncodedSize()
+	}
+	return n
 }
 
 // AppendTo serializes the message into e in one pass. A Messenger carried
@@ -215,11 +241,24 @@ func (m *Msg) AppendTo(e *wire.Encoder) {
 	e.U64(uint64(m.GRecv))
 	e.U64(uint64(m.GActive))
 	e.F64(m.GVT)
+	e.U8(m.GPass)
 	e.U64(m.HopSeq)
 	e.Str(m.Tenant)
 	e.U64(m.Session)
 	e.U64(uint64(m.Budget))
 	e.U64(m.AckFloor)
+	e.U32(uint32(len(m.Batch)))
+	for _, sub := range m.Batch {
+		off := e.Reserve(4)
+		start := e.Len()
+		sub.AppendTo(e)
+		n := e.Len() - start
+		if n > wire.MaxLen {
+			e.Fail(fmt.Errorf("core: batched message of %d bytes exceeds limit (%d)", n, wire.MaxLen))
+			return
+		}
+		e.PatchU32(off, uint32(n))
+	}
 }
 
 // Encode serializes the message into a standalone slice, allocated at its
@@ -254,6 +293,14 @@ func (m *Msg) WireSize() int {
 		return 48 + m.SnapshotLen() + len(m.Last) + len(m.CreateName) + len(m.LinkName) + len(m.ProgBytes) + len(m.Tenant)
 	case MsgProgram:
 		return 32 + len(m.ProgBytes)
+	case MsgBatch:
+		// One frame header amortized over the members; each member still
+		// pays its own payload bytes.
+		n := 16
+		for _, sub := range m.Batch {
+			n += sub.WireSize()
+		}
+		return n
 	default:
 		return 64
 	}
@@ -266,6 +313,10 @@ func (m *Msg) WireSize() int {
 // data past that point (value.Decode, bytecode decoding) copy what they
 // keep.
 func DecodeMsg(buf []byte) (*Msg, error) {
+	return decodeMsg(buf, 0)
+}
+
+func decodeMsg(buf []byte, depth int) (*Msg, error) {
 	r := &msgReader{buf: buf}
 	m := &Msg{}
 	m.Kind = MsgKind(r.u8())
@@ -292,11 +343,31 @@ func DecodeMsg(buf []byte) (*Msg, error) {
 	m.GRecv = int64(r.u64())
 	m.GActive = int64(r.u64())
 	m.GVT = math.Float64frombits(r.u64())
+	m.GPass = r.u8()
 	m.HopSeq = r.u64()
 	m.Tenant = r.str()
 	m.Session = r.u64()
 	m.Budget = int64(r.u64())
 	m.AckFloor = r.u64()
+	if n := int(r.u32()); n > 0 && r.err == nil {
+		// Untrusted input: members are never nested, and each needs at
+		// least its 4-byte length prefix, which bounds a plausible count.
+		if depth > 0 || n > (len(buf)-r.pos)/4 {
+			return nil, fmt.Errorf("core: decode batch: implausible batch (depth %d, count %d, %d bytes left)", depth, n, len(buf)-r.pos)
+		}
+		m.Batch = make([]*Msg, 0, n)
+		for i := 0; i < n; i++ {
+			sub := r.bytes()
+			if r.err != nil {
+				break
+			}
+			sm, err := decodeMsg(sub, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("core: decode batch member %d: %w", i, err)
+			}
+			m.Batch = append(m.Batch, sm)
+		}
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("core: decode %v message: %w", m.Kind, r.err)
 	}

@@ -523,7 +523,7 @@ func (d *Daemon) crashCleanup() {
 		lost++
 		d.sys.sessionWork(m.Tenant, m.Session, -1)
 	}
-	for _, e := range d.waitQ {
+	for _, e := range d.waitQ.Items() {
 		lost++
 		d.sys.sessionWork(e.m.Tenant, e.m.Session, -1)
 	}
@@ -549,13 +549,20 @@ func (d *Daemon) crashCleanup() {
 	}
 	d.rec.adopted = map[logical.Addr]logical.NodeID{}
 	d.active = map[uint64]*Messenger{}
-	d.waitQ = nil
+	d.waitQ.Reset()
+	for i := range d.outbox {
+		d.outbox[i] = nil // unsent batches die with the process
+	}
+	d.flushArmed = false
 	d.notified = false
 	d.sent, d.recv = 0, 0
 	d.store = logical.NewStore(d.id)
 	if d.coord != nil {
 		d.coord.polling = false
 		d.coord.reports = nil
+	}
+	if d.ring != nil {
+		d.ring.crashReset()
 	}
 	if d.om != nil {
 		d.om.deaths.Inc()
@@ -593,7 +600,7 @@ func (d *Daemon) armRenotify() {
 
 func (d *Daemon) renotifyFire() {
 	d.renotifyOn = false
-	if len(d.waitQ) == 0 {
+	if d.waitQ.Len() == 0 {
 		return
 	}
 	d.sendGVT(0, &Msg{Kind: MsgGVTNotify, From: d.id})

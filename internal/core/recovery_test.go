@@ -23,7 +23,7 @@ func faultSystem(t *testing.T, n int, plan *faults.Plan, opts ...Option) (*sim.K
 	metrics := obs.NewMetrics()
 	cluster.Observe(nil, metrics)
 	opts = append(opts, WithRecovery(RecoveryConfig{}), WithMetrics(metrics))
-	sys := NewSystem(NewSimEngine(cluster), FullMesh(n), opts...)
+	sys := NewSystem(NewSimEngine(cluster), FullMesh(n), distGVTEnv(opts)...)
 	inj := faults.NewInjector(plan, metrics, nil)
 	cluster.SetFaultHook(inj.LanHook(k))
 	faults.Schedule(plan, sys, func(at int64, fn func()) { k.At(sim.Time(at), fn) }, true)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"messengers/internal/bytecode"
 	"messengers/internal/logical"
@@ -36,14 +37,26 @@ type System struct {
 	om          *sysObs
 	recCfg      *RecoveryConfig // non-nil enables fault recovery (WithRecovery)
 	gate        Gate            // admission gate (SetAdmission); nil outside service mode
+	distGVT     bool            // ring-reduction GVT instead of the coordinator
+	hopBatch    bool            // coalesce same-destination hops into MsgBatch frames
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	live      int64
-	injectSeq uint64
-	outputs   []string
+	// live and injectSeq are atomics, not s.mu fields: every remote hop
+	// under recovery and every inject touches them, and on the real engines
+	// those arrive from many executors at once — they must not serialize on
+	// the mutex that guards output collection. s.mu + cond only mediate the
+	// zero-crossing that Wait sleeps on.
+	live      atomic.Int64
+	injectSeq atomic.Uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	outputs []string
 	outW      io.Writer
 	errs      []error
+	// commits is daemon 0's strictly increasing sequence of installed GVT
+	// values — the differential-testing signal that the coordinator and the
+	// ring compute the same virtual-time history.
+	commits []float64
 }
 
 // Option configures a System.
@@ -57,6 +70,29 @@ func WithOutput(w io.Writer) Option {
 // WithGVTInterval overrides the conservative synchronizer's round period.
 func WithGVTInterval(d sim.Time) Option {
 	return func(s *System) { s.gvtInterval = d }
+}
+
+// WithDistributedGVT replaces the centralized GVT coordinator (star-shaped
+// query/report/advance rounds through daemon 0) with the distributed
+// ring-reduction protocol: a token circulates the daemon ring accumulating
+// the global minimum and transient counters, then circulates again to
+// commit — two control messages per daemon per round, none of them
+// converging on a single host. Commit semantics (advanceGVT, recovery
+// fossil floors) are identical; see docs/GVT.md for the trade-offs.
+func WithDistributedGVT() Option {
+	return func(s *System) { s.distGVT = true }
+}
+
+// WithHopBatching coalesces the Messenger-carrying messages a daemon emits
+// in one executor turn, per destination, into a single MsgBatch frame: a
+// fan-out hop to k co-located destinations pays one frame header and one
+// per-message fixed cost instead of k. The receiver unpacks and handles
+// each member exactly as if it had arrived alone (GVT transient counting,
+// reliable-delivery dedup, and admission charging are all per member).
+// Off by default: the paper-calibration experiments model the 1997 runtime,
+// which shipped hops one message at a time.
+func WithHopBatching() Option {
+	return func(s *System) { s.hopBatch = true }
 }
 
 // WithTracer attaches a tracer: daemons emit messenger-lifecycle, VM
@@ -81,7 +117,8 @@ type sysObs struct {
 	creates, deletes, finished, died, errs *obs.Counter
 	evicted                                *obs.Counter
 	suspends, gvtRounds                    *obs.Counter
-	netMsgs, netBytes                      *obs.Counter
+	gvtTokenHops, gvtCommits, gvtCtlMsgs   *obs.Counter
+	netMsgs, netBytes, netBatches          *obs.Counter
 	retx, dedup, respawns, adoptions       *obs.Counter
 	deaths, restarts, peerDowns, peerUps   *obs.Counter
 	segSteps, msgrBytes                    *obs.Histogram
@@ -106,8 +143,12 @@ func newSysObs(m *obs.Metrics) *sysObs {
 		evicted:      m.Counter("msgr.evicted"),
 		suspends:     m.Counter("gvt.suspends"),
 		gvtRounds:    m.Counter("gvt.rounds"),
+		gvtTokenHops: m.Counter("gvt.token.hops"),
+		gvtCommits:   m.Counter("gvt.commits"),
+		gvtCtlMsgs:   m.Counter("gvt.ctl.msgs"),
 		netMsgs:      m.Counter("net.msgs"),
 		netBytes:     m.Counter("net.bytes"),
+		netBatches:   m.Counter("net.batches"),
 		retx:         m.Counter("msgr.retx"),
 		dedup:        m.Counter("msgr.dedup"),
 		respawns:     m.Counter("msgr.respawns"),
@@ -302,10 +343,7 @@ func (s *System) injectProg(d int, prog *bytecode.Program, node string, vars map
 		return fmt.Errorf("core: no daemon %d", d)
 	}
 	fresh := vm.New(prog, value.CloneEnv(vars))
-	s.mu.Lock()
-	s.injectSeq++
-	seq := s.injectSeq
-	s.mu.Unlock()
+	seq := s.injectSeq.Add(1)
 	msg := &Msg{
 		Kind:       MsgInject,
 		From:       d,
@@ -330,36 +368,32 @@ func (s *System) workAdded(n int) {
 	if n == 0 {
 		return
 	}
-	s.mu.Lock()
-	s.live += int64(n)
-	s.mu.Unlock()
+	s.live.Add(int64(n))
 }
 
 func (s *System) workDone(n int) {
-	s.mu.Lock()
-	s.live -= int64(n)
-	if s.live < 0 {
+	v := s.live.Add(-int64(n))
+	if v < 0 {
 		panic("core: live work count went negative")
 	}
-	if s.live == 0 {
+	if v == 0 {
+		// Broadcast under s.mu so a concurrent Wait cannot check the count
+		// and sleep between our decrement and the signal.
+		s.mu.Lock()
 		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 }
 
 // Live returns the number of live Messengers plus in-flight transfers.
-func (s *System) Live() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.live
-}
+func (s *System) Live() int64 { return s.live.Load() }
 
 // Wait blocks until no live Messengers or in-flight transfers remain (real
 // engines; on the simulated engine run the kernel instead).
 func (s *System) Wait() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.live > 0 {
+	for s.live.Load() > 0 {
 		s.cond.Wait()
 	}
 }
@@ -396,6 +430,27 @@ func (s *System) Errors() []error {
 	defer s.mu.Unlock()
 	out := make([]error, len(s.errs))
 	copy(out, s.errs)
+	return out
+}
+
+// recordCommit logs a GVT value installed on daemon 0. advanceGVT already
+// guarantees strict monotonicity, so the log is the sequence of distinct
+// global-virtual-time frontiers the run committed.
+func (s *System) recordCommit(gvt float64) {
+	s.mu.Lock()
+	s.commits = append(s.commits, gvt)
+	s.mu.Unlock()
+}
+
+// CommitLog returns daemon 0's strictly increasing sequence of committed
+// GVT values. Both GVT implementations feed it through the same advanceGVT
+// path, so differential tests can assert the coordinator and the ring
+// agree on the entire virtual-time history of a run.
+func (s *System) CommitLog() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.commits))
+	copy(out, s.commits)
 	return out
 }
 
@@ -501,6 +556,12 @@ type coordinator struct {
 	polling bool
 	epoch   int64
 	reports map[int]*Msg
+	// wdBackoff is the current watchdog delay; it doubles every time a
+	// round stalls and resets when one concludes, so a partitioned daemon
+	// costs a geometrically thinning trickle of re-queries instead of a
+	// steady storm.
+	wdBackoff sim.Time
+	roundFrom sim.Time // engine clock at round launch (latency accounting)
 }
 
 func (c *coordinator) handle(msg *Msg) {
@@ -544,6 +605,7 @@ func (c *coordinator) alive(i int) bool {
 func (c *coordinator) startRound() {
 	c.epoch++
 	c.d.Stats.GVTRounds++
+	c.roundFrom = c.d.eng.Now()
 	if c.d.om != nil {
 		c.d.om.gvtRounds.Inc()
 	}
@@ -563,17 +625,37 @@ func (c *coordinator) startRound() {
 // armWatchdog restarts a round that stalls — a query or report lost to the
 // network, or a peer that died mid-round — so GVT synchronization survives
 // message loss. Recovery mode only: fault-free runs must stay
-// event-identical.
+// event-identical. The delay backs off exponentially (2× the round
+// interval up to gvtMaxBackoff×) so a long partition does not generate a
+// query storm against the unreachable daemon.
 func (c *coordinator) armWatchdog() {
 	if c.d.rec == nil {
 		return
 	}
+	c.wdBackoff = nextBackoff(c.wdBackoff, c.d.sys.gvtInterval)
 	ep := c.epoch
-	c.d.safeTimer(2*c.d.sys.gvtInterval, func() {
+	c.d.safeTimer(c.wdBackoff, func() {
 		if c.epoch == ep && c.reports != nil {
 			c.startRound()
 		}
 	})
+}
+
+// gvtMaxBackoff caps the stalled-round watchdog at 64× the base delay.
+const gvtMaxBackoff = 64
+
+// nextBackoff doubles a watchdog delay from a 2×interval floor, capped at
+// gvtMaxBackoff times the floor.
+func nextBackoff(cur, interval sim.Time) sim.Time {
+	floor := 2 * interval
+	if cur < floor {
+		return floor
+	}
+	next := cur * 2
+	if max := gvtMaxBackoff * floor; next > max {
+		return max
+	}
+	return next
 }
 
 func (c *coordinator) conclude() {
@@ -594,6 +676,8 @@ func (c *coordinator) conclude() {
 		}
 	}
 	c.reports = nil
+	c.wdBackoff = 0 // the round concluded; stalls start fresh
+	c.d.Stats.GVTRoundTime += c.d.eng.Now() - c.roundFrom
 	interval := c.d.sys.gvtInterval
 	if sent != recv {
 		// Transient Messengers in flight: retry soon.

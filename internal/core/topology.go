@@ -103,6 +103,17 @@ func Star(n int) *Topology {
 	return t
 }
 
+// RingSuccessor returns the daemon after i in the canonical index ring
+// 0 → 1 → … → n-1 → 0. The distributed GVT token route is defined over
+// this ring, independent of the application's daemon-link topology: every
+// daemon set has it, and it visits each daemon exactly once per lap.
+func (t *Topology) RingSuccessor(i int) int {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("core: ring successor of daemon %d in a %d-daemon topology", i, t.n))
+	}
+	return (i + 1) % t.n
+}
+
 // MatchDaemons resolves a daemon destination specification (dn, dl, ddir)
 // from daemon `from`. dn may be "*", a daemon name ("d3"), or a numeric
 // daemon ID; dl matches the daemon-link name ("*" any, "~" unnamed); ddir

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"messengers/internal/value"
+)
+
+func TestRingSuccessorWalksWholeRing(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		topo := FullMesh(n)
+		seen := make(map[int]bool)
+		at := 0
+		for i := 0; i < n; i++ {
+			if seen[at] {
+				t.Fatalf("n=%d: revisited daemon %d before completing the lap", n, at)
+			}
+			seen[at] = true
+			at = topo.RingSuccessor(at)
+		}
+		if at != 0 {
+			t.Errorf("n=%d: lap of length n ended at %d, want 0", n, at)
+		}
+	}
+}
+
+func TestRingSuccessorIndependentOfEdges(t *testing.T) {
+	// The GVT token ring is defined over daemon indices, not daemon links:
+	// even an edgeless topology has a complete ring.
+	topo := NewTopology(4)
+	for i := 0; i < 4; i++ {
+		if got, want := topo.RingSuccessor(i), (i+1)%4; got != want {
+			t.Errorf("RingSuccessor(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRingSuccessorBounds(t *testing.T) {
+	topo := FullMesh(3)
+	for _, bad := range []int{-1, 3, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RingSuccessor(%d) on 3 daemons did not panic", bad)
+				}
+			}()
+			topo.RingSuccessor(bad)
+		}()
+	}
+}
+
+func TestTopologyConstructorShapes(t *testing.T) {
+	any := value.Nil()
+	neighbors := func(topo *Topology, from int) []int {
+		return topo.MatchDaemons(from, any, any, any)
+	}
+
+	mesh := FullMesh(4)
+	for i := 0; i < 4; i++ {
+		if got := neighbors(mesh, i); len(got) != 3 {
+			t.Errorf("mesh daemon %d has %d neighbors %v, want 3", i, len(got), got)
+		}
+	}
+
+	star := Star(4)
+	if got := neighbors(star, 0); len(got) != 3 {
+		t.Errorf("star hub has neighbors %v, want all 3 spokes", got)
+	}
+	for i := 1; i < 4; i++ {
+		got := neighbors(star, i)
+		if len(got) != 1 || got[0] != 0 {
+			t.Errorf("star spoke %d has neighbors %v, want [0]", i, got)
+		}
+	}
+
+	// Grid(2,3): corner (0,0)=id 0 has east + south; center of the top row
+	// (0,1)=id 1 has west, east, south.
+	grid := Grid(2, 3)
+	if got := neighbors(grid, 0); len(got) != 2 {
+		t.Errorf("grid corner has neighbors %v, want 2", got)
+	}
+	if got := neighbors(grid, 1); len(got) != 3 {
+		t.Errorf("grid top-center has neighbors %v, want 3", got)
+	}
+	if got := grid.MatchDaemons(0, any, value.Str("ns"), any); len(got) != 1 || got[0] != 3 {
+		t.Errorf(`grid corner "ns" neighbors = %v, want [3]`, got)
+	}
+}
+
+func TestMatchDaemonsDirectedRing(t *testing.T) {
+	ring := Ring(3)
+	any := value.Nil()
+
+	// ddir "+" follows edge direction, "-" goes against it.
+	if got := ring.MatchDaemons(1, any, any, value.Str("+")); len(got) != 1 || got[0] != 2 {
+		t.Errorf(`ring "+" from 1 = %v, want [2]`, got)
+	}
+	if got := ring.MatchDaemons(1, any, any, value.Str("-")); len(got) != 1 || got[0] != 0 {
+		t.Errorf(`ring "-" from 1 = %v, want [0]`, got)
+	}
+	// Unconstrained direction sees both neighbors.
+	if got := ring.MatchDaemons(1, any, any, any); len(got) != 2 {
+		t.Errorf("ring both-ways from 1 = %v, want 2 neighbors", got)
+	}
+	// The link name filter: ring edges are named "ring"; "~" (unnamed) must
+	// match nothing here.
+	if got := ring.MatchDaemons(1, any, value.Str("~"), any); got != nil {
+		t.Errorf(`ring unnamed-link match = %v, want none`, got)
+	}
+}
+
+func TestMatchDaemonsByNameAndID(t *testing.T) {
+	mesh := FullMesh(4)
+	any := value.Nil()
+
+	if got := mesh.MatchDaemons(0, value.Str("d2"), any, any); len(got) != 1 || got[0] != 2 {
+		t.Errorf(`dn "d2" = %v, want [2]`, got)
+	}
+	// Numeric daemon IDs work both as strings and as numbers.
+	if got := mesh.MatchDaemons(0, value.Str("3"), any, any); len(got) != 1 || got[0] != 3 {
+		t.Errorf(`dn "3" = %v, want [3]`, got)
+	}
+	if got := mesh.MatchDaemons(0, value.Int(3), any, any); len(got) != 1 || got[0] != 3 {
+		t.Errorf(`dn 3 = %v, want [3]`, got)
+	}
+	// A daemon is not its own neighbor in a mesh.
+	if got := mesh.MatchDaemons(0, value.Str("d0"), any, any); got != nil {
+		t.Errorf(`dn "d0" from 0 = %v, want none`, got)
+	}
+	if got := mesh.MatchDaemons(0, value.Str("d9"), any, any); got != nil {
+		t.Errorf(`dn "d9" = %v, want none`, got)
+	}
+}
+
+func TestMatchDaemonsDeduplicatesParallelEdges(t *testing.T) {
+	topo := NewTopology(2)
+	topo.AddEdge(0, 1, "a", false)
+	topo.AddEdge(0, 1, "b", false)
+	got := topo.MatchDaemons(0, value.Nil(), value.Nil(), value.Nil())
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("parallel edges matched %v, want [1] once", got)
+	}
+}

@@ -1,7 +1,6 @@
 package gvt
 
 import (
-	"container/heap"
 	"fmt"
 
 	"messengers/internal/obs"
@@ -59,7 +58,7 @@ func RunConservative(cfg Config, inject []Event) (Stats, []State, error) {
 		if h < 0 || h >= len(cs.hosts) {
 			return Stats{}, nil, fmt.Errorf("gvt: LP %d placed on unknown host %d", i, h)
 		}
-		lp := &csLP{id: i, host: h}
+		lp := &csLP{id: i, host: h, pending: newTSHeap()}
 		if cfg.InitState != nil {
 			lp.state = cfg.InitState(i)
 		}
@@ -71,7 +70,7 @@ func RunConservative(cfg Config, inject []Event) (Stats, []State, error) {
 			return Stats{}, nil, fmt.Errorf("gvt: injected event for unknown LP %d", ev.To)
 		}
 		cs.seq++
-		heap.Push(&cs.lps[ev.To].pending, &tsEvent{Event: ev, id: cs.seq})
+		cs.lps[ev.To].pending.Push(&tsEvent{Event: ev, id: cs.seq})
 	}
 	cs.scheduleRound(0)
 	end := cfg.Cluster.Kernel.Run()
@@ -80,8 +79,8 @@ func RunConservative(cfg Config, inject []Event) (Stats, []State, error) {
 	states := make([]State, len(cs.lps))
 	for i, lp := range cs.lps {
 		states[i] = lp.state
-		if len(lp.pending) > 0 {
-			return cs.stats, states, fmt.Errorf("gvt: LP %d finished with %d pending events", lp.id, len(lp.pending))
+		if lp.pending.Len() > 0 {
+			return cs.stats, states, fmt.Errorf("gvt: LP %d finished with %d pending events", lp.id, lp.pending.Len())
 		}
 	}
 	return cs.stats, states, nil
@@ -163,8 +162,8 @@ func (cs *conservative) concludeRound(min float64) {
 func (cs *conservative) executeEpoch(hid int, epoch float64) {
 	for _, lp := range cs.hosts[hid] {
 		lp := lp
-		for len(lp.pending) > 0 && lp.pending.minTS() <= epoch {
-			ev := heap.Pop(&lp.pending).(*tsEvent)
+		for lp.pending.Len() > 0 && lp.pending.minTS() <= epoch {
+			ev := lp.pending.Pop()
 			cost := cs.cfg.EventCPU
 			var sends []*tsEvent
 			ctx := &Ctx{
@@ -193,7 +192,7 @@ func (cs *conservative) transmit(fromHost int, ev *tsEvent) {
 	cs.unfinished[ev.id] = ev.At
 	deliver := func() {
 		delete(cs.unfinished, ev.id)
-		heap.Push(&cs.lps[ev.To].pending, ev)
+		cs.lps[ev.To].pending.Push(ev)
 	}
 	if toHost == fromHost {
 		cs.cfg.Cluster.Hosts[toHost].ExecScaled(cm.CallFixed, deliver)

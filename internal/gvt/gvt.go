@@ -167,38 +167,38 @@ type Stats struct {
 // ctlMsgSize is the wire size of a GVT control message.
 const ctlMsgSize = 64
 
-// eventHeapF orders events by (At, seq) for determinism.
+// tsEvent is an event tagged with an insertion id for deterministic
+// tie-breaking (and, under Time Warp, an anti-message flag).
 type tsEvent struct {
 	Event
 	id   uint64
 	anti bool
 }
 
-type tsHeap []*tsEvent
-
-func (h tsHeap) Len() int { return len(h) }
-func (h tsHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// tsBefore is the (At, id) total order on timestamped events.
+func tsBefore(a, b *tsEvent) bool {
+	if a.At != b.At {
+		return a.At < b.At
 	}
-	return h[i].id < h[j].id
+	return a.id < b.id
 }
-func (h tsHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *tsHeap) Push(x any)   { *h = append(*h, x.(*tsEvent)) }
-func (h *tsHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// tsHeap is an LP's pending-event queue: the shared generic heap
+// (sim.Heap) under the tsBefore order, plus the minTS convenience this
+// package's GVT rounds use. Both executors use it; Time Warp additionally
+// needs Items/RemoveAt for anti-message annihilation.
+type tsHeap struct {
+	*sim.Heap[*tsEvent]
 }
+
+func newTSHeap() tsHeap { return tsHeap{sim.NewHeap(tsBefore)} }
 
 const inf = math.MaxFloat64
 
-// minOr returns the heap's minimum timestamp or +inf.
+// minTS returns the heap's minimum timestamp or +inf.
 func (h tsHeap) minTS() float64 {
-	if len(h) == 0 {
+	if h.Len() == 0 {
 		return inf
 	}
-	return h[0].At
+	return h.Peek().At
 }

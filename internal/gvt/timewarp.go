@@ -1,7 +1,6 @@
 package gvt
 
 import (
-	"container/heap"
 	"fmt"
 
 	"messengers/internal/obs"
@@ -90,8 +89,8 @@ func RunTimeWarp(cfg Config, inject []Event) (Stats, []State, error) {
 	}
 	// A drained kernel with unprocessed events would be a kernel bug.
 	for _, lp := range tw.lps {
-		if len(lp.pending) > 0 {
-			return tw.stats, states, fmt.Errorf("gvt: LP %d finished with %d pending events", lp.id, len(lp.pending))
+		if lp.pending.Len() > 0 {
+			return tw.stats, states, fmt.Errorf("gvt: LP %d finished with %d pending events", lp.id, lp.pending.Len())
 		}
 	}
 	return tw.stats, states, nil
@@ -112,7 +111,7 @@ func (tw *timeWarp) setup(inject []Event) error {
 		if h < 0 || h >= len(tw.hosts) {
 			return fmt.Errorf("gvt: LP %d placed on unknown host %d", i, h)
 		}
-		lp := &twLP{id: i, host: h, limbo: map[uint64]bool{}}
+		lp := &twLP{id: i, host: h, pending: newTSHeap(), limbo: map[uint64]bool{}}
 		if cfg.InitState != nil {
 			lp.state = cfg.InitState(i)
 		}
@@ -124,7 +123,7 @@ func (tw *timeWarp) setup(inject []Event) error {
 			return fmt.Errorf("gvt: injected event for unknown LP %d", ev.To)
 		}
 		tw.seq++
-		heap.Push(&tw.lps[ev.To].pending, &tsEvent{Event: ev, id: tw.seq})
+		tw.lps[ev.To].pending.Push(&tsEvent{Event: ev, id: tw.seq})
 	}
 	return nil
 }
@@ -149,7 +148,7 @@ func (tw *timeWarp) kick(h *twHost) {
 func (tw *timeWarp) nextLP(h *twHost) *twLP {
 	var best *twLP
 	for _, lp := range h.lps {
-		if len(lp.pending) == 0 {
+		if lp.pending.Len() == 0 {
 			continue
 		}
 		if tw.cfg.Window > 0 && lp.pending.minTS() >= tw.gvt+tw.cfg.Window {
@@ -169,7 +168,7 @@ func (tw *timeWarp) processOne(h *twHost) {
 	if lp == nil {
 		return
 	}
-	ev := heap.Pop(&lp.pending).(*tsEvent)
+	ev := lp.pending.Pop()
 	rec := &twRecord{ev: ev}
 	if lp.state != nil {
 		rec.before = lp.state.Clone()
@@ -240,15 +239,15 @@ func (tw *timeWarp) arrive(ev *tsEvent) {
 		// Straggler: roll the LP back to just before the event's time.
 		tw.rollback(lp, ev.At)
 	}
-	heap.Push(&lp.pending, ev)
+	lp.pending.Push(ev)
 	tw.kick(h)
 }
 
 // annihilate cancels the positive copy of an anti-message.
 func (tw *timeWarp) annihilate(lp *twLP, anti *tsEvent) {
-	for i, p := range lp.pending {
+	for i, p := range lp.pending.Items() {
 		if p.id == anti.id {
-			heap.Remove(&lp.pending, i)
+			lp.pending.RemoveAt(i)
 			return
 		}
 	}
@@ -257,9 +256,9 @@ func (tw *timeWarp) annihilate(lp *twLP, anti *tsEvent) {
 			// The victim was already executed: roll back past it, which
 			// reinserts it as pending, then remove it.
 			tw.rollback(lp, anti.At)
-			for i, p := range lp.pending {
+			for i, p := range lp.pending.Items() {
 				if p.id == anti.id {
-					heap.Remove(&lp.pending, i)
+					lp.pending.RemoveAt(i)
 					break
 				}
 			}
@@ -293,7 +292,7 @@ func (tw *timeWarp) rollback(lp *twLP, ts float64) {
 	for i := len(undone) - 1; i >= 0; i-- {
 		rec := undone[i]
 		lp.state = rec.before
-		heap.Push(&lp.pending, rec.ev)
+		lp.pending.Push(rec.ev)
 		tw.stats.RolledBack++
 		cost += tw.cfg.EventCPU / 2
 		for _, out := range rec.sent {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -40,6 +41,7 @@ func ringSpec(daemons int) messengers.NetSpec {
 func simService(t *testing.T, daemons int, cfg messengers.Config, scfg serve.Config) (*messengers.System, *serve.Server) {
 	t.Helper()
 	cfg.Daemons = daemons
+	cfg.DistributedGVT = cfg.DistributedGVT || os.Getenv("MSGR_DIST_GVT") == "1"
 	sys, err := messengers.NewSimSystem(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -60,6 +62,7 @@ func simService(t *testing.T, daemons int, cfg messengers.Config, scfg serve.Con
 func tcpService(t *testing.T, daemons int, cfg messengers.Config, scfg serve.Config) (*messengers.System, *serve.Server) {
 	t.Helper()
 	cfg.Daemons = daemons
+	cfg.DistributedGVT = cfg.DistributedGVT || os.Getenv("MSGR_DIST_GVT") == "1"
 	sys, err := messengers.NewTCPSystem(cfg, nil)
 	if err != nil {
 		t.Fatal(err)

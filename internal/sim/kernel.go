@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -41,38 +40,7 @@ type event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	idx    int // heap index; -1 when removed
 	cancel bool
-}
-
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
@@ -82,13 +50,16 @@ type Handle struct {
 }
 
 // Cancel removes the event from the schedule; it is a no-op if the event
-// already fired or was cancelled.
+// already fired or was cancelled. The event stays in the queue as a
+// tombstone (Step skips it), which keeps cancellation O(1) for every
+// queue implementation.
 func (h Handle) Cancel() {
 	if h.e == nil || h.e.fn == nil {
 		return
 	}
 	h.e.cancel = true
 	h.e.fn = nil
+	h.k.live--
 }
 
 // Kernel is a discrete-event scheduler. The zero value is not usable; use
@@ -96,7 +67,8 @@ func (h Handle) Cancel() {
 type Kernel struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
+	pq      eventQueue
+	live    int // scheduled, uncancelled events
 	procs   int // live (spawned, not yet finished) processes
 	parked  int // processes blocked in Park with no pending wake
 	stopped bool
@@ -105,9 +77,30 @@ type Kernel struct {
 	allProcs []*Proc
 }
 
-// New returns an empty kernel at time zero.
+// New returns an empty kernel at time zero. The pending-event set is the
+// adaptive queue: a binary heap while the horizon is sparse, migrating to
+// a calendar queue past ~1k pending events (see queue.go). Both obey the
+// same (time, sequence) total order, so the choice never changes a run's
+// behavior, only its wall-clock cost.
 func New() *Kernel {
-	return &Kernel{}
+	return &Kernel{pq: newAdaptiveQueue()}
+}
+
+// NewWithQueue returns a kernel pinned to a specific event-queue
+// implementation: "heap", "calendar", or "adaptive". It exists for the
+// kernel microbenchmarks that compare queue structures head to head;
+// simulations should use New.
+func NewWithQueue(kind string) *Kernel {
+	switch kind {
+	case "heap":
+		return &Kernel{pq: newHeapQueue()}
+	case "calendar":
+		return &Kernel{pq: newCalendarQueue(0)}
+	case "adaptive":
+		return &Kernel{pq: newAdaptiveQueue()}
+	default:
+		panic(fmt.Sprintf("sim: unknown event queue %q", kind))
+	}
 }
 
 // Now returns the current simulated time.
@@ -121,7 +114,8 @@ func (k *Kernel) At(t Time, fn func()) Handle {
 	}
 	e := &event{at: t, seq: k.seq, fn: fn}
 	k.seq++
-	heap.Push(&k.pq, e)
+	k.pq.Push(e)
+	k.live++
 	return Handle{k: k, e: e}
 }
 
@@ -134,15 +128,7 @@ func (k *Kernel) After(d Time, fn func()) Handle {
 }
 
 // Pending reports the number of scheduled (uncancelled) events.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, e := range k.pq {
-		if !e.cancel {
-			n++
-		}
-	}
-	return n
-}
+func (k *Kernel) Pending() int { return k.live }
 
 // Parked reports how many processes are blocked with no pending wake-up.
 // A nonzero value when Run returns indicates a deadlock in the simulated
@@ -154,11 +140,15 @@ func (k *Kernel) Stop() { k.stopped = true }
 
 // Step fires the single next event. It reports false when no events remain.
 func (k *Kernel) Step() bool {
-	for len(k.pq) > 0 {
-		e := heap.Pop(&k.pq).(*event)
+	for {
+		e := k.pq.Pop()
+		if e == nil {
+			return false
+		}
 		if e.cancel {
 			continue
 		}
+		k.live--
 		k.now = e.at
 		fn := e.fn
 		e.fn = nil
@@ -170,7 +160,6 @@ func (k *Kernel) Step() bool {
 		}
 		return true
 	}
-	return false
 }
 
 // Run fires events until none remain or Stop is called. It returns the
@@ -186,7 +175,8 @@ func (k *Kernel) Run() Time {
 func (k *Kernel) RunUntil(t Time) Time {
 	k.stopped = false
 	for !k.stopped {
-		if len(k.pq) == 0 || k.pq[0].at > t {
+		e := k.pq.Peek()
+		if e == nil || e.at > t {
 			break
 		}
 		k.Step()

@@ -1,0 +1,294 @@
+package sim
+
+// eventQueue is the kernel's pending-event set. The contract is a strict
+// priority queue under the total order (at, seq): Pop returns events in
+// exactly that order regardless of implementation, so every queue yields
+// byte-identical simulations and the kernel can swap structures freely.
+type eventQueue interface {
+	Push(e *event)
+	// Pop removes and returns the earliest event; nil when empty.
+	Pop() *event
+	// Peek returns the earliest event without removing it; nil when empty.
+	Peek() *event
+	Len() int
+}
+
+// eventBefore is the kernel's total event order.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapQueue is the classic binary-heap queue: O(log n) per operation,
+// minimal constant overhead, the right choice for sparse horizons (tens
+// to hundreds of pending events).
+type heapQueue struct {
+	h *Heap[*event]
+}
+
+func newHeapQueue() *heapQueue {
+	return &heapQueue{h: NewHeap(eventBefore)}
+}
+
+func (q *heapQueue) Push(e *event) { q.h.Push(e) }
+
+func (q *heapQueue) Pop() *event {
+	if q.h.Len() == 0 {
+		return nil
+	}
+	return q.h.Pop()
+}
+
+func (q *heapQueue) Peek() *event {
+	if q.h.Len() == 0 {
+		return nil
+	}
+	return q.h.Peek()
+}
+
+func (q *heapQueue) Len() int { return q.h.Len() }
+
+// calendarQueue is R. Brown's calendar queue (CACM 1988): a ring of
+// time-indexed buckets, each one "day" wide, scanned like a desk
+// calendar. With the bucket count and width tracking the queue size and
+// event-time density, Push and Pop are O(1) amortized — which is what a
+// 1k–10k-host simulation needs, where the global heap's log n and its
+// cache misses dominate the kernel profile.
+//
+// Determinism: an event's bucket is a pure function of its timestamp, and
+// each bucket is kept sorted by (at, seq), so equal-time events land in
+// the same bucket and dequeue in seq order — the total order is exactly
+// the heap's.
+type calendarQueue struct {
+	buckets [][]*event
+	width   Time // bucket span; >= 1 tick
+	n       int  // total events held
+	// lastAt tracks the dequeue frontier: the bucket scan starts at the
+	// bucket containing lastAt, and years below it are already empty.
+	lastAt Time
+}
+
+const (
+	// calendarMinBuckets keeps the ring from degenerating when nearly empty.
+	calendarMinBuckets = 4
+	// calendarDefaultWidth is used before any inter-event spacing is
+	// observable. One microsecond of simulated time per bucket suits the
+	// LAN model's event granularity; resize adapts it immediately anyway.
+	calendarDefaultWidth = Time(1000)
+)
+
+func newCalendarQueue(start Time) *calendarQueue {
+	return &calendarQueue{
+		buckets: make([][]*event, calendarMinBuckets),
+		width:   calendarDefaultWidth,
+		lastAt:  start,
+	}
+}
+
+func (q *calendarQueue) Len() int { return q.n }
+
+func (q *calendarQueue) bucketOf(at Time) int {
+	return int((at / q.width) % Time(len(q.buckets)))
+}
+
+func (q *calendarQueue) Push(e *event) {
+	b := q.bucketOf(e.at)
+	q.buckets[b] = insertSorted(q.buckets[b], e)
+	q.n++
+	// The kernel only schedules at or after now, but the queue does not
+	// rely on that: a push behind the frontier pulls the frontier back so
+	// the year scan still starts at or before the true minimum.
+	if e.at < q.lastAt {
+		q.lastAt = e.at
+	}
+	if q.n > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+// insertSorted places e into a (at, seq)-sorted slice by binary search.
+func insertSorted(s []*event, e *event) []*event {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if eventBefore(s[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, nil)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = e
+	return s
+}
+
+func (q *calendarQueue) Peek() *event {
+	e, _ := q.scan(false)
+	return e
+}
+
+func (q *calendarQueue) Pop() *event {
+	e, b := q.scan(true)
+	if e == nil {
+		return nil
+	}
+	q.buckets[b] = q.buckets[b][1:]
+	if len(q.buckets[b]) == 0 {
+		q.buckets[b] = nil
+	}
+	q.n--
+	q.lastAt = e.at
+	if q.n < len(q.buckets)/2 && len(q.buckets) > calendarMinBuckets {
+		q.resize(len(q.buckets) / 2)
+	}
+	return e
+}
+
+// scan finds the earliest event. It walks one calendar year of buckets
+// starting at the frontier, accepting an event only if it falls inside
+// the bucket's current day (otherwise it belongs to a later year and the
+// walk continues); if a whole year turns up nothing, it falls back to a
+// direct min scan over all bucket heads — the standard calendar-queue
+// escape for a sparse far-future tail.
+func (q *calendarQueue) scan(advance bool) (*event, int) {
+	if q.n == 0 {
+		return nil, -1
+	}
+	nb := Time(len(q.buckets))
+	day := q.lastAt / q.width // absolute day index of the frontier
+	for i := Time(0); i < nb; i++ {
+		d := day + i
+		b := int(d % nb)
+		if s := q.buckets[b]; len(s) > 0 {
+			if e := s[0]; e.at/q.width == d {
+				if advance {
+					q.lastAt = d * q.width
+				}
+				return e, b
+			}
+		}
+	}
+	// Direct search: earliest head across all buckets.
+	var best *event
+	bi := -1
+	for b, s := range q.buckets {
+		if len(s) > 0 && (best == nil || eventBefore(s[0], best)) {
+			best, bi = s[0], b
+		}
+	}
+	if advance && best != nil {
+		q.lastAt = (best.at / q.width) * q.width
+	}
+	return best, bi
+}
+
+// resize rebuilds the ring with nb buckets and a width matched to the
+// observed event-time spread, so each bucket holds O(1) events.
+func (q *calendarQueue) resize(nb int) {
+	if nb < calendarMinBuckets {
+		nb = calendarMinBuckets
+	}
+	old := q.buckets
+	q.width = q.pickWidth()
+	q.buckets = make([][]*event, nb)
+	for _, s := range old {
+		for _, e := range s {
+			b := q.bucketOf(e.at)
+			q.buckets[b] = insertSorted(q.buckets[b], e)
+		}
+	}
+}
+
+// pickWidth estimates a bucket width from the current min/max timestamp
+// spread: span/n approximates the mean inter-event gap, and tripling it
+// follows Brown's rule of thumb so a bucket usually holds at most a few
+// events without most buckets sitting empty.
+func (q *calendarQueue) pickWidth() Time {
+	var lo, hi Time
+	first := true
+	for _, s := range q.buckets {
+		for _, e := range s {
+			if first {
+				lo, hi = e.at, e.at
+				first = false
+				continue
+			}
+			if e.at < lo {
+				lo = e.at
+			}
+			if e.at > hi {
+				hi = e.at
+			}
+		}
+	}
+	if first || hi == lo || q.n < 2 {
+		return calendarDefaultWidth
+	}
+	w := 3 * (hi - lo) / Time(q.n)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// adaptiveQueue starts on the heap and migrates to a calendar queue when
+// the pending set grows dense, and back when it drains — the kernel pays
+// heap constants at example scale and calendar O(1) at 1k-host scale.
+// Hysteresis (grow at adaptUp, shrink at adaptDown) keeps a workload
+// hovering near one threshold from thrashing between structures.
+type adaptiveQueue struct {
+	q        eventQueue
+	calendar bool
+}
+
+const (
+	adaptUp   = 1024
+	adaptDown = 256
+)
+
+func newAdaptiveQueue() *adaptiveQueue {
+	return &adaptiveQueue{q: newHeapQueue()}
+}
+
+func (a *adaptiveQueue) Push(e *event) {
+	a.q.Push(e)
+	if !a.calendar && a.q.Len() > adaptUp {
+		a.migrate(true)
+	}
+}
+
+func (a *adaptiveQueue) Pop() *event {
+	e := a.q.Pop()
+	if a.calendar && a.q.Len() < adaptDown {
+		a.migrate(false)
+	}
+	return e
+}
+
+func (a *adaptiveQueue) Peek() *event { return a.q.Peek() }
+func (a *adaptiveQueue) Len() int     { return a.q.Len() }
+
+func (a *adaptiveQueue) migrate(toCalendar bool) {
+	var next eventQueue
+	if toCalendar {
+		start := Time(0)
+		if e := a.q.Peek(); e != nil {
+			start = e.at
+		}
+		next = newCalendarQueue(start)
+	} else {
+		next = newHeapQueue()
+	}
+	for {
+		e := a.q.Pop()
+		if e == nil {
+			break
+		}
+		next.Push(e)
+	}
+	a.q = next
+	a.calendar = toCalendar
+}

@@ -110,7 +110,11 @@ type TCPEngine struct {
 	addrs   []string
 	daemons []*core.Daemon
 
-	executors []*executor
+	// executors are the daemons' sharded serial queues (core.ExecQueue):
+	// socket readers, timers, and local continuations feed separate lanes,
+	// so a storm of inbound hops never contends with GVT control delivery
+	// on one mutex.
+	executors []*core.ExecQueue
 
 	start time.Time
 	tr    *obs.Tracer
@@ -152,54 +156,6 @@ type dialState struct {
 	notBefore time.Time
 }
 
-// executor is a daemon's serial work queue.
-type executor struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []func()
-	closed bool
-}
-
-func newExecutor() *executor {
-	e := &executor{}
-	e.cond = sync.NewCond(&e.mu)
-	return e
-}
-
-func (e *executor) put(fn func()) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return
-	}
-	e.items = append(e.items, fn)
-	e.cond.Signal()
-}
-
-func (e *executor) run() {
-	for {
-		e.mu.Lock()
-		for len(e.items) == 0 && !e.closed {
-			e.cond.Wait()
-		}
-		if len(e.items) == 0 {
-			e.mu.Unlock()
-			return
-		}
-		fn := e.items[0]
-		e.items = e.items[1:]
-		e.mu.Unlock()
-		fn()
-	}
-}
-
-func (e *executor) close() {
-	e.mu.Lock()
-	e.closed = true
-	e.cond.Broadcast()
-	e.mu.Unlock()
-}
-
 // NewTCPEngine starts listeners for n daemons on the given addresses (one
 // per daemon; use "127.0.0.1:0" entries for ephemeral ports).
 func NewTCPEngine(addrs []string) (*TCPEngine, error) {
@@ -209,7 +165,7 @@ func NewTCPEngine(addrs []string) (*TCPEngine, error) {
 		dials:     map[connKey]*dialState{},
 		killed:    make([]bool, len(addrs)),
 		closed:    make(chan struct{}),
-		executors: make([]*executor, len(addrs)),
+		executors: make([]*core.ExecQueue, len(addrs)),
 		listeners: make([]net.Listener, len(addrs)),
 		start:     time.Now(),
 	}
@@ -221,14 +177,14 @@ func NewTCPEngine(addrs []string) (*TCPEngine, error) {
 		}
 		e.listeners[i] = l
 		e.addrs[i] = l.Addr().String()
-		e.executors[i] = newExecutor()
+		e.executors[i] = core.NewExecQueue()
 	}
 	for i := range addrs {
 		i := i
 		e.execWG.Add(1)
 		go func() {
 			defer e.execWG.Done()
-			e.executors[i].run()
+			e.executors[i].Run()
 		}()
 		e.netWG.Add(1)
 		go func(l net.Listener) {
@@ -275,7 +231,7 @@ func (e *TCPEngine) Now() sim.Time { return sim.Time(time.Since(e.start)) }
 func (e *TCPEngine) NumDaemons() int { return len(e.addrs) }
 
 // Exec implements core.Engine (costs are ignored: real work, real time).
-func (e *TCPEngine) Exec(d int, _ sim.Time, fn func()) { e.executors[d].put(fn) }
+func (e *TCPEngine) Exec(d int, _ sim.Time, fn func()) { e.executors[d].Put(core.LaneLocal, fn) }
 
 // Model implements core.Engine.
 func (e *TCPEngine) Model() *lan.CostModel { return nil }
@@ -289,7 +245,7 @@ func (e *TCPEngine) SetTimer(d int, delay sim.Time, fn func()) {
 		select {
 		case <-e.closed:
 		default:
-			e.executors[d].put(fn)
+			e.executors[d].Put(core.LaneControl, fn)
 		}
 	})
 }
@@ -509,7 +465,7 @@ func (e *TCPEngine) acceptLoop(d int, l net.Listener) {
 					e.tr.Instant(d, "net", "net.recv",
 						obs.I("from", int64(msg.From)), obs.I("bytes", int64(len(payload))))
 				}
-				e.executors[d].put(func() { e.daemons[d].HandleMsg(msg) })
+				e.executors[d].Put(core.LaneFor(msg.Kind), func() { e.daemons[d].HandleMsg(msg) })
 			}
 		}()
 	}
@@ -712,7 +668,7 @@ func (e *TCPEngine) noteHeartbeat(observer, peer int) {
 	}
 	hb.mu.Unlock()
 	if wasDown {
-		e.executors[observer].put(func() { e.daemons[observer].PeerUp(peer) })
+		e.executors[observer].Put(core.LaneControl, func() { e.daemons[observer].PeerUp(peer) })
 	}
 }
 
@@ -743,7 +699,7 @@ func (e *TCPEngine) hbTick() {
 	hb.mu.Unlock()
 	for _, ev := range deaths {
 		ev := ev
-		e.executors[ev.observer].put(func() { e.daemons[ev.observer].PeerDown(ev.peer) })
+		e.executors[ev.observer].Put(core.LaneControl, func() { e.daemons[ev.observer].PeerDown(ev.peer) })
 	}
 }
 
@@ -755,7 +711,7 @@ func (e *TCPEngine) Close() {
 		close(e.closed)
 		for _, ex := range e.executors {
 			if ex != nil {
-				ex.close()
+				ex.Close()
 			}
 		}
 		e.execWG.Wait()

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,7 +56,9 @@ func TestFrameErrors(t *testing.T) {
 	}
 }
 
-// tcpSystem builds an n-daemon system over loopback TCP.
+// tcpSystem builds an n-daemon system over loopback TCP. MSGR_DIST_GVT=1
+// reruns the whole suite under the ring-reduction GVT protocol (prepended
+// so a test's explicit options win).
 func tcpSystem(t *testing.T, n int, opts ...core.Option) (*core.System, *TCPEngine) {
 	t.Helper()
 	addrs := make([]string, n)
@@ -67,6 +70,9 @@ func tcpSystem(t *testing.T, n int, opts ...core.Option) (*core.System, *TCPEngi
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
+	if os.Getenv("MSGR_DIST_GVT") == "1" {
+		opts = append([]core.Option{core.WithDistributedGVT()}, opts...)
+	}
 	sys := core.NewSystem(eng, core.FullMesh(n), opts...)
 	return sys, eng
 }

@@ -162,6 +162,18 @@ type Config struct {
 	Output io.Writer
 	// GVTInterval overrides the conservative GVT round period (optional).
 	GVTInterval SimTime
+	// DistributedGVT selects the ring-reduction GVT protocol instead of
+	// the centralized coordinator on daemon 0: ≤2 control messages per
+	// daemon per round with no single convergence point, at the cost of
+	// O(daemons) token latency per round. Recommended past a few dozen
+	// daemons; see docs/GVT.md.
+	DistributedGVT bool
+	// HopBatching coalesces same-destination Messenger hops issued in one
+	// executor turn into a single framed batch (sim LAN and TCP), trading
+	// per-message overhead for slightly coarser delivery. Off by default:
+	// paper-calibration runs model the 1997 runtime, which shipped hops
+	// one message at a time.
+	HopBatching bool
 	// Trace, when non-nil, receives the run's events: one track per
 	// daemon (plus a bus track on simulated systems). Simulated systems
 	// stamp events with simulated time; real systems with wall time since
@@ -214,6 +226,12 @@ func (c *Config) options() []core.Option {
 	}
 	if c.Recovery || c.Faults != nil {
 		opts = append(opts, core.WithRecovery(core.RecoveryConfig{RetainBudget: c.RecoveryRetain}))
+	}
+	if c.DistributedGVT {
+		opts = append(opts, core.WithDistributedGVT())
+	}
+	if c.HopBatching {
+		opts = append(opts, core.WithHopBatching())
 	}
 	return opts
 }
