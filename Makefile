@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-serve bench-gvt bench-gvt-short figures figures-short examples vet lint clean
+.PHONY: all build test race bench bench-serve bench-gvt bench-gvt-short bench-vm bench-vm-short figures figures-short examples vet lint clean
 
 all: vet lint test
 
@@ -44,6 +44,17 @@ bench-gvt:
 # Reduced sweep for CI sanity (keeps the 1k-host scale point).
 bench-gvt-short:
 	$(GO) run ./cmd/mgvt -short -out BENCH_gvt.json
+
+# Benchmark the VM dispatch engines (switch / threaded / fused) over
+# compute- and hop-bound workloads; results land in BENCH_vm.json.
+# Exits nonzero if threaded dispatch loses to the switch loop on any
+# workload, or if fused dispatch misses 5x on the best compute workload.
+bench-vm:
+	$(GO) run ./cmd/mvm -out BENCH_vm.json
+
+# Reduced calibration for CI sanity (no-loss gates only, no 5x gate).
+bench-vm-short:
+	$(GO) run ./cmd/mvm -short -out BENCH_vm.json
 
 # Regenerate every paper figure/table into experiments/.
 figures:

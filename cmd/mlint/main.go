@@ -26,6 +26,7 @@ var suite = []*analysis.Analyzer{
 	analyzers.StickyErr,
 	analyzers.ObsNames,
 	analyzers.LockHold,
+	analyzers.VMDispatch,
 }
 
 func main() {

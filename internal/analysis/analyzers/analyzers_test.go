@@ -38,3 +38,16 @@ func TestLockHold(t *testing.T) {
 	analysistest.Run(t, "testdata/lockhold", "messengers/internal/core",
 		analyzers.LockHold)
 }
+
+func TestVMDispatchConfinement(t *testing.T) {
+	// Analyzed as a transport package, every lowered-API reference fires.
+	analysistest.Run(t, "testdata/vmdispatch", "messengers/internal/transport",
+		analyzers.VMDispatch)
+}
+
+func TestVMDispatchHandlerCaptures(t *testing.T) {
+	// Analyzed as internal/vm itself: the lowered API is allowed, but
+	// registration loops must not capture loop variables in handlers.
+	analysistest.Run(t, "testdata/vmdispatchvm", "messengers/internal/vm",
+		analyzers.VMDispatch)
+}

@@ -1,0 +1,42 @@
+// Package vmdispatchtest is analyzed under messengers/internal/transport —
+// outside the two packages allowed to touch the lowered instruction stream —
+// so every reference to the lowered API must be flagged.
+package vmdispatchtest
+
+import (
+	"messengers/internal/bytecode"
+)
+
+// stableSurface exercises the serialized Program/Instr API, which any
+// package may use: nothing here is flagged.
+func stableSurface(p *bytecode.Program) int {
+	n := 0
+	for i := range p.Funcs {
+		n += len(p.Funcs[i].Code)
+	}
+	return n + int(p.Hash()[0])
+}
+
+// leakType reaches for the derived instruction record.
+func leakType(p *bytecode.Program) []bytecode.DInstr { // want "lowered-instruction internal bytecode.DInstr"
+	return nil
+}
+
+// leakMethod calls the lowering entry point.
+func leakMethod(p *bytecode.Program) {
+	low := p.Lowered(true) // want "lowered-instruction internal bytecode.Lowered"
+	_ = low
+}
+
+// leakConst references a DOp constant; these are matched by their type, not
+// by a name list, so new superinstructions stay covered.
+func leakConst() int {
+	return int(bytecode.DEnd) // want "lowered-instruction internal bytecode.DEnd"
+}
+
+// suppressed shows the escape hatch: a tool that legitimately inspects the
+// lowered form (a disassembler, a profiler) can justify itself inline.
+func suppressed() int {
+	//lint:vmdispatch imaginary disassembler output, reviewed layering exception
+	return int(bytecode.NumDOps)
+}

@@ -1,0 +1,66 @@
+// Package vmtest is analyzed under messengers/internal/vm, where the
+// lowered API is allowed but handler registration loops must route loop
+// state through constructor parameters instead of capturing it.
+package vmtest
+
+import (
+	"messengers/internal/bytecode"
+)
+
+// handler mimics the dispatch-table entry shape.
+type handler func() int
+
+var table [int(bytecode.NumDOps)]handler
+
+// mkHandler is the constructor-parameter pattern the package standardizes
+// on: the loop state arrives as an argument, so the closure's dependencies
+// are explicit.
+func mkHandler(op int) handler {
+	return func() int { return op }
+}
+
+// registerClean builds the table without capturing the loop variable.
+func registerClean() {
+	for op := 0; op < len(table); op++ {
+		table[op] = mkHandler(op)
+	}
+}
+
+// registerCapture captures the for-loop variable inside the registered
+// literal.
+func registerCapture() {
+	for op := 0; op < len(table); op++ {
+		table[op] = func() int { // want "handler closure captures loop variable op"
+			return op
+		}
+	}
+}
+
+// registerRangeCapture captures a range variable.
+func registerRangeCapture(ops []int) {
+	m := map[int]handler{}
+	for i, op := range ops {
+		m[i] = func() int { // want "handler closure captures loop variable op"
+			return op
+		}
+	}
+	_ = m
+}
+
+// registerIndexOnly uses the loop variable only as the table index, outside
+// the literal body: fine.
+func registerIndexOnly() {
+	for op := 0; op < len(table); op++ {
+		table[op] = func() int { return -1 }
+	}
+}
+
+// registerSuppressed shows the escape hatch for a loop whose closures are
+// invoked before the next iteration.
+func registerSuppressed() {
+	for op := 0; op < len(table); op++ {
+		//lint:vmdispatch closure runs and is discarded within this iteration
+		table[op] = func() int { return op }
+		table[op]()
+	}
+}

@@ -1,0 +1,181 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"messengers/internal/analysis"
+)
+
+// vmdispatchAllowed are the packages that may touch the lowered instruction
+// stream: the lowering pass that builds it and the dispatch engines that
+// execute it. Everyone else programs against Program/Instr — the lowered
+// form is derived, never serialized, and its operand meanings shift as
+// superinstructions are added, so a use outside these packages is a layering
+// leak that would quietly couple wire or daemon code to an encoding with no
+// compatibility contract.
+var vmdispatchAllowed = map[string]bool{
+	"messengers/internal/bytecode": true,
+	"messengers/internal/vm":       true,
+}
+
+// loweredBytecodePkg is the package whose lowered API is confined.
+const loweredBytecodePkg = "messengers/internal/bytecode"
+
+// loweredNames is the lowered-instruction API surface by name; DOp
+// constants (DNop, DFLtJz, ...) are matched by their type instead, so the
+// set does not chase every new superinstruction.
+var loweredNames = map[string]bool{
+	"Lowered":      true, // type and Program.Lowered method
+	"DInstr":       true,
+	"DFunc":        true,
+	"DOp":          true,
+	"NumDOps":      true,
+	"Constituents": true,
+}
+
+// VMDispatch enforces the threaded-dispatch layering:
+//
+//  1. The lowered instruction API of internal/bytecode (Lowered, DInstr,
+//     DFunc, DOp and its constants, Program.Lowered, Constituents) must not
+//     be referenced outside internal/bytecode and internal/vm.
+//  2. Inside internal/vm, a handler function literal registered into a
+//     dispatch table from inside a loop must not capture the loop variable
+//     directly: handlers are shared, long-lived closures, and the
+//     registration pattern the package relies on routes loop state through
+//     constructor parameters (see threaded.go), which keeps each closure's
+//     dependencies explicit and survives any future change to loop-variable
+//     scoping semantics.
+//
+// Suppress with //lint:vmdispatch.
+var VMDispatch = &analysis.Analyzer{
+	Name: "vmdispatch",
+	Doc:  "lowered-instruction API confinement and handler-closure hygiene",
+	Run:  runVMDispatch,
+}
+
+func runVMDispatch(pass *analysis.Pass) error {
+	if !vmdispatchAllowed[pass.PkgPath] {
+		checkLoweredConfinement(pass)
+	}
+	if pass.PkgPath == "messengers/internal/vm" {
+		checkHandlerCaptures(pass)
+	}
+	return nil
+}
+
+// checkLoweredConfinement reports every reference to the lowered API from a
+// package outside the allowed set.
+func checkLoweredConfinement(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != loweredBytecodePkg {
+				return true
+			}
+			if !isLoweredObj(obj) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "vmdispatch",
+				"lowered-instruction internal %s.%s referenced outside internal/vm; program against Program/Instr instead",
+				"bytecode", obj.Name())
+			return true
+		})
+	}
+}
+
+// isLoweredObj reports whether obj belongs to the lowered API: a listed
+// name, or any constant/value whose type is bytecode.DOp.
+func isLoweredObj(obj types.Object) bool {
+	if loweredNames[obj.Name()] {
+		return true
+	}
+	if named, ok := obj.Type().(*types.Named); ok {
+		tn := named.Obj()
+		if tn.Name() == "DOp" && tn.Pkg() != nil && tn.Pkg().Path() == loweredBytecodePkg {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHandlerCaptures flags `table[i] = func(...) {...}` registrations
+// inside loops where the literal's body references a loop variable.
+func checkHandlerCaptures(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			loopVars := map[types.Object]string{}
+			switch s := n.(type) {
+			case *ast.RangeStmt:
+				body = s.Body
+				for _, e := range []ast.Expr{s.Key, s.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = id.Name
+						}
+					}
+				}
+			case *ast.ForStmt:
+				body = s.Body
+				if init, ok := s.Init.(*ast.AssignStmt); ok {
+					for _, e := range init.Lhs {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								loopVars[obj] = id.Name
+							}
+						}
+					}
+				}
+			default:
+				return true
+			}
+			if len(loopVars) == 0 {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				assign, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range assign.Lhs {
+					if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); !isIndex || i >= len(assign.Rhs) {
+						continue
+					}
+					lit, ok := ast.Unparen(assign.Rhs[i]).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if name, captured := usesAny(pass, lit.Body, loopVars); captured {
+						pass.Reportf(lit.Pos(), "vmdispatch",
+							"handler closure captures loop variable %s; pass it through a constructor parameter", name)
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// usesAny reports whether any identifier in body resolves to one of vars.
+func usesAny(pass *analysis.Pass, body *ast.BlockStmt, vars map[types.Object]string) (string, bool) {
+	var found string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if name, ok := vars[pass.Info.Uses[id]]; ok {
+				found = name
+				return false
+			}
+		}
+		return true
+	})
+	return found, found != ""
+}

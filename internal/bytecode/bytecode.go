@@ -161,6 +161,10 @@ type Program struct {
 	// arriving over the wire is re-verified locally, never trusted.
 	meta     []funcMeta
 	verified bool
+
+	// lowerCaches holds the lazily built direct instruction streams
+	// (see lower.go); derived like meta, reset by Validate.
+	lowerCaches
 }
 
 // Hash returns the content hash identifying this program in the shared

@@ -1,0 +1,684 @@
+package bytecode
+
+// The lowering pass: a post-verify translation of a Program's stack code
+// into an internal "direct" instruction stream built for fast dispatch.
+//
+// The wire format and the verifier see only the portable Instr stream;
+// lowering is derived, cached on the Program, and never serialized — a
+// program arriving over the wire is re-verified and re-lowered locally, so
+// goldens and content hashes are untouched. What lowering buys the
+// interpreter:
+//
+//   - operands are pre-decoded: constants become the value.Value itself
+//     (tagged with whether a defensive clone is needed), names become the
+//     string, and Messenger-variable names become indices into a per-
+//     program slot table so the hot loop never touches a map;
+//   - jump targets are resolved to direct-stream indices;
+//   - hot adjacent opcode sequences are fused into superinstructions:
+//     pairs, plus two four-wide loop idioms (the compare-and-branch loop
+//     head and the load-const-arith-store increment) that execute without
+//     touching the operand stack at all. The set was chosen from the
+//     per-opcode execution profiles the obs registry collects on the E1
+//     workloads (Mandelbrot inner loop, block matmul, ring walkers — see
+//     cmd/mvm -pairs): those families cover >70% of dynamically executed
+//     pairs there.
+//
+// Only package vm may consume the lowered form (enforced by the
+// vmdispatch analyzer); everything else treats a Program as opaque.
+
+import (
+	"sync/atomic"
+
+	"messengers/internal/value"
+)
+
+// DOp is a direct-stream opcode. The first block mirrors the portable
+// instruction set one-to-one (pre-decoded); the DF block holds fused
+// superinstructions covering two source instructions each.
+type DOp uint8
+
+// Direct opcodes.
+const (
+	DNop DOp = iota
+	// DConst pushes Val without cloning (immutable scalar kinds only).
+	DConst
+	// DConstClone pushes Val.Clone() (mutable aggregate constants).
+	DConstClone
+	// DLoadM/DStoreM access Messenger-variable slot A (see Lowered.MVars).
+	DLoadM
+	DStoreM
+	// DLoadN/DStoreN/DLoadNet access node/network variable Name.
+	DLoadN
+	DStoreN
+	DLoadNet
+	DLoadL
+	DStoreL
+	DPop
+	DDup
+	DDup2
+	DAdd
+	DSub
+	DMul
+	DDiv
+	DMod
+	DNeg
+	DNot
+	DEq
+	DNe
+	DLt
+	DLe
+	DGt
+	DGe
+	// DJmp/DJz jump to direct-stream index A of the same function.
+	DJmp
+	DJz
+	DIndex
+	DSetIndex
+	DArr
+	DCallFunc
+	DRet
+	// DCallNative invokes builtin or native Name with B stack arguments.
+	DCallNative
+	DHop
+	DCreate
+	DDelete
+	DSchedAbs
+	DSchedDlt
+	DEnd
+
+	// Fused superinstructions (N=2). Naming: constituents in source order.
+	// A further quad block (N=4) follows the pairs.
+
+	// DFConstAdd..DFConstMod: push Val then arithmetic — computed as
+	// top ⊕ Val without materializing the push.
+	DFConstAdd
+	DFConstSub
+	DFConstMul
+	DFConstDiv
+	DFConstMod
+	// DFLoadMConst/DFLoadLConst: push Messenger slot A (local slot A),
+	// then push Val.
+	DFLoadMConst
+	DFLoadLConst
+	// DFLoadMM/DFLoadLL: push slots A then B.
+	DFLoadMM
+	DFLoadLL
+	// DFEqJz..DFGeJz: compare then branch to direct index A when the
+	// comparison is false (the Jz of a loop head).
+	DFEqJz
+	DFNeJz
+	DFLtJz
+	DFLeJz
+	DFGtJz
+	DFGeJz
+	// DFAddStoreM..DFModStoreM: arithmetic then store into Messenger
+	// slot A. DFAddStoreL..: same into local slot A.
+	DFAddStoreM
+	DFSubStoreM
+	DFMulStoreM
+	DFDivStoreM
+	DFModStoreM
+	DFAddStoreL
+	DFSubStoreL
+	DFMulStoreL
+	DFDivStoreL
+	DFModStoreL
+
+	// Quad superinstructions (N=4): whole loop idioms. A loop head
+	// "load, load-or-const, ordered-compare, jz" and an increment
+	// "load, const, arithmetic, store" each collapse into one dispatch
+	// that never touches the operand stack. MM/MC operate on Messenger
+	// slots, LL/LC on locals; the trailing letter pair names the operand
+	// shape (M/L slot + M/L slot or Const).
+
+	// DFMMLtJz..DFMMGeJz: compare Messenger slots A and B, branch to
+	// direct index C when false.
+	DFMMLtJz
+	DFMMLeJz
+	DFMMGtJz
+	DFMMGeJz
+	// DFMCLtJz..DFMCGeJz: compare Messenger slot A with constant Val,
+	// branch to direct index C when false.
+	DFMCLtJz
+	DFMCLeJz
+	DFMCGtJz
+	DFMCGeJz
+	// DFLLLtJz..DFLLGeJz / DFLCLtJz..DFLCGeJz: the local-slot forms.
+	DFLLLtJz
+	DFLLLeJz
+	DFLLGtJz
+	DFLLGeJz
+	DFLCLtJz
+	DFLCLeJz
+	DFLCGtJz
+	DFLCGeJz
+	// DFMCAddStoreM..: Messenger slot A ⊕ constant Val into Messenger
+	// slot B (the i = i + 1 idiom). DFLCAddStoreL..: local form.
+	DFMCAddStoreM
+	DFMCSubStoreM
+	DFMCMulStoreM
+	DFMCDivStoreM
+	DFMCModStoreM
+	DFLCAddStoreL
+	DFLCSubStoreL
+	DFLCMulStoreL
+	DFLCDivStoreL
+	DFLCModStoreL
+
+	NumDOps
+)
+
+var dopNames = [NumDOps]string{
+	DNop: "nop", DConst: "const", DConstClone: "const*", DLoadM: "loadm",
+	DStoreM: "storem", DLoadN: "loadn", DStoreN: "storen", DLoadNet: "loadnet",
+	DLoadL: "loadl", DStoreL: "storel", DPop: "pop", DDup: "dup", DDup2: "dup2",
+	DAdd: "add", DSub: "sub", DMul: "mul", DDiv: "div", DMod: "mod",
+	DNeg: "neg", DNot: "not", DEq: "eq", DNe: "ne", DLt: "lt", DLe: "le",
+	DGt: "gt", DGe: "ge", DJmp: "jmp", DJz: "jz", DIndex: "index",
+	DSetIndex: "setindex", DArr: "arr", DCallFunc: "callf", DRet: "ret",
+	DCallNative: "calln", DHop: "hop", DCreate: "create", DDelete: "delete",
+	DSchedAbs: "schedabs", DSchedDlt: "scheddlt", DEnd: "end",
+	DFConstAdd: "const+add", DFConstSub: "const+sub", DFConstMul: "const+mul",
+	DFConstDiv: "const+div", DFConstMod: "const+mod",
+	DFLoadMConst: "loadm+const", DFLoadLConst: "loadl+const",
+	DFLoadMM: "loadm+loadm", DFLoadLL: "loadl+loadl",
+	DFEqJz: "eq+jz", DFNeJz: "ne+jz", DFLtJz: "lt+jz", DFLeJz: "le+jz",
+	DFGtJz: "gt+jz", DFGeJz: "ge+jz",
+	DFAddStoreM: "add+storem", DFSubStoreM: "sub+storem", DFMulStoreM: "mul+storem",
+	DFDivStoreM: "div+storem", DFModStoreM: "mod+storem",
+	DFAddStoreL: "add+storel", DFSubStoreL: "sub+storel", DFMulStoreL: "mul+storel",
+	DFDivStoreL: "div+storel", DFModStoreL: "mod+storel",
+	DFMMLtJz: "mm<jz", DFMMLeJz: "mm<=jz", DFMMGtJz: "mm>jz", DFMMGeJz: "mm>=jz",
+	DFMCLtJz: "mc<jz", DFMCLeJz: "mc<=jz", DFMCGtJz: "mc>jz", DFMCGeJz: "mc>=jz",
+	DFLLLtJz: "ll<jz", DFLLLeJz: "ll<=jz", DFLLGtJz: "ll>jz", DFLLGeJz: "ll>=jz",
+	DFLCLtJz: "lc<jz", DFLCLeJz: "lc<=jz", DFLCGtJz: "lc>jz", DFLCGeJz: "lc>=jz",
+	DFMCAddStoreM: "m+c>m", DFMCSubStoreM: "m-c>m", DFMCMulStoreM: "m*c>m",
+	DFMCDivStoreM: "m/c>m", DFMCModStoreM: "m%c>m",
+	DFLCAddStoreL: "l+c>l", DFLCSubStoreL: "l-c>l", DFLCMulStoreL: "l*c>l",
+	DFLCDivStoreL: "l/c>l", DFLCModStoreL: "l%c>l",
+}
+
+// String returns the mnemonic.
+func (o DOp) String() string {
+	if o < NumDOps && dopNames[o] != "" {
+		return dopNames[o]
+	}
+	return "dop(?)"
+}
+
+// dopSrc maps each direct opcode to its source constituents for profile
+// accounting; unused trailing entries are OpNop. dopN (below) is
+// authoritative for how many entries are real.
+var dopSrc = [NumDOps][4]Op{
+	DNop: {OpNop, OpNop}, DConst: {OpConst, OpNop}, DConstClone: {OpConst, OpNop},
+	DLoadM: {OpLoadM, OpNop}, DStoreM: {OpStoreM, OpNop},
+	DLoadN: {OpLoadN, OpNop}, DStoreN: {OpStoreN, OpNop}, DLoadNet: {OpLoadNet, OpNop},
+	DLoadL: {OpLoadL, OpNop}, DStoreL: {OpStoreL, OpNop}, DPop: {OpPop, OpNop},
+	DDup: {OpDup, OpNop}, DDup2: {OpDup2, OpNop},
+	DAdd: {OpAdd, OpNop}, DSub: {OpSub, OpNop}, DMul: {OpMul, OpNop},
+	DDiv: {OpDiv, OpNop}, DMod: {OpMod, OpNop}, DNeg: {OpNeg, OpNop}, DNot: {OpNot, OpNop},
+	DEq: {OpEq, OpNop}, DNe: {OpNe, OpNop}, DLt: {OpLt, OpNop}, DLe: {OpLe, OpNop},
+	DGt: {OpGt, OpNop}, DGe: {OpGe, OpNop},
+	DJmp: {OpJmp, OpNop}, DJz: {OpJz, OpNop}, DIndex: {OpIndex, OpNop},
+	DSetIndex: {OpSetIndex, OpNop}, DArr: {OpArr, OpNop},
+	DCallFunc: {OpCallFunc, OpNop}, DRet: {OpRet, OpNop}, DCallNative: {OpCallNative, OpNop},
+	DHop: {OpHop, OpNop}, DCreate: {OpCreate, OpNop}, DDelete: {OpDelete, OpNop},
+	DSchedAbs: {OpSchedAbs, OpNop}, DSchedDlt: {OpSchedDlt, OpNop}, DEnd: {OpEnd, OpNop},
+	DFConstAdd: {OpConst, OpAdd}, DFConstSub: {OpConst, OpSub},
+	DFConstMul: {OpConst, OpMul}, DFConstDiv: {OpConst, OpDiv}, DFConstMod: {OpConst, OpMod},
+	DFLoadMConst: {OpLoadM, OpConst}, DFLoadLConst: {OpLoadL, OpConst},
+	DFLoadMM: {OpLoadM, OpLoadM}, DFLoadLL: {OpLoadL, OpLoadL},
+	DFEqJz: {OpEq, OpJz}, DFNeJz: {OpNe, OpJz}, DFLtJz: {OpLt, OpJz},
+	DFLeJz: {OpLe, OpJz}, DFGtJz: {OpGt, OpJz}, DFGeJz: {OpGe, OpJz},
+	DFAddStoreM: {OpAdd, OpStoreM}, DFSubStoreM: {OpSub, OpStoreM},
+	DFMulStoreM: {OpMul, OpStoreM}, DFDivStoreM: {OpDiv, OpStoreM}, DFModStoreM: {OpMod, OpStoreM},
+	DFAddStoreL: {OpAdd, OpStoreL}, DFSubStoreL: {OpSub, OpStoreL},
+	DFMulStoreL: {OpMul, OpStoreL}, DFDivStoreL: {OpDiv, OpStoreL}, DFModStoreL: {OpMod, OpStoreL},
+	DFMMLtJz:    {OpLoadM, OpLoadM, OpLt, OpJz},
+	DFMMLeJz:    {OpLoadM, OpLoadM, OpLe, OpJz},
+	DFMMGtJz:    {OpLoadM, OpLoadM, OpGt, OpJz},
+	DFMMGeJz:    {OpLoadM, OpLoadM, OpGe, OpJz},
+	DFMCLtJz:    {OpLoadM, OpConst, OpLt, OpJz},
+	DFMCLeJz:    {OpLoadM, OpConst, OpLe, OpJz},
+	DFMCGtJz:    {OpLoadM, OpConst, OpGt, OpJz},
+	DFMCGeJz:    {OpLoadM, OpConst, OpGe, OpJz},
+	DFLLLtJz:    {OpLoadL, OpLoadL, OpLt, OpJz},
+	DFLLLeJz:    {OpLoadL, OpLoadL, OpLe, OpJz},
+	DFLLGtJz:    {OpLoadL, OpLoadL, OpGt, OpJz},
+	DFLLGeJz:    {OpLoadL, OpLoadL, OpGe, OpJz},
+	DFLCLtJz:    {OpLoadL, OpConst, OpLt, OpJz},
+	DFLCLeJz:    {OpLoadL, OpConst, OpLe, OpJz},
+	DFLCGtJz:    {OpLoadL, OpConst, OpGt, OpJz},
+	DFLCGeJz:    {OpLoadL, OpConst, OpGe, OpJz},
+
+	DFMCAddStoreM: {OpLoadM, OpConst, OpAdd, OpStoreM},
+	DFMCSubStoreM: {OpLoadM, OpConst, OpSub, OpStoreM},
+	DFMCMulStoreM: {OpLoadM, OpConst, OpMul, OpStoreM},
+	DFMCDivStoreM: {OpLoadM, OpConst, OpDiv, OpStoreM},
+	DFMCModStoreM: {OpLoadM, OpConst, OpMod, OpStoreM},
+	DFLCAddStoreL: {OpLoadL, OpConst, OpAdd, OpStoreL},
+	DFLCSubStoreL: {OpLoadL, OpConst, OpSub, OpStoreL},
+	DFLCMulStoreL: {OpLoadL, OpConst, OpMul, OpStoreL},
+	DFLCDivStoreL: {OpLoadL, OpConst, OpDiv, OpStoreL},
+	DFLCModStoreL: {OpLoadL, OpConst, OpMod, OpStoreL},
+}
+
+// dopN is the number of source instructions each direct opcode covers.
+var dopN = func() [NumDOps]uint8 {
+	var n [NumDOps]uint8
+	for o := range n {
+		n[o] = 1
+	}
+	for o := DFConstAdd; o <= DFModStoreL; o++ {
+		n[o] = 2
+	}
+	for o := DFMMLtJz; o < NumDOps; o++ {
+		n[o] = 4
+	}
+	return n
+}()
+
+// Constituents returns the source opcodes a direct opcode executes (the
+// first n entries) and how many source instructions it covers (1, 2, or 4).
+func (o DOp) Constituents() (ops [4]Op, n int) {
+	return dopSrc[o], int(dopN[o])
+}
+
+// DInstr is one direct-stream instruction. A, B, and C carry pre-decoded
+// operands (slot indices, argument counts, resolved jump targets); Val and
+// Name carry the decoded constant and name-pool entry where the opcode
+// needs them. Src is the source PC of the first constituent and N the
+// number of source instructions covered — the step meter charges N so
+// fused and unfused execution meter identically.
+type DInstr struct {
+	Op      DOp
+	N       uint8
+	A, B, C int32
+	Src     int32
+	Val     value.Value
+	Name    string
+}
+
+// DFunc is one function's direct stream.
+type DFunc struct {
+	Code []DInstr
+	// S2D maps a source PC to its direct-stream index, or -1 for the
+	// interior (second constituent) of a fused pair. Every PC a snapshot
+	// can resume at — jump targets and successors of pause opcodes — is
+	// guaranteed to map.
+	S2D []int32
+}
+
+// Lowered is a Program's direct form. It is derived state: rebuilt from
+// the portable stream on demand, never encoded, never hashed.
+type Lowered struct {
+	Funcs []DFunc
+	// MVars maps Messenger-variable slots to names; DLoadM/DStoreM (and
+	// the fused ops touching Messenger variables) index into it.
+	MVars []string
+	// Fused counts fused instructions across all functions (static).
+	Fused int
+}
+
+// Lowered returns the program's direct form, with or without
+// superinstruction fusion, building and caching it on first use. It
+// returns nil for unverified programs — lowering leans on the verifier's
+// guarantees (in-range jumps, no fall-through, balanced stacks), so the
+// interpreter's fast path and the verifier gate are the same gate.
+func (p *Program) Lowered(fuse bool) *Lowered {
+	if !p.verified {
+		return nil
+	}
+	slot := &p.lowerPlain
+	if fuse {
+		slot = &p.lowerFused
+	}
+	if low := slot.Load(); low != nil {
+		return low
+	}
+	low := p.buildLowered(fuse)
+	// Concurrent builders produce equivalent streams; first store wins.
+	if !slot.CompareAndSwap(nil, low) {
+		return slot.Load()
+	}
+	return low
+}
+
+// lowerCaches is embedded in Program (see bytecode.go); Validate resets it
+// so a mutated-and-revalidated program cannot serve a stale stream.
+type lowerCaches struct {
+	lowerPlain atomic.Pointer[Lowered]
+	lowerFused atomic.Pointer[Lowered]
+}
+
+func (c *lowerCaches) resetLowered() {
+	c.lowerPlain.Store(nil)
+	c.lowerFused.Store(nil)
+}
+
+// fusePair returns the superinstruction for the adjacent pair (a, b), or
+// DNop when the pair is not fused. Constants are only folded into a fused
+// push when they are immutable (no clone needed); DFConstArith is exempt
+// because the constant is consumed by the arithmetic, never escaping to
+// the stack.
+func (p *Program) fusePair(a, b Instr) DOp {
+	switch a.Op {
+	case OpConst:
+		switch b.Op {
+		case OpAdd:
+			return DFConstAdd
+		case OpSub:
+			return DFConstSub
+		case OpMul:
+			return DFConstMul
+		case OpDiv:
+			return DFConstDiv
+		case OpMod:
+			return DFConstMod
+		}
+	case OpLoadM:
+		switch b.Op {
+		case OpConst:
+			if constImmutable(p.Consts[b.A]) {
+				return DFLoadMConst
+			}
+		case OpLoadM:
+			return DFLoadMM
+		}
+	case OpLoadL:
+		switch b.Op {
+		case OpConst:
+			if constImmutable(p.Consts[b.A]) {
+				return DFLoadLConst
+			}
+		case OpLoadL:
+			return DFLoadLL
+		}
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if b.Op == OpJz {
+			switch a.Op {
+			case OpEq:
+				return DFEqJz
+			case OpNe:
+				return DFNeJz
+			case OpLt:
+				return DFLtJz
+			case OpLe:
+				return DFLeJz
+			case OpGt:
+				return DFGtJz
+			default:
+				return DFGeJz
+			}
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		if b.Op == OpStoreM || b.Op == OpStoreL {
+			toM := b.Op == OpStoreM
+			switch a.Op {
+			case OpAdd:
+				return pick(toM, DFAddStoreM, DFAddStoreL)
+			case OpSub:
+				return pick(toM, DFSubStoreM, DFSubStoreL)
+			case OpMul:
+				return pick(toM, DFMulStoreM, DFMulStoreL)
+			case OpDiv:
+				return pick(toM, DFDivStoreM, DFDivStoreL)
+			default:
+				return pick(toM, DFModStoreM, DFModStoreL)
+			}
+		}
+	}
+	return DNop
+}
+
+func pick(cond bool, a, b DOp) DOp {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// fuseQuad returns the quad superinstruction for the window starting at a,
+// or DNop. Two idioms: the loop head (load, load-or-const, ordered compare,
+// jz) and the increment (load, const, arithmetic, same-kind store). The
+// constant is consumed inside the handler in both, so mutability does not
+// matter; only ordered comparisons participate (Eq/Ne loop heads keep pair
+// fusion).
+func fuseQuad(a, b, c, d Instr) DOp {
+	load := a.Op
+	if load != OpLoadM && load != OpLoadL {
+		return DNop
+	}
+	toM := load == OpLoadM
+	switch c.Op {
+	case OpLt, OpLe, OpGt, OpGe:
+		if d.Op != OpJz {
+			return DNop
+		}
+		off := DOp(c.Op - OpLt)
+		switch {
+		case b.Op == load:
+			return pick(toM, DFMMLtJz, DFLLLtJz) + off
+		case b.Op == OpConst:
+			return pick(toM, DFMCLtJz, DFLCLtJz) + off
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		if b.Op != OpConst {
+			return DNop
+		}
+		if (toM && d.Op != OpStoreM) || (!toM && d.Op != OpStoreL) {
+			return DNop
+		}
+		return pick(toM, DFMCAddStoreM, DFLCAddStoreL) + DOp(c.Op-OpAdd)
+	}
+	return DNop
+}
+
+// constImmutable reports whether a constant may be pushed without a
+// defensive clone: scalar kinds share safely, aggregates do not.
+func constImmutable(v value.Value) bool {
+	switch v.Kind() {
+	case value.KindNil, value.KindInt, value.KindNum, value.KindStr:
+		return true
+	default:
+		return false
+	}
+}
+
+// buildLowered translates every function. Two passes per function: decide
+// fusion boundaries and build the PC map, then emit with jump targets
+// resolved through that map.
+func (p *Program) buildLowered(fuse bool) *Lowered {
+	low := &Lowered{Funcs: make([]DFunc, len(p.Funcs))}
+	slots := map[string]int32{}
+	slotOf := func(nameIdx int32) int32 {
+		name := p.Names[nameIdx]
+		if s, ok := slots[name]; ok {
+			return s
+		}
+		s := int32(len(low.MVars))
+		slots[name] = s
+		low.MVars = append(low.MVars, name)
+		return s
+	}
+	for fi := range p.Funcs {
+		code := p.Funcs[fi].Code
+		// Jump targets must start a direct instruction: a branch into the
+		// interior of a fused pair would skip its first constituent.
+		target := make([]bool, len(code))
+		for _, ins := range code {
+			if ins.Op == OpJmp || ins.Op == OpJz {
+				target[ins.A] = true
+			}
+		}
+		s2d := make([]int32, len(code))
+		fusedAt := make([]DOp, len(code))
+		n := int32(0)
+		for pc := 0; pc < len(code); {
+			s2d[pc] = n
+			// Quads first (a pair would otherwise greedily eat the loop
+			// head's first two instructions), then pairs. A jump target in
+			// the window interior blocks fusion — every branch destination
+			// must start a direct instruction.
+			if fuse && pc+3 < len(code) && !target[pc+1] && !target[pc+2] && !target[pc+3] {
+				if qop := fuseQuad(code[pc], code[pc+1], code[pc+2], code[pc+3]); qop != DNop {
+					fusedAt[pc] = qop
+					s2d[pc+1], s2d[pc+2], s2d[pc+3] = -1, -1, -1
+					n++
+					pc += 4
+					continue
+				}
+			}
+			if fuse && pc+1 < len(code) && !target[pc+1] {
+				if fop := p.fusePair(code[pc], code[pc+1]); fop != DNop {
+					fusedAt[pc] = fop
+					s2d[pc+1] = -1
+					n++
+					pc += 2
+					continue
+				}
+			}
+			n++
+			pc++
+		}
+		out := make([]DInstr, 0, n)
+		for pc := 0; pc < len(code); {
+			ins := code[pc]
+			d := DInstr{Src: int32(pc), N: 1}
+			if fop := fusedAt[pc]; fop != DNop && dopN[fop] == 4 {
+				b, last := code[pc+1], code[pc+3]
+				d.Op, d.N = fop, 4
+				switch {
+				case fop >= DFMMLtJz && fop <= DFMMGeJz:
+					d.A, d.B, d.C = slotOf(ins.A), slotOf(b.A), s2d[last.A]
+				case fop >= DFMCLtJz && fop <= DFMCGeJz:
+					d.A, d.Val, d.C = slotOf(ins.A), p.Consts[b.A], s2d[last.A]
+				case fop >= DFLLLtJz && fop <= DFLLGeJz:
+					d.A, d.B, d.C = ins.A, b.A, s2d[last.A]
+				case fop >= DFLCLtJz && fop <= DFLCGeJz:
+					d.A, d.Val, d.C = ins.A, p.Consts[b.A], s2d[last.A]
+				case fop >= DFMCAddStoreM && fop <= DFMCModStoreM:
+					d.A, d.Val, d.B = slotOf(ins.A), p.Consts[b.A], slotOf(last.A)
+				default: // DFLCAddStoreL..DFLCModStoreL
+					d.A, d.Val, d.B = ins.A, p.Consts[b.A], last.A
+				}
+				low.Fused++
+				out = append(out, d)
+				pc += 4
+				continue
+			}
+			if fop := fusedAt[pc]; fop != DNop {
+				nxt := code[pc+1]
+				d.Op, d.N = fop, 2
+				switch fop {
+				case DFConstAdd, DFConstSub, DFConstMul, DFConstDiv, DFConstMod:
+					d.Val = p.Consts[ins.A]
+				case DFLoadMConst:
+					d.A, d.Val = slotOf(ins.A), p.Consts[nxt.A]
+				case DFLoadLConst:
+					d.A, d.Val = ins.A, p.Consts[nxt.A]
+				case DFLoadMM:
+					d.A, d.B = slotOf(ins.A), slotOf(nxt.A)
+				case DFLoadLL:
+					d.A, d.B = ins.A, nxt.A
+				case DFEqJz, DFNeJz, DFLtJz, DFLeJz, DFGtJz, DFGeJz:
+					d.A = s2d[nxt.A]
+				case DFAddStoreM, DFSubStoreM, DFMulStoreM, DFDivStoreM, DFModStoreM:
+					d.A = slotOf(nxt.A)
+				default: // DF*StoreL
+					d.A = nxt.A
+				}
+				low.Fused++
+				out = append(out, d)
+				pc += 2
+				continue
+			}
+			switch ins.Op {
+			case OpNop:
+				d.Op = DNop
+			case OpConst:
+				c := p.Consts[ins.A]
+				d.Val = c
+				d.Op = pick(constImmutable(c), DConst, DConstClone)
+			case OpLoadM:
+				d.Op, d.A = DLoadM, slotOf(ins.A)
+			case OpStoreM:
+				d.Op, d.A = DStoreM, slotOf(ins.A)
+			case OpLoadN:
+				d.Op, d.Name = DLoadN, p.Names[ins.A]
+			case OpStoreN:
+				d.Op, d.Name = DStoreN, p.Names[ins.A]
+			case OpLoadNet:
+				d.Op, d.Name = DLoadNet, p.Names[ins.A]
+			case OpLoadL:
+				d.Op, d.A = DLoadL, ins.A
+			case OpStoreL:
+				d.Op, d.A = DStoreL, ins.A
+			case OpPop:
+				d.Op = DPop
+			case OpDup:
+				d.Op = DDup
+			case OpDup2:
+				d.Op = DDup2
+			case OpAdd:
+				d.Op = DAdd
+			case OpSub:
+				d.Op = DSub
+			case OpMul:
+				d.Op = DMul
+			case OpDiv:
+				d.Op = DDiv
+			case OpMod:
+				d.Op = DMod
+			case OpNeg:
+				d.Op = DNeg
+			case OpNot:
+				d.Op = DNot
+			case OpEq:
+				d.Op = DEq
+			case OpNe:
+				d.Op = DNe
+			case OpLt:
+				d.Op = DLt
+			case OpLe:
+				d.Op = DLe
+			case OpGt:
+				d.Op = DGt
+			case OpGe:
+				d.Op = DGe
+			case OpJmp:
+				d.Op, d.A = DJmp, s2d[ins.A]
+			case OpJz:
+				d.Op, d.A = DJz, s2d[ins.A]
+			case OpIndex:
+				d.Op = DIndex
+			case OpSetIndex:
+				d.Op, d.B = DSetIndex, ins.B
+			case OpArr:
+				d.Op, d.A = DArr, ins.A
+			case OpCallFunc:
+				d.Op, d.A, d.B = DCallFunc, ins.A, ins.B
+			case OpRet:
+				d.Op = DRet
+			case OpCallNative:
+				d.Op, d.Name, d.B = DCallNative, p.Names[ins.A], ins.B
+			case OpHop:
+				d.Op, d.A = DHop, ins.A
+			case OpCreate:
+				d.Op, d.A, d.B = DCreate, ins.A, ins.B
+			case OpDelete:
+				d.Op, d.A = DDelete, ins.A
+			case OpSchedAbs:
+				d.Op = DSchedAbs
+			case OpSchedDlt:
+				d.Op = DSchedDlt
+			default: // OpEnd (Validate rejects anything else)
+				d.Op = DEnd
+			}
+			out = append(out, d)
+			pc++
+		}
+		low.Funcs[fi] = DFunc{Code: out, S2D: s2d}
+	}
+	return low
+}

@@ -1,0 +1,289 @@
+package bytecode
+
+import (
+	"testing"
+
+	"messengers/internal/value"
+)
+
+// loopProgram is a canonical counting loop: i = 0; while (i < 10) { i = i + 1 }
+// Its loop head and increment are exactly the two quad idioms the lowering
+// pass targets (slot-compare-branch and slot-arith-store); with quads
+// disabled by jump targets it falls back to the pair families.
+func loopProgram(t *testing.T) *Program {
+	t.Helper()
+	p := &Program{
+		Name:   "loop",
+		Consts: []value.Value{value.Int(0), value.Int(10), value.Int(1)},
+		Names:  []string{"i"},
+		Funcs: []FuncInfo{{Name: "<main>", Code: []Instr{
+			{Op: OpConst, A: 0},  // 0: const 0
+			{Op: OpStoreM, A: 0}, // 1: storem i
+			{Op: OpLoadM, A: 0},  // 2: loadm i      <- loop head (jump target)
+			{Op: OpConst, A: 1},  // 3: const 10
+			{Op: OpLt},           // 4: lt
+			{Op: OpJz, A: 11},    // 5: jz 11
+			{Op: OpLoadM, A: 0},  // 6: loadm i
+			{Op: OpConst, A: 2},  // 7: const 1
+			{Op: OpAdd},          // 8: add
+			{Op: OpStoreM, A: 0}, // 9: storem i
+			{Op: OpJmp, A: 2},    // 10: jmp 2
+			{Op: OpEnd},          // 11: end
+		}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p
+}
+
+func TestLoweredNilForUnverified(t *testing.T) {
+	p := loopProgram(t)
+	p.Funcs[0].Code[0].A = 99 // corrupt
+	if err := p.Validate(); err == nil {
+		t.Fatal("corrupt program verified")
+	}
+	if p.Lowered(true) != nil || p.Lowered(false) != nil {
+		t.Fatal("Lowered must be nil for unverified programs")
+	}
+}
+
+func TestLoweredPlainIsOneToOne(t *testing.T) {
+	p := loopProgram(t)
+	low := p.Lowered(false)
+	if low == nil {
+		t.Fatal("nil Lowered for verified program")
+	}
+	code := low.Funcs[0].Code
+	src := p.Funcs[0].Code
+	if len(code) != len(src) {
+		t.Fatalf("plain lowering changed length: %d vs %d", len(code), len(src))
+	}
+	if low.Fused != 0 {
+		t.Fatalf("plain lowering fused %d instructions", low.Fused)
+	}
+	for i, d := range code {
+		if d.N != 1 || int(d.Src) != i {
+			t.Errorf("instr %d: N=%d Src=%d", i, d.N, d.Src)
+		}
+		ops, n := d.Op.Constituents()
+		if n != 1 || ops[0] != src[i].Op {
+			t.Errorf("instr %d: constituents (%v,%d) want (%v,1)", i, ops[0], n, src[i].Op)
+		}
+	}
+	// Jump targets resolve to themselves under 1:1 lowering.
+	if code[5].Op != DJz || code[5].A != 11 {
+		t.Errorf("jz lowered to %v A=%d", code[5].Op, code[5].A)
+	}
+	if code[10].Op != DJmp || code[10].A != 2 {
+		t.Errorf("jmp lowered to %v A=%d", code[10].Op, code[10].A)
+	}
+}
+
+func TestLoweredFusion(t *testing.T) {
+	p := loopProgram(t)
+	low := p.Lowered(true)
+	code := low.Funcs[0].Code
+	// Expected stream: the loop head (loadm i, const 10, lt, jz) and the
+	// increment (loadm i, const 1, add, storem i) each collapse into one
+	// quad superinstruction.
+	//   0: const 0
+	//   1: storem i
+	//   2: mc<jz  i,10 -> end   <- loop head (jump target)
+	//   3: m+c>m  i,1 -> i
+	//   4: jmp 2
+	//   5: end
+	want := []DOp{DConst, DStoreM, DFMCLtJz, DFMCAddStoreM, DJmp, DEnd}
+	if len(code) != len(want) {
+		t.Fatalf("fused stream length %d, want %d: %v", len(code), len(want), code)
+	}
+	for i, op := range want {
+		if code[i].Op != op {
+			t.Fatalf("instr %d: %v want %v (stream %v)", i, code[i].Op, op, code)
+		}
+	}
+	if low.Fused != 2 {
+		t.Errorf("Fused=%d want 2", low.Fused)
+	}
+	// Quad operands: slot of i is 0, constants decoded, branch target
+	// resolved to the direct index of end.
+	if code[2].A != 0 || code[2].Val.AsInt() != 10 || code[2].C != 5 || code[2].N != 4 {
+		t.Errorf("loop head quad = %+v", code[2])
+	}
+	if code[3].A != 0 || code[3].B != 0 || code[3].Val.AsInt() != 1 || code[3].N != 4 {
+		t.Errorf("increment quad = %+v", code[3])
+	}
+	if code[4].A != 2 { // jmp back to the loop head's quad
+		t.Errorf("jmp target %d want 2", code[4].A)
+	}
+	// S2D maps statement boundaries; interiors of fused sequences are -1.
+	s2d := low.Funcs[0].S2D
+	wantS2D := []int32{0, 1, 2, -1, -1, -1, 3, -1, -1, -1, 4, 5}
+	for i, w := range wantS2D {
+		if s2d[i] != w {
+			t.Errorf("S2D[%d]=%d want %d", i, s2d[i], w)
+		}
+	}
+	// Step accounting: total N must equal source length.
+	total := 0
+	for _, d := range code {
+		total += int(d.N)
+	}
+	if total != len(p.Funcs[0].Code) {
+		t.Errorf("sum of N = %d, want %d", total, len(p.Funcs[0].Code))
+	}
+}
+
+// TestLoweredPairFallback pins the pair families on a loop whose constant
+// operand is loaded before the variable — no quad idiom matches, so the
+// pass falls back to loadm+const, lt+jz, and add+storem pairs.
+func TestLoweredPairFallback(t *testing.T) {
+	p := &Program{
+		Name:   "pairs",
+		Consts: []value.Value{value.Int(0), value.Int(10), value.Int(1)},
+		Names:  []string{"i"},
+		Funcs: []FuncInfo{{Name: "<main>", Code: []Instr{
+			{Op: OpConst, A: 0},  // 0: const 0
+			{Op: OpStoreM, A: 0}, // 1: storem i
+			{Op: OpLoadM, A: 0},  // 2: loadm i      <- loop head
+			{Op: OpConst, A: 1},  // 3: const 10
+			{Op: OpLt},           // 4: lt
+			{Op: OpJz, A: 11},    // 5: jz end
+			{Op: OpConst, A: 2},  // 6: const 1     (const first: no quad)
+			{Op: OpLoadM, A: 0},  // 7: loadm i
+			{Op: OpAdd},          // 8: add
+			{Op: OpStoreM, A: 0}, // 9: storem i
+			{Op: OpJmp, A: 2},    // 10: jmp 2
+			{Op: OpEnd},          // 11: end
+		}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	low := p.Lowered(true)
+	code := low.Funcs[0].Code
+	// 2..5 is the loop-head quad (loadm, const, lt, jz) — still a quad.
+	// 6..9 (const, loadm, add, storem) is not an idiom: (const,loadm) is
+	// not a pair either, so const stays single, then (loadm? no —
+	// loadm@7 pairs with nothing ahead of add), (add,storem) pairs.
+	want := []DOp{DConst, DStoreM, DFMCLtJz, DConst, DLoadM, DFAddStoreM, DJmp, DEnd}
+	if len(code) != len(want) {
+		t.Fatalf("stream length %d want %d: %v", len(code), len(want), code)
+	}
+	for i, op := range want {
+		if code[i].Op != op {
+			t.Fatalf("instr %d: %v want %v (stream %v)", i, code[i].Op, op, code)
+		}
+	}
+	if low.Fused != 2 {
+		t.Errorf("Fused=%d want 2", low.Fused)
+	}
+}
+
+func TestLoweredNoFusionAcrossJumpTarget(t *testing.T) {
+	// The const at pc 3 is a jump target: fusing (loadm@2, const@3) would
+	// make the jmp at 7 land inside a pair and skip the load.
+	p := &Program{
+		Name:   "jt",
+		Consts: []value.Value{value.Int(0), value.Int(1)},
+		Names:  []string{"i"},
+		Funcs: []FuncInfo{{Name: "<main>", Code: []Instr{
+			{Op: OpConst, A: 0},  // 0
+			{Op: OpStoreM, A: 0}, // 1
+			{Op: OpLoadM, A: 0},  // 2: would fuse with 3...
+			{Op: OpConst, A: 1},  // 3: ...but 3 is a jump target
+			{Op: OpLt},           // 4
+			{Op: OpJz, A: 8},     // 5
+			{Op: OpLoadM, A: 0},  // 6
+			{Op: OpJmp, A: 3},    // 7: jumps INTO the would-be pair
+			{Op: OpEnd},          // 8
+		}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	low := p.Lowered(true)
+	code := low.Funcs[0].Code
+	s2d := low.Funcs[0].S2D
+	if s2d[3] == -1 {
+		t.Fatal("jump target lowered to a pair interior")
+	}
+	if code[s2d[2]].Op != DLoadM {
+		t.Errorf("loadm before a jump-target const fused: %v", code[s2d[2]].Op)
+	}
+	// (lt@4, jz@5) still fuses — 5 is not a target.
+	if code[s2d[4]].Op != DFLtJz || code[s2d[4]].A != s2d[8] {
+		t.Errorf("lt+jz: op=%v A=%d want target %d", code[s2d[4]].Op, code[s2d[4]].A, s2d[8])
+	}
+	if code[s2d[7]].Op != DJmp || code[s2d[7]].A != s2d[3] {
+		t.Errorf("jmp: op=%v A=%d want target %d", code[s2d[7]].Op, code[s2d[7]].A, s2d[3])
+	}
+}
+
+func TestLoweredAggregateConstNeedsClone(t *testing.T) {
+	arr := value.Arr([]value.Value{value.Int(1)})
+	p := &Program{
+		Name:   "agg",
+		Consts: []value.Value{arr, value.Int(0)},
+		Names:  []string{"a"},
+		Funcs: []FuncInfo{{Name: "<main>", Code: []Instr{
+			{Op: OpLoadM, A: 0}, // loadm a
+			{Op: OpConst, A: 0}, // const [1]  — aggregate: must NOT fuse into loadm+const
+			{Op: OpPop},
+			{Op: OpPop},
+			{Op: OpEnd},
+		}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	code := p.Lowered(true).Funcs[0].Code
+	if code[0].Op != DLoadM {
+		t.Errorf("loadm fused with aggregate const: %v", code[0].Op)
+	}
+	if code[1].Op != DConstClone {
+		t.Errorf("aggregate const lowered to %v, want const*", code[1].Op)
+	}
+}
+
+func TestLoweredCacheResetOnValidate(t *testing.T) {
+	p := loopProgram(t)
+	l1 := p.Lowered(true)
+	if l1 == nil {
+		t.Fatal("nil lowered")
+	}
+	if p.Lowered(true) != l1 {
+		t.Error("Lowered not cached")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("revalidate: %v", err)
+	}
+	if p.Lowered(true) == l1 {
+		t.Error("Lowered cache survived Validate")
+	}
+}
+
+func TestLoweredMVarSlots(t *testing.T) {
+	p := &Program{
+		Name:   "mv",
+		Consts: []value.Value{value.Int(1)},
+		Names:  []string{"x", "y"},
+		Funcs: []FuncInfo{{Name: "<main>", Code: []Instr{
+			{Op: OpConst, A: 0},
+			{Op: OpStoreM, A: 1}, // y first
+			{Op: OpLoadM, A: 1},
+			{Op: OpStoreM, A: 0}, // then x
+			{Op: OpEnd},
+		}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	low := p.Lowered(false)
+	if len(low.MVars) != 2 || low.MVars[0] != "y" || low.MVars[1] != "x" {
+		t.Fatalf("MVars=%v want [y x] (first-use order)", low.MVars)
+	}
+	if low.Funcs[0].Code[1].A != 0 || low.Funcs[0].Code[3].A != 1 {
+		t.Errorf("slot assignment wrong: %v", low.Funcs[0].Code)
+	}
+}

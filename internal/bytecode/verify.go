@@ -14,6 +14,12 @@ const maxNavArms = 1 << 10
 // rest of the headroom is for expressions.
 const maxStackDepth = 1 << 15
 
+// maxLocals bounds a function's declared local count. The VM allocates a
+// frame's locals eagerly on entry (and New allocates the main frame before
+// a single instruction runs), so an unchecked header field here would let
+// a decoded program demand gigabytes before the step budget can intervene.
+const maxLocals = 1 << 12
+
 // unreachable marks a PC never visited by the abstract interpretation.
 const unreachable = -1
 
@@ -80,6 +86,7 @@ func (p *Program) MaxStack(fn int) int {
 func (p *Program) Validate() error {
 	p.verified = false
 	p.meta = nil
+	p.resetLowered()
 	if len(p.Funcs) == 0 {
 		return fmt.Errorf("bytecode: program %q has no main body", p.Name)
 	}
@@ -107,6 +114,9 @@ func (p *Program) validateOperands(fi int) error {
 	f := &p.Funcs[fi]
 	if f.NumParams < 0 || f.NumLocals < 0 || f.NumParams > f.NumLocals {
 		return fmt.Errorf("bytecode: %s: params %d / locals %d invalid", f.Name, f.NumParams, f.NumLocals)
+	}
+	if f.NumLocals > maxLocals {
+		return fmt.Errorf("bytecode: %s: %d locals exceeds the limit of %d", f.Name, f.NumLocals, maxLocals)
 	}
 	if len(f.Code) == 0 {
 		return fmt.Errorf("bytecode: %s: empty code", f.Name)

@@ -164,6 +164,22 @@ func TestValidateBoundsStackDepth(t *testing.T) {
 	}
 }
 
+func TestValidateBoundsLocals(t *testing.T) {
+	// Frame locals are allocated eagerly on entry — New allocates the main
+	// frame before any instruction runs — so a decoded header must not be
+	// able to demand an arbitrary allocation. Found by fuzzing.
+	p := validProgram()
+	p.Funcs[0].NumLocals = maxLocals + 1
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "exceeds the limit") {
+		t.Errorf("oversized locals: err = %v", err)
+	}
+	p.Funcs[0].NumLocals = maxLocals
+	if err := p.Validate(); err != nil {
+		t.Errorf("locals at the limit rejected: %v", err)
+	}
+}
+
 func TestVerifierMetadata(t *testing.T) {
 	p := validProgram()
 	if p.Verified() {

@@ -391,6 +391,11 @@ func (d *Daemon) step(m *Messenger) {
 		d.om.segments.Inc()
 		d.om.steps.Add(res.Steps)
 		d.om.segSteps.Observe(res.Steps)
+		threaded, fused := m.VM.SegmentStats()
+		d.om.dispThreaded.Add(threaded)
+		d.om.dispSwitch.Add(res.Steps - threaded)
+		d.om.fusedSteps.Add(fused)
+		d.om.arenaBytes.Observe(m.VM.ArenaBytes())
 	}
 	if d.tr != nil {
 		// Simulated engines: the span covers the modeled CPU cost from the

@@ -121,7 +121,8 @@ type sysObs struct {
 	netMsgs, netBytes, netBatches          *obs.Counter
 	retx, dedup, respawns, adoptions       *obs.Counter
 	deaths, restarts, peerDowns, peerUps   *obs.Counter
-	segSteps, msgrBytes                    *obs.Histogram
+	dispThreaded, dispSwitch, fusedSteps   *obs.Counter
+	segSteps, msgrBytes, arenaBytes        *obs.Histogram
 }
 
 func newSysObs(m *obs.Metrics) *sysObs {
@@ -157,8 +158,15 @@ func newSysObs(m *obs.Metrics) *sysObs {
 		restarts:     m.Counter("daemon.restarts"),
 		peerDowns:    m.Counter("net.peer.down"),
 		peerUps:      m.Counter("net.peer.up"),
+		// Dispatch-path accounting: source instructions executed on the
+		// token-threaded fast path vs. the switch loop, and the subset
+		// covered by fused superinstructions (see docs/VM.md).
+		dispThreaded: m.Counter("vm.dispatch.threaded"),
+		dispSwitch:   m.Counter("vm.dispatch.switch"),
+		fusedSteps:   m.Counter("vm.fused.steps"),
 		segSteps:     m.Histogram("vm.segment.steps"),
 		msgrBytes:    m.Histogram("net.msgr.bytes"),
+		arenaBytes:   m.Histogram("vm.arena.bytes"),
 	}
 }
 

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkKHostTimers is the 1k-host self-rescheduling timer workload the
+// mgvt queue leg measures, as an in-package benchmark so queue changes can
+// be profiled where the internals are visible.
+func BenchmarkKHostTimers(b *testing.B) {
+	for _, impl := range []string{"heap", "calendar", "adaptive"} {
+		b.Run(impl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k := NewWithQueue(impl)
+				var fired int64
+				events := int64(200_000)
+				for h := 0; h < 1000; h++ {
+					period := Time(1000 + 17*h)
+					var tick func()
+					tick = func() {
+						fired++
+						if fired < events {
+							k.After(period, tick)
+						}
+					}
+					k.After(period, tick)
+				}
+				k.Run()
+			}
+		})
+	}
+}

@@ -94,7 +94,7 @@ func TestAdaptiveQueueMigrates(t *testing.T) {
 	for i := 0; i < n; i++ {
 		a.Push(&event{at: Time(r.next() % 1_000_000), seq: uint64(i)})
 	}
-	if !a.calendar {
+	if a.cal == nil {
 		t.Fatalf("expected migration to calendar above %d events", adaptUp)
 	}
 	var last *event
@@ -113,7 +113,7 @@ func TestAdaptiveQueueMigrates(t *testing.T) {
 	if count != n {
 		t.Fatalf("drained %d of %d events", count, n)
 	}
-	if a.calendar {
+	if a.cal != nil {
 		t.Fatalf("expected migration back to heap after drain below %d", adaptDown)
 	}
 }

@@ -62,9 +62,7 @@ func (v Value) AppendTo(e *wire.Encoder) {
 		}
 		e.U32(uint32(m.Rows))
 		e.U32(uint32(m.Cols))
-		for _, f := range m.Data {
-			e.F64(f)
-		}
+		e.F64s(m.Data)
 	}
 }
 
@@ -142,7 +140,11 @@ func Decode(buf []byte) (Value, int, error) {
 		r := int(binary.LittleEndian.Uint32(buf[p:]))
 		c := int(binary.LittleEndian.Uint32(buf[p+4:]))
 		p += 8
-		if r < 0 || c < 0 || r*c > maxWireLen/8 || len(buf) < p+8*r*c {
+		// Bound each dimension before multiplying: r and c are raw uint32
+		// reads, so r*c can overflow int64 and sneak past a product-only
+		// check. Found by fuzzing.
+		if r < 0 || c < 0 || r > maxWireLen/8 || c > maxWireLen/8 ||
+			r*c > maxWireLen/8 || len(buf) < p+8*r*c {
 			return Nil(), 0, fmt.Errorf("value: decode matrix: %dx%d exceeds buffer", r, c)
 		}
 		m := NewMat(r, c)

@@ -100,7 +100,10 @@ func TestDecodeErrors(t *testing.T) {
 		{byte(KindArr), 2, 0, 0, 0, byte(KindInt)}, // truncated element
 		{byte(KindMat), 1, 0, 0, 0},                // short dims
 		{byte(KindMat), 2, 0, 0, 0, 2, 0, 0, 0},    // missing data
-		{200},                                      // unknown tag
+		// r*c overflows int64 to a small positive number; each dimension
+		// must be bounded before the product is trusted (found by fuzzing).
+		{byte(KindMat), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		{200}, // unknown tag
 	}
 	for i, c := range cases {
 		if _, _, err := Decode(c); err == nil {

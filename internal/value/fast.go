@@ -1,0 +1,195 @@
+// In-place numeric fast paths for the VM's threaded dispatch loop.
+//
+// A Value is a wide struct (every push/pop copies it), but the numeric
+// kinds live entirely in two scalar fields. The helpers here let the
+// interpreter's hot handlers compute through *Value without materializing
+// intermediate Values: an add writes kind+payload into an existing slot
+// and never copies the other 80-odd bytes. They intentionally handle only
+// the cases whose semantics are trivially identical to the general paths
+// (arith in the VM, Compare/Equal here) and report ok=false otherwise —
+// nil coercion, strings, div-by-zero errors and such stay on the one
+// authoritative slow path.
+//
+// Writing a scalar kind over a slot that held a reference kind leaves the
+// old reference fields in place; no reader looks at fields outside the
+// current kind, so this only extends the liveness of the old payload until
+// the slot is overwritten again — the same retention an operand stack has
+// below its stack pointer.
+package value
+
+import "math"
+
+// NumOp selects the binary arithmetic operation for FastBinary.
+type NumOp uint8
+
+// The binary numeric operations, in the bytecode's arithmetic-block order.
+const (
+	NumAdd NumOp = iota
+	NumSub
+	NumMul
+	NumDiv
+	NumMod
+)
+
+// SetInt overwrites v in place with an integer.
+func (v *Value) SetInt(i int64) { v.kind, v.i = KindInt, i }
+
+// SetNum overwrites v in place with a float.
+func (v *Value) SetNum(f float64) { v.kind, v.n = KindNum, f }
+
+// SetBool overwrites v in place with Int(1) or Int(0).
+func (v *Value) SetBool(b bool) {
+	v.kind = KindInt
+	if b {
+		v.i = 1
+	} else {
+		v.i = 0
+	}
+}
+
+// FastBinary computes op(a, b) into *out when both operands are strictly
+// numeric, returning false (out untouched) for anything the general arith
+// path must handle: nil coercion, strings, non-numeric kinds, and integer
+// division or modulo by zero (a runtime error there). out may alias a or b.
+// Int/int stays int; mixed goes through float64 — exactly the general
+// path's promotion rule, including float division by zero yielding ±Inf.
+func FastBinary(op NumOp, a, b, out *Value) bool {
+	if a.kind == KindInt && b.kind == KindInt {
+		x, y := a.i, b.i
+		var r int64
+		switch op {
+		case NumAdd:
+			r = x + y
+		case NumSub:
+			r = x - y
+		case NumMul:
+			r = x * y
+		case NumDiv:
+			if y == 0 {
+				return false
+			}
+			r = x / y
+		default:
+			if y == 0 {
+				return false
+			}
+			r = x % y
+		}
+		out.kind, out.i = KindInt, r
+		return true
+	}
+	var x, y float64
+	switch a.kind {
+	case KindInt:
+		x = float64(a.i)
+	case KindNum:
+		x = a.n
+	default:
+		return false
+	}
+	switch b.kind {
+	case KindInt:
+		y = float64(b.i)
+	case KindNum:
+		y = b.n
+	default:
+		return false
+	}
+	var r float64
+	switch op {
+	case NumAdd:
+		r = x + y
+	case NumSub:
+		r = x - y
+	case NumMul:
+		r = x * y
+	case NumDiv:
+		r = x / y
+	default:
+		r = math.Mod(x, y)
+	}
+	out.kind, out.n = KindNum, r
+	return true
+}
+
+// FastCompare orders two numeric values through pointers; ok=false sends
+// string (and error) cases to Value.Compare. Like Compare, both operands
+// go through float64 — int/int included — so the orderings agree bit for
+// bit.
+func FastCompare(a, b *Value) (cmp int, ok bool) {
+	var x, y float64
+	switch a.kind {
+	case KindInt:
+		x = float64(a.i)
+	case KindNum:
+		x = a.n
+	default:
+		return 0, false
+	}
+	switch b.kind {
+	case KindInt:
+		y = float64(b.i)
+	case KindNum:
+		y = b.n
+	default:
+		return 0, false
+	}
+	switch {
+	case x < y:
+		return -1, true
+	case x > y:
+		return 1, true
+	default:
+		return 0, true
+	}
+}
+
+// FastEqual tests numeric equality through pointers; ok=false sends every
+// non-numeric pairing to Value.Equal. Int/int compares exactly, mixed
+// through float64 — Equal's own rule.
+func FastEqual(a, b *Value) (eq bool, ok bool) {
+	if a.kind == KindInt && b.kind == KindInt {
+		return a.i == b.i, true
+	}
+	var x, y float64
+	switch a.kind {
+	case KindInt:
+		x = float64(a.i)
+	case KindNum:
+		x = a.n
+	default:
+		return false, false
+	}
+	switch b.kind {
+	case KindInt:
+		y = float64(b.i)
+	case KindNum:
+		y = b.n
+	default:
+		return false, false
+	}
+	return x == y, true
+}
+
+// TruthyPtr is Value.Truthy through a pointer, for handlers that must not
+// copy the Value just to test it.
+func TruthyPtr(v *Value) bool {
+	switch v.kind {
+	case KindNil:
+		return false
+	case KindInt:
+		return v.i != 0
+	case KindNum:
+		return v.n != 0
+	case KindStr:
+		return v.s != ""
+	case KindBytes:
+		return len(v.bytes) > 0
+	case KindArr:
+		return len(v.arr) > 0
+	case KindMat:
+		return v.mat != nil && len(v.mat.Data) > 0
+	default:
+		return false
+	}
+}

@@ -9,13 +9,16 @@ import (
 )
 
 // FuzzProgramValidate throws arbitrary bytes at the bytecode decoder and
-// its verifier, then executes whatever they accept. The properties under
-// test are the verifier's contract:
+// its verifier, then executes whatever they accept — under every dispatch
+// engine. The properties under test:
 //
 //   - Decode/Validate never panic, whatever the input;
 //   - any accepted program runs on the VM without panicking — in
 //     particular the shared operand stack never underflows even though
-//     Run skips the dynamic PC bounds check for verified programs.
+//     Run skips the dynamic PC bounds check for verified programs;
+//   - the threaded and fused engines reproduce the switch loop's complete
+//     observable behavior (results, pause states, step-meter charges,
+//     snapshot bytes) on every accepted program, metered and unmetered.
 //
 // Runtime errors (type mismatches, unknown natives, budget exhaustion)
 // are fine; those are dynamic properties the verifier does not claim.
@@ -32,6 +35,12 @@ func FuzzProgramValidate(f *testing.F) {
 		while (i < 3) { s = s + arr[i]; i = i + 1; }
 		create(ln = "a", ll = "l", ldir = ">", dn = "b", dl = "l", ddir = "<");`,
 		`node.count = node.count + 1; delete(ln = *);`,
+		// Quad-idiom loops: these lower to the superinstruction families
+		// (slot-compare-branch, slot-arith-store), so mutations of their
+		// encodings probe the fused engine's decode surface.
+		`for (i = 0; i < 9; i++) { s = s + i * i; }`,
+		`func f(n) { t = 1; for (k = 0; k < n; k++) { t = t * 2; } return t; }
+		r = f(8); z = 0; q = r / z;`,
 	}
 	for _, src := range seeds {
 		prog, err := compile.Compile("fuzzseed", src)
@@ -78,6 +87,13 @@ func FuzzProgramValidate(f *testing.F) {
 			if _, err := Restore(prog, snap); err != nil {
 				t.Fatalf("snapshot of verified program rejected: %v", err)
 			}
+		}
+		// Differential: threaded and fused dispatch must be trace-identical
+		// with the switch oracle. The budget of 7 is deliberately prime and
+		// tiny so it lands inside fused sequences, forcing the refuse-and-
+		// tail path on superinstructions.
+		for _, budget := range []int64{0, 7} {
+			assertDispatchAgree(t, prog, budget)
 		}
 	})
 }

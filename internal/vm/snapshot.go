@@ -97,7 +97,11 @@ func Restore(prog *bytecode.Program, buf []byte) (*VM, error) {
 	if nframes < 1 || nframes > maxCallDepth {
 		return nil, fmt.Errorf("vm: snapshot frame count %d out of range", nframes)
 	}
-	m := &VM{prog: prog, vars: vars, frames: make([]frame, nframes)}
+	// The arena is sized by the verifier's metadata for the main body —
+	// for the dominant single-frame hop snapshot, the restored locals and
+	// operand stack land in one contiguous slab (deeper snapshots spill to
+	// the heap transparently).
+	m := &VM{prog: prog, vars: vars, frames: make([]frame, nframes), arena: newArenaFor(prog)}
 	for i := 0; i < nframes; i++ {
 		fn, err := u32()
 		if err != nil {
@@ -124,7 +128,7 @@ func Restore(prog *bytecode.Program, buf []byte) (*VM, error) {
 		if nloc > 1<<20 || nloc > len(buf)-p {
 			return nil, fmt.Errorf("vm: snapshot local count %d exceeds buffer", nloc)
 		}
-		fr := frame{fn: fn, pc: pc, locals: make([]value.Value, nloc)}
+		fr := frame{fn: fn, pc: pc, locals: m.allocValues(nloc)}
 		for j := 0; j < nloc; j++ {
 			v, n, err := value.Decode(buf[p:])
 			if err != nil {
@@ -142,7 +146,7 @@ func Restore(prog *bytecode.Program, buf []byte) (*VM, error) {
 	if nstack > 1<<20 || nstack > len(buf)-p {
 		return nil, fmt.Errorf("vm: snapshot stack size %d exceeds buffer", nstack)
 	}
-	m.stack = make([]value.Value, nstack)
+	m.stack = m.allocValues(nstack)
 	for i := 0; i < nstack; i++ {
 		v, n, err := value.Decode(buf[p:])
 		if err != nil {

@@ -119,6 +119,12 @@ const NumOps = int(bytecode.OpEnd) + 1
 // interpreter loop one predictable branch.
 type Profile struct {
 	Counts [NumOps]int64
+	// Pairs, when non-nil, counts dynamic adjacent opcode pairs on the
+	// switch loop (threaded dispatch has already fused its pairs away).
+	// This is the measurement the superinstruction set in
+	// internal/bytecode/lower.go was chosen from; cmd/mvm -pairs prints
+	// it. Pair counting costs the hot loop nothing unless enabled.
+	Pairs *[NumOps][NumOps]int64
 }
 
 // OpName names profile slot i for metric labels.
@@ -132,6 +138,25 @@ type VM struct {
 	frames []frame
 	prof   *Profile
 	meter  StepMeter
+
+	// Fast-path state (see threaded.go). arena backs locals and the stack
+	// so a Messenger's values sit in one slab; stackBuf is the raw operand
+	// stack backing the threaded loop indexes into; mslots/mdirty cache
+	// Messenger variables as slots, valid while slotsClean (any external
+	// access to the vars map invalidates them); tx is the reusable
+	// per-segment execution scratch.
+	dispatch   Dispatch
+	arena      *value.Arena
+	stackBuf   []value.Value
+	mslots     []value.Value
+	mdirty     []bool
+	slotsClean bool
+	tx         *texec
+
+	// segThreaded/segFused count source instructions the last Run segment
+	// executed on the threaded path and inside fused superinstructions.
+	segThreaded int64
+	segFused    int64
 }
 
 // SetProfile attaches (or detaches, with nil) an opcode profile. The
@@ -165,49 +190,99 @@ var ErrStepBudget = errors.New("instruction step budget exhausted")
 // meter before every segment.
 func (m *VM) SetMeter(sm StepMeter) { m.meter = sm }
 
+// arenaHeadroom is the extra Value capacity a VM's arena carries beyond
+// the verifier-proven main-frame need (NumLocals + MaxStack), absorbing a
+// few levels of script calls before falling back to the heap. Kept small:
+// a server holds many paused Messengers, and every slab Value is live
+// memory.
+const arenaHeadroom = 8
+
+// newArenaFor sizes a VM's value arena from the verifier's metadata for
+// the main body: its locals plus its proven worst-case operand stack, with
+// a little call headroom. Unverified programs get no arena (nil is a valid
+// Arena receiver that always falls back to the heap).
+func newArenaFor(prog *bytecode.Program) *value.Arena {
+	if !prog.Verified() {
+		return nil
+	}
+	return value.NewArena(prog.Funcs[0].NumLocals + prog.MaxStack(0) + arenaHeadroom)
+}
+
+// allocValues serves locals/stack allocations from the arena when one is
+// attached, the heap otherwise.
+func (m *VM) allocValues(n int) []value.Value {
+	if m.arena != nil {
+		return m.arena.Values(n)
+	}
+	return make([]value.Value, n)
+}
+
 // New returns a VM at the start of the program's main body with the given
 // initial Messenger variables (may be nil).
 func New(prog *bytecode.Program, vars map[string]value.Value) *VM {
 	if vars == nil {
 		vars = map[string]value.Value{}
 	}
-	return &VM{
-		prog:   prog,
-		vars:   vars,
-		frames: []frame{{fn: 0, locals: make([]value.Value, prog.Funcs[0].NumLocals)}},
+	m := &VM{
+		prog:  prog,
+		vars:  vars,
+		arena: newArenaFor(prog),
 	}
+	m.frames = []frame{{fn: 0, locals: m.allocValues(prog.Funcs[0].NumLocals)}}
+	return m
 }
 
 // Program returns the program this VM executes.
 func (m *VM) Program() *bytecode.Program { return m.prog }
 
 // Vars exposes the Messenger-variable area (the state that travels with the
-// Messenger).
-func (m *VM) Vars() map[string]value.Value { return m.vars }
+// Messenger). Handing out the map invalidates the threaded loop's slot
+// cache — the caller may mutate it.
+func (m *VM) Vars() map[string]value.Value {
+	m.slotsClean = false
+	return m.vars
+}
 
 // Var reads one Messenger variable.
 func (m *VM) Var(name string) value.Value { return m.vars[name] }
 
 // SetVar writes one Messenger variable (used for injection parameters).
-func (m *VM) SetVar(name string, v value.Value) { m.vars[name] = v }
+func (m *VM) SetVar(name string, v value.Value) {
+	m.slotsClean = false
+	m.vars[name] = v
+}
+
+// SegmentStats reports how the last Run segment executed: source
+// instructions dispatched on the threaded fast path, and the subset
+// covered by fused superinstructions. Feeds the vm.dispatch.* and
+// vm.fused.* metrics.
+func (m *VM) SegmentStats() (threadedSteps, fusedSteps int64) {
+	return m.segThreaded, m.segFused
+}
+
+// ArenaBytes reports the memory pinned by the VM's value arena (the
+// vm.arena.bytes metric); 0 without an arena.
+func (m *VM) ArenaBytes() int64 { return m.arena.Bytes() }
 
 // PushResult delivers a native function's return value before resuming.
 func (m *VM) PushResult(v value.Value) { m.push(v) }
 
 // Clone deep-copies the VM (Messenger replication on multi-destination
-// hops).
+// hops). The clone gets its own arena — replicas outlive each other and
+// may execute on different daemons.
 func (m *VM) Clone() *VM {
 	c := &VM{
 		prog:   m.prog,
 		vars:   value.CloneEnv(m.vars),
-		stack:  make([]value.Value, len(m.stack)),
 		frames: make([]frame, len(m.frames)),
+		arena:  newArenaFor(m.prog),
 	}
+	c.stack = c.allocValues(len(m.stack))
 	for i, v := range m.stack {
 		c.stack[i] = v.Clone()
 	}
 	for i, fr := range m.frames {
-		nf := frame{fn: fr.fn, pc: fr.pc, locals: make([]value.Value, len(fr.locals))}
+		nf := frame{fn: fr.fn, pc: fr.pc, locals: c.allocValues(len(fr.locals))}
 		for j, lv := range fr.locals {
 			nf.locals[j] = lv.Clone()
 		}
@@ -237,9 +312,16 @@ func (m *VM) runtimeError(format string, args ...any) error {
 // instructions have executed (0 means no limit; exceeding the limit is a
 // runtime error — a runaway Messenger). On error the Messenger must be
 // destroyed by the daemon.
+//
+// Verified programs execute on the token-threaded fast path over the
+// lowered instruction stream (threaded.go) unless the dispatch mode pins
+// the switch loop; unverified programs, and the tail of any segment the
+// fast path hands back (step budget about to trip), run on the switch
+// loop below. Both loops share the cumulative step counter, so meter
+// charges and Result.Steps are identical whichever executed.
 func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
 	var steps int64
-	prof := m.prof
+	m.segThreaded, m.segFused = 0, 0
 	// An attached meter tightens the segment limit to the session's
 	// remaining allowance and is debited for what actually executed, on
 	// every exit path. metered distinguishes "the meter capped us" (quota
@@ -256,12 +338,35 @@ func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
 		}
 		defer func() { m.meter.Charge(steps) }()
 	}
+	if mode := m.dispatch; mode != DispatchSwitch && m.prog.Verified() {
+		if low := m.prog.Lowered(mode == DispatchFused || mode == DispatchAuto); low != nil {
+			res, err, done := m.runThreaded(host, low, limit, &steps)
+			if done {
+				return res, err
+			}
+		}
+	}
+	return m.runSwitch(host, maxSteps, limit, metered, &steps)
+}
+
+// runSwitch is the classic switch-dispatch interpreter: the only loop for
+// unverified programs, the budget-boundary tail for threaded segments, and
+// the oracle the differential tests hold the fast path to. steps is the
+// segment-cumulative counter shared with the threaded loop.
+func (m *VM) runSwitch(host Host, maxSteps, limit int64, metered bool, stepsp *int64) (Result, error) {
+	prof := m.prof
 	// Verified programs have statically proven control flow: every jump
 	// target is in range and no path falls off the end of the code, so the
 	// per-step PC bounds check is redundant (Restore already vets resume
 	// PCs against the same metadata). Unverified programs — hand-built in
 	// tests — keep the dynamic guard.
 	verified := m.prog.Verified()
+	// The switch loop stores Messenger variables straight into the map, so
+	// any slot cache the threaded loop left behind goes stale here.
+	m.slotsClean = false
+	steps := *stepsp
+	defer func() { *stepsp = steps }()
+	prevOp := -1
 	for {
 		f := m.top()
 		code := m.prog.Funcs[f.fn].Code
@@ -273,6 +378,12 @@ func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
 		steps++
 		if prof != nil && int(ins.Op) < NumOps {
 			prof.Counts[ins.Op]++
+			if prof.Pairs != nil {
+				if prevOp >= 0 {
+					prof.Pairs[prevOp][ins.Op]++
+				}
+				prevOp = int(ins.Op)
+			}
 		}
 		if limit > 0 && steps > limit {
 			if metered {

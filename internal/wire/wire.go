@@ -229,6 +229,21 @@ func (e *Encoder) U64(v uint64) {
 // F64 appends a float64 as its IEEE 754 bit pattern.
 func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
 
+// F64s appends a float64 slice, byte-identical to calling F64 per element,
+// with one capacity check for the whole block — the bulk path matrix
+// payloads encode through on every hop snapshot.
+func (e *Encoder) F64s(vs []float64) {
+	if e.err != nil {
+		return
+	}
+	e.Grow(8 * len(vs))
+	off := len(e.buf)
+	e.buf = e.buf[:off+8*len(vs)]
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(e.buf[off+8*i:], math.Float64bits(v))
+	}
+}
+
 // Str appends a uint32 length prefix and the string bytes, rejecting
 // lengths beyond MaxLen (the encode-side mirror of the decode guard).
 func (e *Encoder) Str(s string) {
