@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-serve bench-gvt bench-gvt-short bench-vm bench-vm-short figures figures-short examples vet lint clean
+.PHONY: all build test race bench bench-serve bench-gvt bench-gvt-short bench-vm bench-vm-short bench-protocols bench-protocols-short figures figures-short examples vet lint clean
 
 all: vet lint test
 
@@ -55,6 +55,21 @@ bench-vm:
 # Reduced calibration for CI sanity (no-loss gates only, no 5x gate).
 bench-vm-short:
 	$(GO) run ./cmd/mvm -short -out BENCH_vm.json
+
+# Protocol chaos suite: Paxos, 2PC, and termination detection as Messenger
+# programs and PVM baselines, swept across seeded nemesis fault plans with
+# every trace checked against the safety invariants. Exits nonzero on any
+# violation; cost comparison lands in BENCH_protocols.json. The -broken run
+# proves the checkers have teeth (a promise-forgetting acceptor must be
+# caught).
+bench-protocols:
+	$(GO) run ./cmd/mproto -seeds 32 -out BENCH_protocols.json
+	$(GO) run ./cmd/mproto -broken -seeds 12 -out ""
+
+# Reduced sweep for CI sanity (6 seeds, sim engine).
+bench-protocols-short:
+	$(GO) run ./cmd/mproto -short -out BENCH_protocols.json
+	$(GO) run ./cmd/mproto -broken -seeds 6 -out ""
 
 # Regenerate every paper figure/table into experiments/.
 figures:

@@ -1,0 +1,242 @@
+// mproto is the protocol chaos suite: single-decree Paxos, two-phase
+// commit, and ring termination detection, each implemented both as MSL
+// Messenger programs on the real VM and as PVM-style message-passing
+// baselines, swept across seeded nemesis fault plans with every run's
+// event trace checked against the protocol's safety invariants.
+//
+//	go run ./cmd/mproto                          # sim engine, 32 seeds, full matrix
+//	go run ./cmd/mproto -short                   # 6 seeds
+//	go run ./cmd/mproto -engines sim,real -seeds 2
+//	go run ./cmd/mproto -protocols paxos -nemeses leadercrash -seeds 64
+//	go run ./cmd/mproto -broken                  # prove the checker catches a bad acceptor
+//
+// Exit status: 0 if every run satisfied its invariants (and reached a
+// decision wherever the nemesis does not excuse one), 1 on any safety
+// violation or unexcused missed decision, 2 on harness error. The cost
+// comparison (Messenger hops/bytes versus PVM message/bytes) is written to
+// -out as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"messengers/internal/protocols"
+)
+
+func main() {
+	engines := flag.String("engines", "sim", "comma-separated engines: sim, real")
+	protos := flag.String("protocols", strings.Join(protocols.Protocols, ","), "comma-separated protocols")
+	impls := flag.String("impls", strings.Join(protocols.Impls, ","), "comma-separated implementations: msgr, pvm")
+	nemeses := flag.String("nemeses", strings.Join(protocols.Nemeses, ","), "comma-separated nemeses")
+	seeds := flag.Int("seeds", 32, "seeds per (protocol, impl, engine, nemesis) cell")
+	seedBase := flag.Uint64("seed-base", 1, "first seed value")
+	short := flag.Bool("short", false, "quick matrix (6 seeds)")
+	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+	out := flag.String("out", "BENCH_protocols.json", "cost/benchmark JSON output path (empty = none)")
+	broken := flag.Bool("broken", false, "run the deliberately broken Paxos acceptor instead; exit 0 iff the checker catches it")
+	verbose := flag.Bool("v", false, "print every run, not just failures")
+	flag.Parse()
+
+	if *short {
+		*seeds = 6
+	}
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seedBase + uint64(i)
+	}
+
+	if *broken {
+		os.Exit(runBroken(seedList))
+	}
+
+	var all []protocols.Result
+	for _, engine := range split(*engines) {
+		results, err := protocols.Sweep(protocols.SweepConfig{
+			Engine:    engine,
+			Protocols: split(*protos),
+			Impls:     split(*impls),
+			Nemeses:   split(*nemeses),
+			Seeds:     seedList,
+			Workers:   *workers,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mproto: %v\n", err)
+			os.Exit(2)
+		}
+		all = append(all, results...)
+	}
+
+	failures := 0
+	for _, res := range all {
+		if res.Failed() {
+			failures++
+			fmt.Printf("FAIL %-5s %-4s %-4s %-11s seed %-3d decided=%-5v expected=%-5v err=%q\n",
+				res.Config.Protocol, res.Config.Impl, res.Config.Engine, res.Config.Nemesis,
+				res.Config.Seed, res.Decided, res.Expected, res.Err)
+			for _, v := range res.Violations {
+				fmt.Printf("     violation %s\n", v)
+			}
+		} else if *verbose {
+			fmt.Printf("ok   %-5s %-4s %-4s %-11s seed %-3d decided=%v hops=%d bytes=%d\n",
+				res.Config.Protocol, res.Config.Impl, res.Config.Engine, res.Config.Nemesis,
+				res.Config.Seed, res.Decided, res.Cost.Hops, res.Cost.Bytes)
+		}
+	}
+
+	if *out != "" {
+		if err := writeBench(*out, seedList, all); err != nil {
+			fmt.Fprintf(os.Stderr, "mproto: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("mproto: %d runs, %d failures (%s; %d seeds)\n",
+		len(all), failures, *engines, len(seedList))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// runBroken sweeps the promise-forgetting Paxos acceptor and inverts the
+// verdict: the suite is healthy only if the checker flags a majority of
+// seeds.
+func runBroken(seeds []uint64) int {
+	caught := 0
+	for _, seed := range seeds {
+		res, err := protocols.Run(protocols.RunConfig{
+			Protocol: protocols.ProtoPaxos, Impl: protocols.ImplMessengers,
+			Engine: protocols.EngineSim, Nemesis: protocols.NemesisNone,
+			Seed: seed, Broken: true,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mproto: %v\n", err)
+			return 2
+		}
+		if len(res.Violations) > 0 {
+			caught++
+			if len(res.Violations) > 0 {
+				fmt.Printf("seed %d: caught (%s)\n", seed, res.Violations[0])
+			}
+		} else {
+			fmt.Printf("seed %d: NOT caught\n", seed)
+		}
+	}
+	fmt.Printf("mproto: broken acceptor caught on %d/%d seeds\n", caught, len(seeds))
+	if caught <= len(seeds)/2 {
+		fmt.Println("mproto: checker failed to catch the broken acceptor")
+		return 1
+	}
+	return 0
+}
+
+func split(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// benchCell aggregates the runs of one (protocol, impl, engine, nemesis)
+// cell of the matrix.
+type benchCell struct {
+	Protocol   string  `json:"protocol"`
+	Impl       string  `json:"impl"`
+	Engine     string  `json:"engine"`
+	Nemesis    string  `json:"nemesis"`
+	Runs       int     `json:"runs"`
+	Decided    int     `json:"decided"`
+	Violations int     `json:"violations"`
+	AvgHops    float64 `json:"avg_hops"`
+	AvgBytes   float64 `json:"avg_bytes"`
+	AvgNetMsgs float64 `json:"avg_net_msgs"`
+	AvgNetB    float64 `json:"avg_net_bytes"`
+}
+
+// benchCompare is the headline messages-versus-messengers number: protocol
+// traffic cost of the Messenger implementation relative to the PVM
+// baseline, from fault-free runs.
+type benchCompare struct {
+	Protocol  string  `json:"protocol"`
+	Engine    string  `json:"engine"`
+	MsgrHops  float64 `json:"msgr_hops"`
+	PVMMsgs   float64 `json:"pvm_msgs"`
+	MsgrBytes float64 `json:"msgr_bytes"`
+	PVMBytes  float64 `json:"pvm_bytes"`
+	HopRatio  float64 `json:"hop_ratio"`  // msgr hops / pvm msgs
+	ByteRatio float64 `json:"byte_ratio"` // msgr bytes / pvm bytes
+}
+
+type benchFile struct {
+	Suite      string         `json:"suite"`
+	Seeds      int            `json:"seeds"`
+	Cells      []benchCell    `json:"cells"`
+	Comparison []benchCompare `json:"comparison"`
+}
+
+func writeBench(path string, seeds []uint64, all []protocols.Result) error {
+	type key struct{ proto, impl, engine, nemesis string }
+	cells := map[key]*benchCell{}
+	var order []key
+	for _, res := range all {
+		k := key{res.Config.Protocol, res.Config.Impl, res.Config.Engine, res.Config.Nemesis}
+		c, ok := cells[k]
+		if !ok {
+			c = &benchCell{Protocol: k.proto, Impl: k.impl, Engine: k.engine, Nemesis: k.nemesis}
+			cells[k] = c
+			order = append(order, k)
+		}
+		c.Runs++
+		if res.Decided {
+			c.Decided++
+		}
+		c.Violations += len(res.Violations)
+		c.AvgHops += float64(res.Cost.Hops)
+		c.AvgBytes += float64(res.Cost.Bytes)
+		c.AvgNetMsgs += float64(res.Cost.NetMsgs)
+		c.AvgNetB += float64(res.Cost.NetBytes)
+	}
+	f := benchFile{Suite: "protocols", Seeds: len(seeds)}
+	for _, k := range order {
+		c := cells[k]
+		n := float64(c.Runs)
+		c.AvgHops /= n
+		c.AvgBytes /= n
+		c.AvgNetMsgs /= n
+		c.AvgNetB /= n
+		f.Cells = append(f.Cells, *c)
+	}
+	for _, k := range order {
+		if k.impl != protocols.ImplMessengers || k.nemesis != protocols.NemesisNone {
+			continue
+		}
+		msgr := cells[k]
+		pvm, ok := cells[key{k.proto, protocols.ImplPVM, k.engine, k.nemesis}]
+		if !ok {
+			continue
+		}
+		cmp := benchCompare{
+			Protocol: k.proto, Engine: k.engine,
+			MsgrHops: msgr.AvgHops, PVMMsgs: pvm.AvgHops,
+			MsgrBytes: msgr.AvgBytes, PVMBytes: pvm.AvgBytes,
+		}
+		if pvm.AvgHops > 0 {
+			cmp.HopRatio = msgr.AvgHops / pvm.AvgHops
+		}
+		if pvm.AvgBytes > 0 {
+			cmp.ByteRatio = msgr.AvgBytes / pvm.AvgBytes
+		}
+		f.Comparison = append(f.Comparison, cmp)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -29,6 +29,7 @@ var metricNamespaces = map[string]bool{
 	"mandel":    true, // mandelbrot example app
 	"msgr":      true, // Messenger lifecycle
 	"net":       true, // inter-daemon traffic
+	"proto":     true, // distributed-protocol chaos suite
 	"pvm":       true, // message-passing comparison engine
 	"serve":     true, // multi-tenant admission service
 	"transport": true, // TCP transport internals

@@ -1,0 +1,74 @@
+// Package backoff computes jittered exponential backoff delays.
+//
+// Both retry sites in the tree — TCP redial after a connection failure and
+// the recovery layer's hop retransmission — used pure doubling, which
+// synchronizes every peer that observed the same failure: after a partition
+// heals, all survivors redial on the same schedule and the first round-trip
+// collides (a thundering herd). Jitter decorrelates the retries.
+//
+// The jitter is deterministic: it is derived by hashing a caller-supplied
+// key (daemon pair, hop sequence, attempt number) rather than from a global
+// RNG or the wall clock, so the simulated engine's runs stay byte-identical
+// for a given seedless configuration and real-engine runs are reproducible
+// in tests.
+package backoff
+
+import "time"
+
+// Jittered returns the delay before retry number attempt (1-based), using
+// "equal jitter": half the exponential ceiling is kept, half is scaled by a
+// hash of key and attempt. The ceiling is base<<(attempt-1) capped at max,
+// so the sequence keeps its exponential envelope — delay ∈ [ceil/2, ceil)
+// — while distinct keys spread within it.
+func Jittered(base, max time.Duration, attempt int, key uint64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	ceil := Exp(base, max, attempt)
+	half := ceil / 2
+	if half <= 0 {
+		return ceil
+	}
+	frac := float64(mix(key+uint64(attempt))>>11) / float64(1<<53)
+	return half + time.Duration(frac*float64(half))
+}
+
+// Exp returns the unjittered exponential ceiling base<<(attempt-1) capped
+// at max (attempt is 1-based). Shifts that would overflow saturate at max.
+func Exp(base, max time.Duration, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max || d < 0 {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Key folds up to four small integers into one hash key. Call sites build
+// stable keys like Key(src, dst, attempt, 0) so the same retry in the same
+// run always draws the same jitter.
+func Key(a, b, c, d int) uint64 {
+	k := uint64(a)
+	k = mix(k ^ uint64(b)<<16)
+	k = mix(k ^ uint64(c)<<32)
+	k = mix(k ^ uint64(d)<<48)
+	return k
+}
+
+// mix is the splitmix64 finalizer — the same mixer the fault injector uses,
+// chosen for the same reason: full avalanche from sequential inputs with no
+// shared state.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

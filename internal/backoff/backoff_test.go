@@ -1,0 +1,74 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExpEnvelope: the unjittered sequence doubles from base and saturates
+// at max without overflow.
+func TestExpEnvelope(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+		2 * time.Second, 2 * time.Second,
+	}
+	for i, w := range want {
+		if got := Exp(base, max, i+1); got != w {
+			t.Errorf("Exp(attempt=%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Attempt far past the cap must not overflow into a negative duration.
+	if got := Exp(base, max, 200); got != max {
+		t.Errorf("Exp(attempt=200) = %v, want %v", max, got)
+	}
+	if got := Exp(base, max, 0); got != base {
+		t.Errorf("Exp(attempt=0) = %v, want clamp to base %v", got, base)
+	}
+}
+
+// TestJitteredBounds: every jittered delay stays inside [ceil/2, ceil), so
+// the exponential envelope (and therefore worst-case recovery latency)
+// is preserved.
+func TestJitteredBounds(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	for attempt := 1; attempt <= 10; attempt++ {
+		ceil := Exp(base, max, attempt)
+		for key := uint64(0); key < 50; key++ {
+			d := Jittered(base, max, attempt, Key(int(key), 7, attempt, 0))
+			if d < ceil/2 || d >= ceil {
+				t.Fatalf("attempt %d key %d: delay %v outside [%v, %v)", attempt, key, d, ceil/2, ceil)
+			}
+		}
+	}
+}
+
+// TestJitteredDeterministic: same key and attempt, same delay — required for
+// simulated-engine reproducibility.
+func TestJitteredDeterministic(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	for attempt := 1; attempt <= 5; attempt++ {
+		a := Jittered(base, max, attempt, Key(1, 2, 3, 4))
+		b := Jittered(base, max, attempt, Key(1, 2, 3, 4))
+		if a != b {
+			t.Fatalf("attempt %d: nondeterministic jitter (%v vs %v)", attempt, a, b)
+		}
+	}
+}
+
+// TestJitteredDecorrelates: distinct peers (keys) must not share a backoff
+// schedule — that synchronization is exactly the thundering herd the jitter
+// exists to break. Requiring >=80% distinct delays across 64 keys would fail
+// for any constant-jitter regression.
+func TestJitteredDecorrelates(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	seen := map[time.Duration]bool{}
+	const keys = 64
+	for k := 0; k < keys; k++ {
+		seen[Jittered(base, max, 4, Key(k, k+1, 4, 0))] = true
+	}
+	if len(seen) < keys*8/10 {
+		t.Fatalf("64 distinct keys produced only %d distinct delays", len(seen))
+	}
+}

@@ -822,6 +822,17 @@ func (d *Daemon) HandleMsg(msg *Msg) {
 		case MsgHeartbeat:
 			return // liveness is inferred at the transport layer
 		}
+		if msg.From != d.id && msg.From >= 0 && msg.From < len(d.rec.peerDead) && d.rec.peerDead[msg.From] {
+			// Stale traffic from a peer this daemon has declared dead.
+			// PeerDown already purged both sides' transient books for
+			// that peer, so counting this message would leave a permanent
+			// recv > sent imbalance and wedge GVT. A genuinely crashed
+			// peer's in-flight messages die with its books; a falsely
+			// suspected peer's recovery layer retransmits once PeerUp
+			// fires (the fence drops the frame before the hop ack, so
+			// the transfer stays pending at the sender).
+			return
+		}
 		if reliableKind(msg.Kind) && msg.From != d.id && d.dedupCheck(msg) {
 			return
 		}

@@ -407,6 +407,68 @@ func TestRingGVTInitiatorCrash(t *testing.T) {
 	}
 }
 
+// TestRingGVTInitiatorCrashDuringPartition combines the two faults that were
+// previously only tested separately: daemon 0 (the round pacer) crashes and
+// restarts while a partition simultaneously isolates daemon 2, so the ring
+// loses its initiator AND its tokens in the same window. The watchdog must
+// keep relaunching rounds, the restarted initiator must be renotified by the
+// suspended survivors, and once the partition heals virtual time must resume
+// advancing in order.
+func TestRingGVTInitiatorCrashDuringPartition(t *testing.T) {
+	plan := &faults.Plan{
+		Seed: 4,
+		Crashes: []faults.Crash{{
+			Daemon:       0,
+			At:           int64(30 * sim.Millisecond),
+			RestartAfter: int64(20 * sim.Millisecond),
+		}},
+		// Overlaps the crash window on both sides: the partition starts
+		// before the initiator dies and heals after it has restarted.
+		Partitions: []faults.Partition{{
+			At:    int64(25 * sim.Millisecond),
+			Heal:  int64(70 * sim.Millisecond),
+			Group: []int{2},
+		}},
+	}
+	k, sys, metrics := faultSystem(t, 3, plan, WithDistributedGVT())
+	register(t, sys, "waker", `
+		sched_abs(when);
+		print("wake", when);
+	`)
+	// Inject on the survivors only: daemon 0's residents die with it.
+	for i, when := range []float64{1.0, 2.0} {
+		err := sys.Inject(i+1, "waker", map[string]value.Value{"when": value.Num(when)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	runSim(t, k, sys)
+	out := sys.Output()
+	want := []string{"wake 1.0", "wake 2.0"}
+	if len(out) != len(want) {
+		t.Fatalf("output = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("output[%d] = %q, want %q", i, out[i], want[i])
+		}
+	}
+	// The combination must actually have exercised both faults: the
+	// partition cut ring traffic and the daemon died.
+	if metrics.CounterValue("faults.injected.partition") == 0 {
+		t.Error("partition never dropped a message — the fault windows missed the ring traffic")
+	}
+	if metrics.CounterValue("daemon.deaths") != 1 {
+		t.Errorf("deaths = %d, want 1", metrics.CounterValue("daemon.deaths"))
+	}
+	log := sys.CommitLog()
+	for i := 1; i < len(log); i++ {
+		if log[i] <= log[i-1] {
+			t.Fatalf("commit log not strictly increasing after combined faults: %v", log)
+		}
+	}
+}
+
 // TestChanEngineRingGVTOrdering is the real-engine (goroutine) smoke test
 // for the ring protocol.
 func TestChanEngineRingGVTOrdering(t *testing.T) {

@@ -28,7 +28,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"messengers/internal/backoff"
 	"messengers/internal/logical"
 	"messengers/internal/obs"
 	"messengers/internal/sim"
@@ -37,7 +39,8 @@ import (
 // RecoveryConfig tunes messenger-level fault recovery.
 type RecoveryConfig struct {
 	// AckTimeout is the initial retransmission timeout for an
-	// unacknowledged reliable message; it doubles on every attempt.
+	// unacknowledged reliable message; it doubles on every attempt with
+	// per-entry jitter (see internal/backoff).
 	AckTimeout sim.Time
 	// MaxBackoff caps the per-attempt timeout growth. Retransmission never
 	// gives up: a transfer whose destination is unreachable but never
@@ -247,12 +250,13 @@ func (d *Daemon) retxFire(e *retxEntry) {
 		return
 	}
 	e.attempts++
-	if e.timeout < rec.cfg.MaxBackoff {
-		e.timeout *= 2
-		if e.timeout > rec.cfg.MaxBackoff {
-			e.timeout = rec.cfg.MaxBackoff
-		}
-	}
+	// Jittered exponential backoff keyed by (sender, peer, hop sequence,
+	// attempt): deterministic on the simulated engine, but decorrelated
+	// across entries so a healed partition doesn't trigger a synchronized
+	// retransmit burst from every pending hop at once.
+	e.timeout = sim.Time(backoff.Jittered(
+		time.Duration(rec.cfg.AckTimeout), time.Duration(rec.cfg.MaxBackoff),
+		e.attempts, backoff.Key(d.id, e.dst, int(e.seq), e.attempts)))
 	if d.om != nil {
 		d.om.retx.Inc()
 	}

@@ -215,3 +215,38 @@ func TestRecoveryDisabledUnchanged(t *testing.T) {
 		t.Errorf("retx = %d without recovery", got)
 	}
 }
+
+// TestPeerDownFencesLateTraffic reproduces the book-skew hang found by the
+// protocol chaos sweep (paxos/leadercrash): a MsgMessenger still in flight
+// when its sender is declared dead arrives after the observer's PeerDown
+// already purged both sides' transient books for that peer. Counting it
+// would leave global recv > sent forever — the GVT coordinator's rounds can
+// then never conclude and the run never quiesces. The daemon must fence
+// (drop uncounted, unacked) all traffic from a peer it currently considers
+// dead; the sender's recovery layer retransmits after PeerUp if the
+// suspicion was false.
+func TestPeerDownFencesLateTraffic(t *testing.T) {
+	_, sys, _ := faultSystem(t, 2, &faults.Plan{Seed: 1})
+	d := sys.Daemon(1)
+	d.PeerDown(0)
+
+	late := &Msg{Kind: MsgMessenger, From: 0, MsgrID: 99, HopSeq: 7}
+	d.HandleMsg(late)
+
+	if d.recv != 0 || d.rec.recvFrom[0] != 0 {
+		t.Errorf("fenced message was counted: recv=%d recvFrom[0]=%d", d.recv, d.rec.recvFrom[0])
+	}
+	if d.Stats.Arrived != 0 {
+		t.Errorf("fenced message was processed: arrived=%d", d.Stats.Arrived)
+	}
+
+	// After PeerUp the same traffic flows (and counts) again. The crafted
+	// Msg carries no program, so arrival fails after counting — the GVT
+	// books, not the arrival, are what this test pins down.
+	d.PeerUp(0)
+	msg := &Msg{Kind: MsgMessenger, From: 0, MsgrID: 100, HopSeq: 8}
+	d.HandleMsg(msg)
+	if d.recv != 1 {
+		t.Errorf("post-PeerUp message not counted: recv=%d", d.recv)
+	}
+}

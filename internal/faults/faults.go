@@ -13,6 +13,7 @@
 package faults
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -40,6 +41,26 @@ type Partition struct {
 	At    int64 `json:"at"`
 	Heal  int64 `json:"heal,omitempty"`
 	Group []int `json:"group"`
+	// OneWay makes the cut asymmetric: only messages *from* the group to
+	// the rest of the network are dropped; traffic into the group still
+	// flows. This models a host whose transmit path is broken (or a
+	// firewall misconfiguration) rather than a clean network split.
+	OneWay bool `json:"one_way,omitempty"`
+}
+
+// Storm is a windowed probability override: during [At, Until) the plan's
+// base drop/dup/delay probabilities are replaced by the storm's. Storms
+// model transient congestion — a burst of loss and latency — without
+// changing the decision stream's shape (the injector still consumes exactly
+// four draws per message, so runs with and without a storm stay aligned
+// up to the verdicts themselves).
+type Storm struct {
+	At        int64   `json:"at"`
+	Until     int64   `json:"until"`
+	Drop      float64 `json:"drop,omitempty"`
+	Dup       float64 `json:"dup,omitempty"`
+	DelayProb float64 `json:"delay_prob,omitempty"`
+	Delay     int64   `json:"delay,omitempty"`
 }
 
 // Plan is one deterministic fault scenario. Probabilities are per message;
@@ -67,6 +88,7 @@ type Plan struct {
 	DetectDelay int64       `json:"detect_delay,omitempty"`
 	Crashes     []Crash     `json:"crashes,omitempty"`
 	Partitions  []Partition `json:"partitions,omitempty"`
+	Storms      []Storm     `json:"storms,omitempty"`
 }
 
 // DefaultDetectDelay is the failure-detection lag used when the plan leaves
@@ -82,29 +104,15 @@ func (p *Plan) detectDelay() int64 {
 
 // Validate checks probabilities and crash targets against a daemon count.
 func (p *Plan) Validate(daemons int) error {
-	for _, pr := range []struct {
-		name string
-		v    float64
-	}{{"drop", p.Drop}, {"dup", p.Dup}, {"corrupt", p.Corrupt}, {"delay_prob", p.DelayProb}} {
-		if pr.v < 0 || pr.v > 1 {
-			return fmt.Errorf("faults: %s probability %v outside [0,1]", pr.name, pr.v)
-		}
-	}
-	if p.DelayProb > 0 && p.Delay <= 0 {
-		return fmt.Errorf("faults: delay_prob %v with no delay duration", p.DelayProb)
+	if err := p.check(); err != nil {
+		return err
 	}
 	for _, c := range p.Crashes {
 		if c.Daemon < 0 || c.Daemon >= daemons {
 			return fmt.Errorf("faults: crash of unknown daemon %d (have %d)", c.Daemon, daemons)
 		}
-		if c.At < 0 || c.RestartAfter < 0 {
-			return fmt.Errorf("faults: crash of daemon %d with negative time", c.Daemon)
-		}
 	}
 	for _, pt := range p.Partitions {
-		if len(pt.Group) == 0 {
-			return fmt.Errorf("faults: partition at %d with empty group", pt.At)
-		}
 		for _, d := range pt.Group {
 			if d < 0 || d >= daemons {
 				return fmt.Errorf("faults: partition references unknown daemon %d", d)
@@ -114,16 +122,119 @@ func (p *Plan) Validate(daemons int) error {
 	return nil
 }
 
+// check performs the daemon-count-independent structural validation shared
+// by Validate and Load: probability ranges, negative durations, inverted or
+// overlapping windows. Errors name the offending field and entry so a bad
+// hand-written plan fails at load time with a pointer to the line, not
+// twenty seconds into a chaos run.
+func (p *Plan) check() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.Drop}, {"dup", p.Dup}, {"corrupt", p.Corrupt}, {"delay_prob", p.DelayProb}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.Delay < 0 {
+		return fmt.Errorf("faults: negative delay %d", p.Delay)
+	}
+	if p.DetectDelay < 0 {
+		return fmt.Errorf("faults: negative detect_delay %d", p.DetectDelay)
+	}
+	if p.DelayProb > 0 && p.Delay <= 0 {
+		return fmt.Errorf("faults: delay_prob %v with no delay duration", p.DelayProb)
+	}
+	for i, c := range p.Crashes {
+		if c.At < 0 {
+			return fmt.Errorf("faults: crashes[%d]: negative at %d", i, c.At)
+		}
+		if c.RestartAfter < 0 {
+			return fmt.Errorf("faults: crashes[%d]: negative restart_after %d", i, c.RestartAfter)
+		}
+	}
+	// Two windows for the same daemon must not overlap: a crash landing
+	// inside another crash's dead window would kill an already-dead daemon
+	// (or race its restart), which is never what the plan author meant.
+	for i, a := range p.Crashes {
+		for j, b := range p.Crashes {
+			if j <= i || a.Daemon != b.Daemon {
+				continue
+			}
+			aEnd, bEnd := crashEnd(a), crashEnd(b)
+			if a.At < bEnd && b.At < aEnd {
+				return fmt.Errorf("faults: crashes[%d] and crashes[%d]: overlapping windows for daemon %d ([%d,%d) vs [%d,%d))",
+					i, j, a.Daemon, a.At, aEnd, b.At, bEnd)
+			}
+		}
+	}
+	for i, pt := range p.Partitions {
+		if len(pt.Group) == 0 {
+			return fmt.Errorf("faults: partitions[%d]: empty group", i)
+		}
+		if pt.At < 0 {
+			return fmt.Errorf("faults: partitions[%d]: negative at %d", i, pt.At)
+		}
+		if pt.Heal < 0 {
+			return fmt.Errorf("faults: partitions[%d]: negative heal %d", i, pt.Heal)
+		}
+		if pt.Heal > 0 && pt.Heal <= pt.At {
+			return fmt.Errorf("faults: partitions[%d]: heal %d not after at %d", i, pt.Heal, pt.At)
+		}
+	}
+	for i, s := range p.Storms {
+		if s.At < 0 {
+			return fmt.Errorf("faults: storms[%d]: negative at %d", i, s.At)
+		}
+		if s.Until <= s.At {
+			return fmt.Errorf("faults: storms[%d]: until %d not after at %d", i, s.Until, s.At)
+		}
+		for _, pr := range []struct {
+			name string
+			v    float64
+		}{{"drop", s.Drop}, {"dup", s.Dup}, {"delay_prob", s.DelayProb}} {
+			if pr.v < 0 || pr.v > 1 {
+				return fmt.Errorf("faults: storms[%d]: %s probability %v outside [0,1]", i, pr.name, pr.v)
+			}
+		}
+		if s.Delay < 0 {
+			return fmt.Errorf("faults: storms[%d]: negative delay %d", i, s.Delay)
+		}
+		if s.DelayProb > 0 && s.Delay <= 0 {
+			return fmt.Errorf("faults: storms[%d]: delay_prob %v with no delay duration", i, s.DelayProb)
+		}
+	}
+	return nil
+}
+
+// crashEnd is the exclusive end of a crash's dead window. A crash with no
+// restart holds the daemon down forever.
+func crashEnd(c Crash) int64 {
+	if c.RestartAfter <= 0 {
+		return int64(1)<<62 - 1
+	}
+	return c.At + c.RestartAfter
+}
+
 // Load reads a JSON-encoded Plan from path (the cmd/mchaos -plan format;
-// see docs/FAULTS.md).
+// see docs/FAULTS.md). Unknown fields are rejected — a typoed key like
+// "paritions" silently disables the fault it meant to inject, which is the
+// worst possible failure mode for a chaos plan — and the structural checks
+// that don't need a daemon count run immediately, so errors carry the field
+// name and entry index.
 func Load(path string) (*Plan, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("faults: %w", err)
 	}
 	p := &Plan{}
-	if err := json.Unmarshal(data, p); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(p); err != nil {
 		return nil, fmt.Errorf("faults: parse %s: %w", path, err)
+	}
+	if err := p.check(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return p, nil
 }
@@ -197,7 +308,12 @@ func (in *Injector) Decide(now int64, src, dst, size int) Verdict {
 		if now < pt.At || (pt.Heal > 0 && now >= pt.Heal) {
 			continue
 		}
-		if inGroup(pt.Group, src) != inGroup(pt.Group, dst) {
+		cut := inGroup(pt.Group, src) != inGroup(pt.Group, dst)
+		if cut && pt.OneWay {
+			// Asymmetric cut: only the group's outbound traffic is lost.
+			cut = inGroup(pt.Group, src)
+		}
+		if cut {
 			in.partitioned.Inc()
 			if in.tr != nil {
 				in.tr.Instant(src, "fault", "fault.partition",
@@ -206,13 +322,23 @@ func (in *Injector) Decide(now int64, src, dst, size int) Verdict {
 			return Verdict{Drop: true}
 		}
 	}
-	v := Verdict{
-		Drop:    in.rand() < in.plan.Drop,
-		Corrupt: in.rand() < in.plan.Corrupt,
-		Dup:     in.rand() < in.plan.Dup,
+	// Storms override the base probabilities inside their window but keep
+	// the four-draws-per-message shape, so the stream alignment invariant
+	// below holds with or without active storms.
+	drop, dup, delayProb, delay := in.plan.Drop, in.plan.Dup, in.plan.DelayProb, in.plan.Delay
+	for _, s := range in.plan.Storms {
+		if now >= s.At && now < s.Until {
+			drop, dup, delayProb, delay = s.Drop, s.Dup, s.DelayProb, s.Delay
+			break
+		}
 	}
-	if in.rand() < in.plan.DelayProb {
-		v.Delay = in.plan.Delay
+	v := Verdict{
+		Drop:    in.rand() < drop,
+		Corrupt: in.rand() < in.plan.Corrupt,
+		Dup:     in.rand() < dup,
+	}
+	if in.rand() < delayProb {
+		v.Delay = delay
 	}
 	switch {
 	case v.Drop:

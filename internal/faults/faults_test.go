@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"messengers/internal/sim"
@@ -95,6 +96,47 @@ func TestPartitionConsumesNoRandomness(t *testing.T) {
 	}
 }
 
+// TestDecideOneWayPartition: an asymmetric cut drops only the group's
+// outbound traffic; inbound messages still flow.
+func TestDecideOneWayPartition(t *testing.T) {
+	plan := &Plan{Seed: 1, Partitions: []Partition{{At: 100, Heal: 200, Group: []int{0}, OneWay: true}}}
+	in := NewInjector(plan, nil, nil)
+	if v := in.Decide(150, 0, 2, 1); !v.Drop {
+		t.Error("outbound message from the one-way-partitioned group survived")
+	}
+	if v := in.Decide(150, 2, 0, 1); v.Drop {
+		t.Error("inbound message into the one-way-partitioned group dropped")
+	}
+	if v := in.Decide(250, 0, 2, 1); v.Drop {
+		t.Error("outbound message dropped after heal")
+	}
+}
+
+// TestDecideStorm: inside the storm window the storm's probabilities apply;
+// outside, the base plan's. The stream stays aligned (four draws either way).
+func TestDecideStorm(t *testing.T) {
+	plan := &Plan{Seed: 3, Storms: []Storm{{At: 100, Until: 200, Drop: 1}}}
+	in := NewInjector(plan, nil, nil)
+	if v := in.Decide(50, 0, 1, 1); v.Drop {
+		t.Error("dropped before the storm")
+	}
+	if v := in.Decide(150, 0, 1, 1); !v.Drop {
+		t.Error("survived a drop=1 storm window")
+	}
+	if v := in.Decide(250, 0, 1, 1); v.Drop {
+		t.Error("dropped after the storm")
+	}
+	// Alignment: a never-firing storm must not perturb the verdict stream.
+	base := NewInjector(&Plan{Seed: 7, Drop: 0.5}, nil, nil)
+	with := NewInjector(&Plan{Seed: 7, Drop: 0.5, Storms: []Storm{{At: 0, Until: 1, Drop: 1}}}, nil, nil)
+	for i := 0; i < 100; i++ {
+		va, vb := base.Decide(int64(10+i), 0, 1, 1), with.Decide(int64(10+i), 0, 1, 1)
+		if va != vb {
+			t.Fatalf("message %d: verdicts diverge with inactive storm (%+v vs %+v)", i, va, vb)
+		}
+	}
+}
+
 func TestValidate(t *testing.T) {
 	bad := []Plan{
 		{Drop: 1.5},
@@ -104,6 +146,12 @@ func TestValidate(t *testing.T) {
 		{Crashes: []Crash{{Daemon: 0, At: -1}}},      // negative time
 		{Partitions: []Partition{{At: 0}}},           // empty group
 		{Partitions: []Partition{{Group: []int{7}}}}, // unknown daemon
+		{Partitions: []Partition{{At: 100, Heal: 50, Group: []int{0}}}},                 // heal before at
+		{Storms: []Storm{{At: 100, Until: 100}}},                                        // empty window
+		{Storms: []Storm{{At: 0, Until: 10, Drop: 2}}},                                  // bad probability
+		{Storms: []Storm{{At: 0, Until: 10, DelayProb: 0.5}}},                           // delay_prob without delay
+		{Crashes: []Crash{{Daemon: 0, At: 10, RestartAfter: 100}, {Daemon: 0, At: 50}}}, // overlap
+		{Crashes: []Crash{{Daemon: 0, At: 10}, {Daemon: 0, At: 500}}},                   // no-restart overlap
 	}
 	for i := range bad {
 		if err := bad[i].Validate(4); err == nil {
@@ -111,10 +159,66 @@ func TestValidate(t *testing.T) {
 		}
 	}
 	good := Plan{Drop: 0.1, DelayProb: 0.1, Delay: 5,
-		Crashes:    []Crash{{Daemon: 3, At: 10, RestartAfter: 5}},
-		Partitions: []Partition{{At: 1, Heal: 2, Group: []int{0, 3}}}}
+		Crashes: []Crash{
+			{Daemon: 3, At: 10, RestartAfter: 5},
+			{Daemon: 3, At: 100, RestartAfter: 5}, // disjoint window, same daemon: fine
+			{Daemon: 2, At: 12},                   // different daemon inside d3's window: fine
+		},
+		Partitions: []Partition{{At: 1, Heal: 2, Group: []int{0, 3}, OneWay: true}},
+		Storms:     []Storm{{At: 5, Until: 9, Drop: 0.5, DelayProb: 0.1, Delay: 3}}}
 	if err := good.Validate(4); err != nil {
 		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestLoadFieldErrors: Load rejects unknown keys (a typoed field silently
+// disabling a fault is the worst chaos-plan failure mode) and reports
+// structural errors with the offending field and entry index.
+func TestLoadFieldErrors(t *testing.T) {
+	write := func(t *testing.T, data string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "plan.json")
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name, json, wantSub string
+	}{
+		{"unknown top-level key", `{"seed": 1, "paritions": []}`, "paritions"},
+		{"unknown nested key", `{"crashes": [{"daemon": 0, "at": 5, "restart": 9}]}`, "restart"},
+		{"negative crash time", `{"crashes": [{"daemon": 0, "at": -5}]}`, "crashes[0]"},
+		{"negative restart", `{"crashes": [{"daemon": 0, "at": 5, "restart_after": -1}]}`, "crashes[0]"},
+		{"overlapping crash windows",
+			`{"crashes": [{"daemon": 1, "at": 10, "restart_after": 100}, {"daemon": 1, "at": 50, "restart_after": 10}]}`,
+			"overlapping"},
+		{"inverted partition window", `{"partitions": [{"at": 100, "heal": 10, "group": [0]}]}`, "partitions[0]"},
+		{"negative delay", `{"delay": -3}`, "delay"},
+		{"storm without end", `{"storms": [{"at": 100, "drop": 0.5}]}`, "storms[0]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(write(t, tc.json))
+			if err == nil {
+				t.Fatalf("plan %s loaded without error", tc.json)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not name the field (want substring %q)", err, tc.wantSub)
+			}
+		})
+	}
+	// A valid plan with the new fields round-trips.
+	p, err := Load(write(t, `{
+		"seed": 4,
+		"partitions": [{"at": 10, "heal": 20, "group": [0], "one_way": true}],
+		"storms": [{"at": 5, "until": 9, "drop": 0.5, "dup": 0.1}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Partitions[0].OneWay || len(p.Storms) != 1 || p.Storms[0].Drop != 0.5 {
+		t.Errorf("loaded plan = %+v", p)
 	}
 }
 

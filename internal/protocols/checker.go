@@ -1,0 +1,226 @@
+package protocols
+
+import "fmt"
+
+// Violation is one safety-property breach found in a committed trace. The
+// chaos harness treats any violation as fatal (cmd/mproto exits nonzero).
+type Violation struct {
+	// Code is a stable machine-readable identifier, e.g. "paxos.agreement".
+	Code string `json:"code"`
+	// Seq is the sequence number of the event that completed the breach.
+	Seq int64 `json:"seq"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%s at #%d: %s", v.Code, v.Seq, v.Detail) }
+
+// Checker asserts safety properties over a committed trace. Implementations
+// are pure functions of the event sequence — they can replay a trace from a
+// failed chaos run offline. To add a checker for a new protocol: define the
+// protocol's events in protocols.go, have both implementations emit them
+// through the Recorder, and enumerate here what must never happen (see
+// docs/PROTOCOLS.md).
+type Checker interface {
+	Check(events []Event) []Violation
+}
+
+// PaxosChecker asserts single-decree Paxos safety:
+//
+//   - agreement: every decide event carries the same value;
+//   - ballot monotonicity: per acceptor, the ballots of promise and accept
+//     events never regress (an accept below the acceptor's last promise
+//     means the acceptor forgot a promise — the classic broken-acceptor
+//     bug this suite must catch);
+//   - decision support: a decided (ballot, value) must have been accepted
+//     with that ballot by at least one acceptor earlier in the trace.
+type PaxosChecker struct{}
+
+func (PaxosChecker) Check(events []Event) []Violation {
+	var out []Violation
+	promised := map[int]int64{} // acceptor -> highest ballot promised/accepted
+	accepted := map[[2]int64]bool{}
+	var decidedVal string
+	var haveDecision bool
+	for _, e := range events {
+		switch e.Kind {
+		case EvPromise:
+			if e.Ballot < promised[e.Who] {
+				out = append(out, Violation{
+					Code: "paxos.monotonic", Seq: e.Seq,
+					Detail: fmt.Sprintf("acceptor %d promised ballot %d after %d", e.Who, e.Ballot, promised[e.Who]),
+				})
+			}
+			if e.Ballot > promised[e.Who] {
+				promised[e.Who] = e.Ballot
+			}
+		case EvAccept:
+			if e.Ballot < promised[e.Who] {
+				out = append(out, Violation{
+					Code: "paxos.monotonic", Seq: e.Seq,
+					Detail: fmt.Sprintf("acceptor %d accepted ballot %d after promising %d (forgot its promise)",
+						e.Who, e.Ballot, promised[e.Who]),
+				})
+			}
+			if e.Ballot > promised[e.Who] {
+				promised[e.Who] = e.Ballot
+			}
+			accepted[[2]int64{e.Ballot, hashVal(e.Val)}] = true
+		case EvDecide:
+			if !haveDecision {
+				decidedVal, haveDecision = e.Val, true
+			} else if e.Val != decidedVal {
+				out = append(out, Violation{
+					Code: "paxos.agreement", Seq: e.Seq,
+					Detail: fmt.Sprintf("decided %q after earlier decision %q", e.Val, decidedVal),
+				})
+			}
+			if !accepted[[2]int64{e.Ballot, hashVal(e.Val)}] {
+				out = append(out, Violation{
+					Code: "paxos.unsupported", Seq: e.Seq,
+					Detail: fmt.Sprintf("decision (ballot %d, %q) has no supporting accept", e.Ballot, e.Val),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// hashVal folds a value string into an int64 key (FNV-1a) so accepted
+// (ballot, value) pairs can live in a comparable map key.
+func hashVal(s string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}
+
+// TPCChecker asserts two-phase-commit safety for a transaction with
+// Participants voters:
+//
+//   - single decision: the coordinator decides at most one way;
+//   - no mixed outcome: every participant applies the same decision, and
+//     only a decision the coordinator actually took;
+//   - vote validity: commit requires a unanimous yes from all Participants
+//     (recorded vote events), and any recorded no-vote forbids commit;
+//   - durability: a decision, once applied anywhere, is never contradicted
+//     later in the trace (subsumed by the two checks above, but reported
+//     under its own code when an apply precedes a conflicting apply).
+type TPCChecker struct {
+	Participants int
+}
+
+func (c TPCChecker) Check(events []Event) []Violation {
+	var out []Violation
+	votes := map[int]string{}
+	var decided string
+	var haveDecision bool
+	applied := map[int]string{}
+	for _, e := range events {
+		switch e.Kind {
+		case EvVote:
+			votes[e.Who] = e.Val
+		case EvDecide:
+			if haveDecision && e.Val != decided {
+				out = append(out, Violation{
+					Code: "2pc.single-decision", Seq: e.Seq,
+					Detail: fmt.Sprintf("coordinator decided %q after %q", e.Val, decided),
+				})
+				continue
+			}
+			decided, haveDecision = e.Val, true
+			if e.Val == "1" {
+				if len(votes) < c.Participants {
+					out = append(out, Violation{
+						Code: "2pc.premature-commit", Seq: e.Seq,
+						Detail: fmt.Sprintf("commit with %d of %d votes recorded", len(votes), c.Participants),
+					})
+				}
+				for who, v := range votes {
+					if v != "1" {
+						out = append(out, Violation{
+							Code: "2pc.vote-override", Seq: e.Seq,
+							Detail: fmt.Sprintf("commit despite participant %d voting no", who),
+						})
+					}
+				}
+			}
+		case EvApply:
+			if !haveDecision {
+				out = append(out, Violation{
+					Code: "2pc.undirected-apply", Seq: e.Seq,
+					Detail: fmt.Sprintf("participant %d applied %q before any coordinator decision", e.Who, e.Val),
+				})
+			} else if e.Val != decided {
+				out = append(out, Violation{
+					Code: "2pc.mixed", Seq: e.Seq,
+					Detail: fmt.Sprintf("participant %d applied %q but coordinator decided %q", e.Who, e.Val, decided),
+				})
+			}
+			if prev, ok := applied[e.Who]; ok && prev != e.Val {
+				out = append(out, Violation{
+					Code: "2pc.durability", Seq: e.Seq,
+					Detail: fmt.Sprintf("participant %d applied %q after applying %q", e.Who, e.Val, prev),
+				})
+			}
+			applied[e.Who] = e.Val
+			for who, other := range applied {
+				if other != e.Val {
+					out = append(out, Violation{
+						Code: "2pc.mixed", Seq: e.Seq,
+						Detail: fmt.Sprintf("participant %d applied %q while participant %d applied %q",
+							e.Who, e.Val, who, other),
+					})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TermChecker asserts termination-detection safety:
+//
+//   - no false positive: after the first detect announcement, no base
+//     computation activity (send/recv) may appear in the trace;
+//   - consistent announcement: the announced total equals the number of
+//     send events and the number of recv events committed before it (the
+//     base computation is fully message-balanced at detection time).
+type TermChecker struct{}
+
+func (TermChecker) Check(events []Event) []Violation {
+	var out []Violation
+	var sends, recvs int64
+	var detected bool
+	var detectedAt int64
+	for _, e := range events {
+		switch e.Kind {
+		case EvSend, EvRecv:
+			if detected {
+				out = append(out, Violation{
+					Code: "term.false-positive", Seq: e.Seq,
+					Detail: fmt.Sprintf("base %s at node %d after detection at #%d", e.Kind, e.Who, detectedAt),
+				})
+			}
+			if e.Kind == EvSend {
+				sends++
+			} else {
+				recvs++
+			}
+		case EvDetect:
+			if !detected {
+				detected, detectedAt = true, e.Seq
+				if e.Ballot != sends || e.Ballot != recvs {
+					out = append(out, Violation{
+						Code: "term.inconsistent", Seq: e.Seq,
+						Detail: fmt.Sprintf("announced %d messages but trace has %d sends / %d recvs",
+							e.Ballot, sends, recvs),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

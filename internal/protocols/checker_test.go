@@ -1,0 +1,154 @@
+package protocols
+
+import (
+	"testing"
+
+	"messengers/internal/obs"
+)
+
+// Checker unit tests on hand-built traces, plus the suite's teeth test:
+// the deliberately broken Paxos acceptor (forgets its promises) must be
+// caught by the checker on the real VM.
+
+func ev(kind string, who int, ballot int64, val string) Event {
+	return Event{Kind: kind, Who: who, Ballot: ballot, Val: val}
+}
+
+func codes(vs []Violation) map[string]int {
+	out := map[string]int{}
+	for _, v := range vs {
+		out[v.Code]++
+	}
+	return out
+}
+
+func TestPaxosCheckerMonotonicity(t *testing.T) {
+	// Acceptor 0 promises ballot 5, then accepts ballot 3: forgotten promise.
+	vs := (PaxosChecker{}).Check([]Event{
+		ev(EvPromise, 0, 5, ""),
+		ev(EvAccept, 0, 3, "v1"),
+	})
+	if codes(vs)["paxos.monotonic"] == 0 {
+		t.Errorf("missed monotonicity violation: %+v", vs)
+	}
+}
+
+func TestPaxosCheckerAgreement(t *testing.T) {
+	vs := (PaxosChecker{}).Check([]Event{
+		ev(EvAccept, 0, 1, "v0"),
+		ev(EvAccept, 1, 1, "v0"),
+		ev(EvDecide, 0, 1, "v0"),
+		ev(EvAccept, 0, 2, "v1"),
+		ev(EvAccept, 1, 2, "v1"),
+		ev(EvDecide, 1, 2, "v1"),
+	})
+	if codes(vs)["paxos.agreement"] == 0 {
+		t.Errorf("missed agreement violation: %+v", vs)
+	}
+}
+
+func TestPaxosCheckerUnsupportedDecide(t *testing.T) {
+	vs := (PaxosChecker{}).Check([]Event{
+		ev(EvDecide, 0, 1, "v0"),
+	})
+	if codes(vs)["paxos.unsupported"] == 0 {
+		t.Errorf("missed unsupported decide: %+v", vs)
+	}
+}
+
+func TestTPCCheckerMixedAndPremature(t *testing.T) {
+	c := TPCChecker{Participants: 2}
+	vs := c.Check([]Event{
+		ev(EvVote, 0, 0, "1"),
+		ev(EvDecide, 0, 0, "1"), // commit with one vote: premature
+	})
+	if codes(vs)["2pc.premature-commit"] == 0 {
+		t.Errorf("missed premature commit: %+v", vs)
+	}
+	vs = c.Check([]Event{
+		ev(EvVote, 0, 0, "1"),
+		ev(EvVote, 1, 0, "0"),
+		ev(EvDecide, 0, 0, "1"), // commit over a no vote
+	})
+	if codes(vs)["2pc.vote-override"] == 0 {
+		t.Errorf("missed vote override: %+v", vs)
+	}
+	vs = c.Check([]Event{
+		ev(EvVote, 0, 0, "1"),
+		ev(EvVote, 1, 0, "1"),
+		ev(EvDecide, 0, 0, "1"),
+		ev(EvApply, 0, 0, "1"),
+		ev(EvApply, 1, 0, "0"), // applies diverge from the decision
+	})
+	if codes(vs)["2pc.mixed"] == 0 {
+		t.Errorf("missed mixed apply: %+v", vs)
+	}
+}
+
+func TestTermCheckerFalsePositive(t *testing.T) {
+	vs := (TermChecker{}).Check([]Event{
+		ev(EvSend, 1, 0, ""),
+		ev(EvRecv, 2, 0, ""),
+		ev(EvDetect, 1, 1, ""),
+		ev(EvSend, 2, 0, ""), // activity after detection
+	})
+	if codes(vs)["term.false-positive"] == 0 {
+		t.Errorf("missed false positive: %+v", vs)
+	}
+	vs = (TermChecker{}).Check([]Event{
+		ev(EvSend, 1, 0, ""),
+		ev(EvRecv, 2, 0, ""),
+		ev(EvDetect, 1, 3, ""), // announces 3, but 1 send happened
+	})
+	if codes(vs)["term.inconsistent"] == 0 {
+		t.Errorf("missed inconsistent total: %+v", vs)
+	}
+}
+
+// TestBrokenPaxosCaught runs the promise-forgetting acceptor variant on
+// the real VM across the nemesis catalog and requires the checker to flag
+// it: dueling proposers re-accept superseded ballots on essentially every
+// seed, so a majority of seeds must produce violations — proof the
+// invariant harness has teeth, not just that safe implementations pass.
+func TestBrokenPaxosCaught(t *testing.T) {
+	for _, nem := range []string{NemesisNone, NemesisDrop} {
+		caught := 0
+		seeds := []uint64{1, 2, 3, 4, 5, 6}
+		for _, seed := range seeds {
+			res, err := Run(RunConfig{
+				Protocol: ProtoPaxos, Impl: ImplMessengers, Engine: EngineSim,
+				Nemesis: nem, Seed: seed, Broken: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) > 0 {
+				caught++
+				if c := codes(res.Violations); c["paxos.monotonic"] == 0 && c["paxos.agreement"] == 0 {
+					t.Errorf("%s seed %d: violations lack the expected codes: %+v", nem, seed, res.Violations)
+				}
+			}
+		}
+		if caught < len(seeds)/2+1 {
+			t.Errorf("%s: broken acceptor caught on only %d/%d seeds", nem, caught, len(seeds))
+		}
+	}
+}
+
+// The broken variant must also increment the proto.violations counter via
+// the harness, so dashboards see what the checker sees.
+func TestViolationsCounter(t *testing.T) {
+	m := obs.NewMetrics()
+	rec := NewRecorder(m)
+	if err := runPaxosMessengers(EngineSim, nil, rec, m, true); err != nil {
+		t.Fatal(err)
+	}
+	vs := (PaxosChecker{}).Check(rec.Events())
+	if len(vs) == 0 {
+		t.Skip("seedless broken run produced no violation this layout")
+	}
+	m.Counter("proto.violations").Add(int64(len(vs)))
+	if m.CounterValue("proto.violations") == 0 {
+		t.Error("proto.violations not recorded")
+	}
+}

@@ -1,0 +1,256 @@
+package protocols
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"messengers/internal/faults"
+	"messengers/internal/obs"
+)
+
+// Protocol and implementation names accepted by the harness.
+const (
+	ProtoPaxos = "paxos"
+	ProtoTPC   = "2pc"
+	ProtoTerm  = "term"
+
+	ImplMessengers = "msgr"
+	ImplPVM        = "pvm"
+)
+
+// Protocols is the sweep order of the suite.
+var Protocols = []string{ProtoPaxos, ProtoTPC, ProtoTerm}
+
+// Impls is the sweep order of the two implementations.
+var Impls = []string{ImplMessengers, ImplPVM}
+
+// RunConfig names one protocol execution: which algorithm, which of the two
+// implementations (Messenger programs on the MSL VM, or PVM-style
+// message-passing tasks), which engine, under which nemesis, with which
+// seed.
+type RunConfig struct {
+	Protocol string `json:"protocol"`
+	Impl     string `json:"impl"`
+	Engine   string `json:"engine"`
+	Nemesis  string `json:"nemesis"`
+	Seed     uint64 `json:"seed"`
+	// Broken swaps in the deliberately unsafe Paxos acceptor (forgets its
+	// promises) to prove the checker has teeth. Paxos + msgr only.
+	Broken bool `json:"broken,omitempty"`
+}
+
+// Cost is the messages-versus-messengers accounting of one run: how much
+// protocol traffic each style of distribution put on the wire.
+type Cost struct {
+	// Hops is the unit of agent mobility: remote Messenger hops for the
+	// msgr impl, task-to-task sends for the PVM impl.
+	Hops int64 `json:"hops"`
+	// Bytes is the payload volume of those units (serialized Messenger
+	// state vs packed PVM buffers).
+	Bytes int64 `json:"bytes"`
+	// NetMsgs / NetBytes are total transport frames and bytes, including
+	// the reliability layer's acks and retransmissions — the price of
+	// at-least-once delivery under each style.
+	NetMsgs  int64 `json:"net_msgs"`
+	NetBytes int64 `json:"net_bytes"`
+}
+
+// Result is the outcome of one checked run.
+type Result struct {
+	Config     RunConfig   `json:"config"`
+	Decided    bool        `json:"decided"`
+	Expected   bool        `json:"expected_decision"`
+	Violations []Violation `json:"violations,omitempty"`
+	Events     int         `json:"events"`
+	Rounds     int64       `json:"rounds"`
+	Cost       Cost        `json:"cost"`
+	Err        string      `json:"err,omitempty"`
+}
+
+// Failed reports whether the run violates the suite's acceptance criteria:
+// any safety violation, a missed decision the nemesis cannot excuse, or a
+// runner error.
+func (r Result) Failed() bool {
+	return len(r.Violations) > 0 || (r.Expected && !r.Decided) || r.Err != ""
+}
+
+// daemonCount returns the cluster size each protocol's network spans.
+func daemonCount(protocol string) (int, error) {
+	switch protocol {
+	case ProtoPaxos:
+		return paxosProposers + paxosAcceptors, nil
+	case ProtoTPC:
+		return 1 + tpcParticipants, nil
+	case ProtoTerm:
+		return 1 + termWorkers, nil
+	default:
+		return 0, fmt.Errorf("protocols: unknown protocol %q", protocol)
+	}
+}
+
+// checkerFor returns the safety checker for a protocol.
+func checkerFor(protocol string) (Checker, error) {
+	switch protocol {
+	case ProtoPaxos:
+		return PaxosChecker{}, nil
+	case ProtoTPC:
+		return TPCChecker{Participants: tpcParticipants}, nil
+	case ProtoTerm:
+		return TermChecker{}, nil
+	default:
+		return nil, fmt.Errorf("protocols: unknown protocol %q", protocol)
+	}
+}
+
+// expectDecision reports whether the (protocol, nemesis) pair must reach a
+// decision. Everything must decide except 2PC under a coordinator crash:
+// losing the coordinator between vote collection and decision delivery is
+// 2PC's classic blocking window, and blocking there is the *correct*
+// behavior (docs/PROTOCOLS.md).
+func expectDecision(protocol, nemesis string) bool {
+	return !(protocol == ProtoTPC && nemesis == NemesisLeaderCrash)
+}
+
+// Run executes one configured run, checks its event trace, and accounts
+// its wire costs. Safety violations are reported in the Result (and on the
+// proto.violations counter), not as an error; err is reserved for harness
+// and runtime failures.
+func Run(cfg RunConfig) (Result, error) {
+	res := Result{Config: cfg, Expected: expectDecision(cfg.Protocol, cfg.Nemesis)}
+	daemons, err := daemonCount(cfg.Protocol)
+	if err != nil {
+		return res, err
+	}
+	checker, err := checkerFor(cfg.Protocol)
+	if err != nil {
+		return res, err
+	}
+	if cfg.Broken && (cfg.Protocol != ProtoPaxos || cfg.Impl != ImplMessengers) {
+		return res, fmt.Errorf("protocols: broken variant exists only for paxos/msgr")
+	}
+	plan, err := NemesisPlan(cfg.Nemesis, cfg.Seed, daemons, cfg.Engine)
+	if err != nil {
+		return res, err
+	}
+	m := obs.NewMetrics()
+	rec := NewRecorder(m)
+	if err := dispatch(cfg, plan, rec, m); err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	evs := rec.Events()
+	res.Events = len(evs)
+	res.Rounds = m.CounterValue("proto.rounds")
+	res.Violations = checker.Check(evs)
+	m.Counter("proto.violations").Add(int64(len(res.Violations)))
+	for _, e := range evs {
+		if e.Kind == EvDecide || e.Kind == EvDetect {
+			res.Decided = true
+			break
+		}
+	}
+	res.Cost = readCost(cfg.Impl, m)
+	return res, nil
+}
+
+func dispatch(cfg RunConfig, plan *faults.Plan, rec *Recorder, m *obs.Metrics) error {
+	switch cfg.Impl {
+	case ImplMessengers:
+		switch cfg.Protocol {
+		case ProtoPaxos:
+			return runPaxosMessengers(cfg.Engine, plan, rec, m, cfg.Broken)
+		case ProtoTPC:
+			return runTPCMessengers(cfg.Engine, cfg.Seed, plan, rec, m)
+		case ProtoTerm:
+			return runTermMessengers(cfg.Engine, cfg.Seed, plan, rec, m)
+		}
+	case ImplPVM:
+		switch cfg.Protocol {
+		case ProtoPaxos:
+			return runPaxosPVM(cfg.Engine, cfg.Seed, plan, rec, m)
+		case ProtoTPC:
+			return runTPCPVM(cfg.Engine, cfg.Seed, plan, rec, m)
+		case ProtoTerm:
+			return runTermPVM(cfg.Engine, cfg.Seed, plan, rec, m)
+		}
+	}
+	return fmt.Errorf("protocols: unknown run %s/%s", cfg.Protocol, cfg.Impl)
+}
+
+// SweepConfig enumerates a chaos search: the cross product of protocols ×
+// implementations × nemeses × seeds, all on one engine.
+type SweepConfig struct {
+	Engine    string
+	Protocols []string
+	Impls     []string
+	Nemeses   []string
+	Seeds     []uint64
+	// Workers bounds concurrent runs; 0 means GOMAXPROCS. Each run is its
+	// own kernel/machine, so runs are independent.
+	Workers int
+}
+
+// Sweep executes every configured run and returns the results in
+// deterministic enumeration order (protocol, impl, nemesis, seed).
+func Sweep(sc SweepConfig) ([]Result, error) {
+	var cfgs []RunConfig
+	for _, proto := range sc.Protocols {
+		for _, impl := range sc.Impls {
+			for _, nem := range sc.Nemeses {
+				for _, seed := range sc.Seeds {
+					cfgs = append(cfgs, RunConfig{
+						Protocol: proto, Impl: impl, Engine: sc.Engine,
+						Nemesis: nem, Seed: seed,
+					})
+				}
+			}
+		}
+	}
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg RunConfig) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// readCost pulls the wire accounting for one implementation style out of
+// the run's metrics registry.
+func readCost(impl string, m *obs.Metrics) Cost {
+	if impl == ImplPVM {
+		// pvm.sends counts every wire message, including the app-level
+		// reliability layer's acks and retransmissions; the proto.pvm.*
+		// counters isolate the logical protocol messages.
+		return Cost{
+			Hops:     m.CounterValue("proto.pvm.msgs"),
+			Bytes:    m.CounterValue("proto.pvm.msg.bytes"),
+			NetMsgs:  m.CounterValue("pvm.sends"),
+			NetBytes: m.CounterValue("pvm.send.bytes"),
+		}
+	}
+	return Cost{
+		Hops:     m.CounterValue("msgr.hops.remote"),
+		Bytes:    m.Histogram("net.msgr.bytes").Sum(),
+		NetMsgs:  m.CounterValue("net.msgs"),
+		NetBytes: m.CounterValue("net.bytes"),
+	}
+}

@@ -1,0 +1,78 @@
+package protocols
+
+import (
+	"testing"
+
+	"messengers/internal/obs"
+)
+
+// Clean-run (no nemesis) smoke tests for the three Messenger protocol
+// implementations on the sim engine: each must reach its decision and the
+// matching checker must report zero violations.
+
+func TestPaxosMessengersClean(t *testing.T) {
+	m := obs.NewMetrics()
+	rec := NewRecorder(m)
+	if err := runPaxosMessengers(EngineSim, nil, rec, m, false); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+	decided := false
+	for _, e := range evs {
+		if e.Kind == EvDecide {
+			decided = true
+		}
+	}
+	if !decided {
+		t.Fatalf("no decision reached; events: %+v", evs)
+	}
+	if vs := (PaxosChecker{}).Check(evs); len(vs) != 0 {
+		t.Fatalf("violations on clean run: %+v", vs)
+	}
+}
+
+func TestTPCMessengersClean(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		m := obs.NewMetrics()
+		rec := NewRecorder(m)
+		if err := runTPCMessengers(EngineSim, seed, nil, rec, m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		evs := rec.Events()
+		decided := false
+		for _, e := range evs {
+			if e.Kind == EvDecide {
+				decided = true
+			}
+		}
+		if !decided {
+			t.Fatalf("seed %d: no decision; events: %+v", seed, evs)
+		}
+		if vs := (TPCChecker{Participants: tpcParticipants}).Check(evs); len(vs) != 0 {
+			t.Fatalf("seed %d: violations on clean run: %+v", seed, vs)
+		}
+	}
+}
+
+func TestTermMessengersClean(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		m := obs.NewMetrics()
+		rec := NewRecorder(m)
+		if err := runTermMessengers(EngineSim, seed, nil, rec, m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		evs := rec.Events()
+		detected := false
+		for _, e := range evs {
+			if e.Kind == EvDetect {
+				detected = true
+			}
+		}
+		if !detected {
+			t.Fatalf("seed %d: no termination detected; events: %+v", seed, evs)
+		}
+		if vs := (TermChecker{}).Check(evs); len(vs) != 0 {
+			t.Fatalf("seed %d: violations on clean run: %+v", seed, vs)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package protocols
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	messengers "messengers"
+	"messengers/internal/core"
+	"messengers/internal/faults"
+	"messengers/internal/obs"
+	"messengers/internal/value"
+)
+
+// Single-decree Paxos as Messengers (SNIPPETS.md snippet 1's
+// proposer/acceptor structure, carried by self-migrating computations).
+//
+// Layout: daemon 0 and 1 each host a proposer node (prop0, prop1); daemons
+// 2..4 host the acceptor nodes (acc0..acc2), each linked to every proposer
+// node by a link named "acc". A proposer driver Messenger loops ballots:
+// each round it injects a round Messenger that replicates to ALL acceptors
+// with one hop (phase 1), returns along $last, counts promises at the
+// proposer node (node variables are the lock-free rendezvous — the count
+// is a critical section between hops), and the quorum-completing replica
+// alone replicates again for phase 2. Acceptor state (promised, accepted
+// ballot/value) lives in acceptor node variables; nemesis plans therefore
+// never crash acceptor daemons — node variables are the protocol's stable
+// storage (docs/PROTOCOLS.md).
+//
+// The driver paces rounds with sched_dlt(1): conservative GVT cannot pass
+// a round's virtual time while any of its Messengers is alive, so rounds
+// are globally serialized — the paper's virtual-time machinery doubling as
+// Paxos round pacing.
+
+const paxosProposers = 2
+const paxosAcceptors = 3
+const paxosQuorum = 2
+const paxosMaxRounds = 8
+
+const paxosDriverScript = `
+r = 0;
+while (r < maxr) {
+	if (node.decided != nil) { end; }
+	b = r * nprop + pid + 1;
+	px_round(pid, b);
+	inject("paxos_round", $node, "ballot", b, "val", val, "quorum", quorum, "pid", pid);
+	sched_dlt(1);
+	r = r + 1;
+}
+`
+
+const paxosRoundScript = `
+node.cur = ballot;
+node.p1 = 0;
+node.p2 = 0;
+node.b1 = nil;
+node.v1 = nil;
+hop(ll = "acc");
+// Phase 1 at an acceptor: promise iff the ballot beats every promise so
+// far. The promise and the read of the accepted pair form one critical
+// section (no hop or native between them).
+ok = 0;
+if (node.promised == nil || ballot > node.promised) {
+	node.promised = ballot;
+	ok = 1;
+}
+ab = node.aballot;
+av = node.aval;
+if (ok == 1) { px_prom(ballot); }
+hop(ll = $last);
+// Back at the proposer node: count promises; only the replica completing
+// the quorum proceeds to phase 2, adopting the highest accepted value.
+if (node.cur != ballot) { end; }
+if (ok == 0) { end; }
+node.p1 = node.p1 + 1;
+if (ab != nil && (node.b1 == nil || ab > node.b1)) {
+	node.b1 = ab;
+	node.v1 = av;
+}
+took = node.p1;
+if (took != quorum) { end; }
+v = val;
+if (node.v1 != nil) { v = node.v1; }
+hop(ll = "acc");
+// Phase 2 at an acceptor: accept unless a higher ballot was promised.
+ok = 0;
+if (node.promised == nil || ballot >= node.promised) {
+	node.promised = ballot;
+	node.aballot = ballot;
+	node.aval = v;
+	ok = 1;
+}
+if (ok == 1) { px_acc(ballot, v); }
+hop(ll = $last);
+if (node.cur != ballot) { end; }
+if (ok == 0) { end; }
+node.p2 = node.p2 + 1;
+took = node.p2;
+if (took != quorum) { end; }
+if (node.decided == nil) {
+	node.decided = v;
+	px_dec(pid, ballot, v);
+}
+`
+
+// paxosBrokenRoundScript is the deliberately broken variant: the acceptor
+// "forgets" its promises — phase 2 accepts unconditionally, ignoring
+// node.promised. Under dueling proposers this violates ballot monotonicity
+// (and, given the right interleaving, agreement); the checker must catch
+// it (TestBrokenPaxosCaught).
+const paxosBrokenRoundScript = `
+node.cur = ballot;
+node.p1 = 0;
+node.p2 = 0;
+node.b1 = nil;
+node.v1 = nil;
+hop(ll = "acc");
+ok = 0;
+if (node.promised == nil || ballot > node.promised) {
+	node.promised = ballot;
+	ok = 1;
+}
+ab = node.aballot;
+av = node.aval;
+if (ok == 1) { px_prom(ballot); }
+hop(ll = $last);
+if (node.cur != ballot) { end; }
+if (ok == 0) { end; }
+node.p1 = node.p1 + 1;
+if (ab != nil && (node.b1 == nil || ab > node.b1)) {
+	node.b1 = ab;
+	node.v1 = av;
+}
+took = node.p1;
+if (took != quorum) { end; }
+v = val;
+if (node.v1 != nil) { v = node.v1; }
+hop(ll = "acc");
+// BROKEN: accepts without consulting node.promised.
+node.aballot = ballot;
+node.aval = v;
+px_acc(ballot, v);
+ok = 1;
+hop(ll = $last);
+if (node.cur != ballot) { end; }
+node.p2 = node.p2 + 1;
+took = node.p2;
+if (took != quorum) { end; }
+if (node.decided == nil) {
+	node.decided = v;
+	px_dec(pid, ballot, v);
+}
+`
+
+// paxosNet builds the proposer/acceptor logical network.
+func paxosNet() core.NetSpec {
+	var spec core.NetSpec
+	for p := 0; p < paxosProposers; p++ {
+		spec.Nodes = append(spec.Nodes, core.NetNode{Name: fmt.Sprintf("prop%d", p), Daemon: p})
+	}
+	for a := 0; a < paxosAcceptors; a++ {
+		spec.Nodes = append(spec.Nodes, core.NetNode{Name: fmt.Sprintf("acc%d", a), Daemon: paxosProposers + a})
+	}
+	for p := 0; p < paxosProposers; p++ {
+		for a := 0; a < paxosAcceptors; a++ {
+			spec.Links = append(spec.Links, core.NetLink{
+				A: fmt.Sprintf("prop%d", p), B: fmt.Sprintf("acc%d", a), Name: "acc",
+			})
+		}
+	}
+	return spec
+}
+
+// roleIndex parses the trailing integer of a role node name ("acc2" -> 2).
+func roleIndex(name string) int {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	n, err := strconv.Atoi(name[i:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// registerPaxosNatives wires the event-recording natives. Acceptor-side
+// events derive their role index from the node name; proposer-side events
+// carry the proposer id explicitly.
+func registerPaxosNatives(sys *messengers.System, rec *Recorder) {
+	sys.RegisterNative("px_round", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvRound, int(args[0].AsInt()), args[1].AsInt(), "")
+		return value.Nil(), nil
+	})
+	sys.RegisterNative("px_prom", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvPromise, roleIndex(ctx.NodeName()), args[0].AsInt(), "")
+		return value.Nil(), nil
+	})
+	sys.RegisterNative("px_acc", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvAccept, roleIndex(ctx.NodeName()), args[0].AsInt(), args[1].AsStr())
+		return value.Nil(), nil
+	})
+	sys.RegisterNative("px_dec", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvDecide, int(args[0].AsInt()), args[1].AsInt(), args[2].AsStr())
+		return value.Nil(), nil
+	})
+}
+
+// runPaxosMessengers executes one seeded Paxos run on the Messenger
+// implementation. broken substitutes the promise-forgetting acceptor.
+func runPaxosMessengers(engine string, plan *faults.Plan, rec *Recorder, m *obs.Metrics, broken bool) error {
+	sys, err := newMsgrSystem(engine, paxosProposers+paxosAcceptors, plan, m)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	registerPaxosNatives(sys, rec)
+	round := paxosRoundScript
+	if broken {
+		round = paxosBrokenRoundScript
+	}
+	if err := sys.CompileAndRegister("paxos_round", round); err != nil {
+		return err
+	}
+	if err := sys.CompileAndRegister("paxos_prop", paxosDriverScript); err != nil {
+		return err
+	}
+	if err := sys.BuildNetwork(paxosNet()); err != nil {
+		return err
+	}
+	for p := 0; p < paxosProposers; p++ {
+		err := sys.InjectAt(p, "paxos_prop", fmt.Sprintf("prop%d", p), map[string]value.Value{
+			"pid":    value.Int(int64(p)),
+			"nprop":  value.Int(paxosProposers),
+			"val":    value.Str(fmt.Sprintf("v%d", p)),
+			"quorum": value.Int(paxosQuorum),
+			"maxr":   value.Int(paxosMaxRounds),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return runMsgrSystem(sys)
+}
+
+// msgrErrorsFatal filters a system's recorded errors down to the ones a
+// chaos run must not produce. Injection races with scheduled crashes are
+// expected noise; anything else is surfaced.
+func msgrErrorsFatal(errs []error) error {
+	for _, e := range errs {
+		msg := e.Error()
+		if strings.Contains(msg, "crashed") || strings.Contains(msg, "dead") ||
+			strings.Contains(msg, "down") {
+			continue
+		}
+		return fmt.Errorf("protocols: unexpected system error: %w", e)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package protocols
+
+import (
+	"fmt"
+
+	"messengers/internal/faults"
+	"messengers/internal/obs"
+	"messengers/internal/pvm"
+)
+
+// Single-decree Paxos as stationary PVM tasks — the message-passing
+// baseline for paxos_msgr.go. Same role layout (proposer tasks on hosts 0
+// and 1, acceptor tasks on hosts 2..4), same ballot schedule, same safety
+// obligations; but where the Messenger version rendezvouses through node
+// variables and rides the runtime's recovery layer, the tasks here keep
+// protocol state in task-local variables and speak request/response over
+// the hand-rolled reliable transport (rt).
+//
+// Message kinds (first payload word):
+const (
+	pxPrepare  = 1 // [kind, ballot]
+	pxPromise  = 2 // [kind, ballot, ok, hasAccepted, aballot, aval]
+	pxAccept   = 3 // [kind, ballot, val]
+	pxAccepted = 4 // [kind, ballot, ok]
+	pxDone     = 5 // [kind]
+)
+
+func paxosValStr(v int64) string { return fmt.Sprintf("v%d", v) }
+
+func paxosPVMAcceptor(idx int, env *pvmEnv) func(p *pvm.Proc, r *rt) {
+	return func(p *pvm.Proc, r *rt) {
+		var promised, aballot, aval int64 // 0 = none: ballots start at 1
+		hasAccepted := int64(0)
+		done := map[pvm.TID]bool{}
+		budget := env.budget()
+		for len(done) < paxosProposers {
+			msg := r.recv(&budget)
+			if msg == nil {
+				break // proposer crashed without a done; budget is the backstop
+			}
+			switch msg.Vals[0] {
+			case pxPrepare:
+				b := msg.Vals[1]
+				ok := int64(0)
+				if b > promised {
+					promised = b
+					ok = 1
+					env.rec.Record(EvPromise, idx, b, "")
+				}
+				r.send(msg.Src, pxPromise, b, ok, hasAccepted, aballot, aval)
+			case pxAccept:
+				b, v := msg.Vals[1], msg.Vals[2]
+				ok := int64(0)
+				if b >= promised {
+					promised, aballot, aval, hasAccepted = b, b, v, 1
+					ok = 1
+					env.rec.Record(EvAccept, idx, b, paxosValStr(v))
+				}
+				r.send(msg.Src, pxAccepted, b, ok)
+			case pxDone:
+				done[msg.Src] = true
+			}
+		}
+		r.flush(&budget)
+	}
+}
+
+func paxosPVMProposer(pid int, acceptors []pvm.TID, env *pvmEnv) func(p *pvm.Proc, r *rt) {
+	return func(p *pvm.Proc, r *rt) {
+		budget := env.budget()
+		decided := false
+		for round := 0; round < paxosMaxRounds && !decided; round++ {
+			b := int64(round*paxosProposers + pid + 1)
+			env.rec.Record(EvRound, pid, b, "")
+			for _, a := range acceptors {
+				r.send(a, pxPrepare, b)
+			}
+			// Phase 1: collect promises for this ballot until quorum or the
+			// round's share of the budget runs out.
+			roundBudget := min(budget, budget/(paxosMaxRounds-round)+1)
+			budget -= roundBudget
+			promises, bestB, bestV := 0, int64(0), int64(pid)
+			for promises < paxosQuorum {
+				msg := r.recv(&roundBudget)
+				if msg == nil {
+					break
+				}
+				if msg.Vals[0] != pxPromise || msg.Vals[1] != b {
+					continue // stale round traffic
+				}
+				if msg.Vals[2] == 0 {
+					continue // rejection: a higher ballot got there first
+				}
+				promises++
+				if msg.Vals[3] == 1 && msg.Vals[4] > bestB {
+					bestB, bestV = msg.Vals[4], msg.Vals[5]
+				}
+			}
+			if promises < paxosQuorum {
+				budget += roundBudget
+				continue
+			}
+			// Phase 2: the highest accepted value wins, else our own.
+			for _, a := range acceptors {
+				r.send(a, pxAccept, b, bestV)
+			}
+			accepts := 0
+			for accepts < paxosQuorum {
+				msg := r.recv(&roundBudget)
+				if msg == nil {
+					break
+				}
+				if msg.Vals[0] != pxAccepted || msg.Vals[1] != b {
+					continue
+				}
+				if msg.Vals[2] == 0 {
+					continue
+				}
+				accepts++
+			}
+			budget += roundBudget
+			if accepts >= paxosQuorum {
+				env.rec.Record(EvDecide, pid, b, paxosValStr(bestV))
+				decided = true
+			}
+		}
+		for _, a := range acceptors {
+			r.send(a, pxDone)
+		}
+		r.flush(&budget)
+	}
+}
+
+// runPaxosPVM executes one seeded Paxos run on the PVM baseline. The seed
+// only varies the fault plan — the ballot schedule itself is fixed, as in
+// the Messenger version.
+func runPaxosPVM(engine string, seed uint64, plan *faults.Plan, rec *Recorder, m *obs.Metrics) error {
+	env, err := newPVMEnv(engine, paxosProposers+paxosAcceptors, plan, rec, m)
+	if err != nil {
+		return err
+	}
+	acceptors := make([]pvm.TID, paxosAcceptors)
+	for a := 0; a < paxosAcceptors; a++ {
+		acceptors[a] = env.spawn(fmt.Sprintf("acc%d", a), paxosProposers+a, paxosPVMAcceptor(a, env))
+	}
+	var leader pvm.TID
+	for p := 0; p < paxosProposers; p++ {
+		tid := env.spawn(fmt.Sprintf("prop%d", p), p, paxosPVMProposer(p, acceptors, env))
+		if p == 0 {
+			leader = tid
+		}
+	}
+	schedulePlanKills(env, plan, leader)
+	return env.run()
+}
+
+// schedulePlanKills renders the plan's daemon-0 crashes onto the leader
+// task. Partitions, drops, and storms flow through the injector; crashes
+// are the one fault with no wire representation.
+func schedulePlanKills(env *pvmEnv, plan *faults.Plan, leader pvm.TID) {
+	if plan == nil {
+		return
+	}
+	for _, c := range plan.Crashes {
+		if c.Daemon == 0 {
+			env.scheduleKill(leader, c.At)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+// Package protocols implements three classic coordination protocols —
+// single-decree Paxos, two-phase commit, and ring-based termination
+// detection — twice each: as MSL Messenger programs (compiled, verified,
+// and run on the real VM, with the runtime's recovery layer supplying
+// at-least-once hop delivery) and as PVM-style message-passing baselines
+// (which must carry their own retransmission and deduplication, as a 1997
+// PVM application would). This is the paper's messages-versus-messengers
+// comparison extended from data-parallel compute to coordination traffic.
+//
+// Each protocol emits a committed trace of Events through a Recorder;
+// Checkers assert the machine-checkable safety properties over that trace
+// (Paxos: agreement + ballot monotonicity; 2PC: no mixed commit/abort,
+// decisions match votes; termination: no false positives, announced totals
+// consistent). The harness (Run/Sweep) executes seed × fault-plan × engine
+// matrices from internal/faults' nemesis catalog; cmd/mproto drives the
+// full chaos acceptance sweep and writes BENCH_protocols.json.
+//
+// See docs/PROTOCOLS.md for the protocol designs and their assumptions
+// (notably: acceptor and participant state is treated as stable storage,
+// so nemesis plans crash leaders, never acceptors).
+package protocols
+
+import (
+	"fmt"
+	"sync"
+
+	"messengers/internal/obs"
+)
+
+// Event kinds. One flat namespace across the three protocols keeps the
+// Recorder and the violation reports uniform.
+const (
+	// EvRound marks a protocol round/pass start (Paxos ballot launched,
+	// 2PC prepare, termination-detector lap).
+	EvRound = "round"
+	// EvPromise is a Paxos acceptor promising a ballot.
+	EvPromise = "promise"
+	// EvAccept is a Paxos acceptor accepting (ballot, value).
+	EvAccept = "accept"
+	// EvDecide is a decision: Paxos proposer learning a chosen value, or
+	// the 2PC coordinator fixing commit/abort.
+	EvDecide = "decide"
+	// EvVote is a 2PC participant's vote ("1" commit / "0" abort).
+	EvVote = "vote"
+	// EvApply is a 2PC participant applying the coordinator's decision.
+	EvApply = "apply"
+	// EvSend / EvRecv are termination-detection base-computation activity.
+	EvSend = "send"
+	EvRecv = "recv"
+	// EvDetect is the termination detector announcing quiescence; Ballot
+	// carries the announced total message count.
+	EvDetect = "detect"
+)
+
+// Event is one committed protocol observation. Seq is assigned by the
+// Recorder in commit order — on the deterministic sim engine this order is
+// reproducible; on real engines it respects the happens-before edges the
+// protocol itself creates (an acceptor records its accept before replying,
+// so a decide's supporting accepts always precede it).
+type Event struct {
+	Seq    int64  `json:"seq"`
+	Kind   string `json:"kind"`
+	Who    int    `json:"who"` // role index: acceptor/participant/node id
+	Ballot int64  `json:"ballot,omitempty"`
+	Val    string `json:"val,omitempty"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s who=%d b=%d v=%q", e.Seq, e.Kind, e.Who, e.Ballot, e.Val)
+}
+
+// Recorder collects a run's events. Safe for concurrent use: the real
+// engines commit events from daemon executors and PVM task goroutines.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int64
+
+	rounds, decisions *obs.Counter
+}
+
+// NewRecorder builds a recorder instrumented on the given registry (which
+// may be nil): proto.rounds counts protocol rounds/passes launched and
+// proto.decisions counts decide/detect events.
+func NewRecorder(m *obs.Metrics) *Recorder {
+	return &Recorder{
+		rounds:    m.Counter("proto.rounds"),
+		decisions: m.Counter("proto.decisions"),
+	}
+}
+
+// Record commits one event and returns it with its sequence number.
+func (r *Recorder) Record(kind string, who int, ballot int64, val string) Event {
+	r.mu.Lock()
+	r.seq++
+	ev := Event{Seq: r.seq, Kind: kind, Who: who, Ballot: ballot, Val: val}
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+	switch kind {
+	case EvRound:
+		r.rounds.Inc()
+	case EvDecide, EvDetect:
+		r.decisions.Inc()
+	}
+	return ev
+}
+
+// Events returns a snapshot of the committed trace in commit order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}

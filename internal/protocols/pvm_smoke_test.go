@@ -1,0 +1,50 @@
+package protocols
+
+import (
+	"testing"
+)
+
+// Clean-run smoke tests for the PVM baselines through the harness: each
+// protocol must decide and pass its checker, and the cost accounting must
+// see traffic.
+
+func TestPVMCleanRuns(t *testing.T) {
+	for _, proto := range Protocols {
+		for _, seed := range []uint64{1, 2, 3} {
+			res, err := Run(RunConfig{
+				Protocol: proto, Impl: ImplPVM, Engine: EngineSim,
+				Nemesis: NemesisNone, Seed: seed,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", proto, seed, err)
+			}
+			if res.Failed() {
+				t.Fatalf("%s seed %d failed: decided=%v err=%q violations=%+v",
+					proto, seed, res.Decided, res.Err, res.Violations)
+			}
+			if res.Cost.Hops == 0 || res.Cost.NetMsgs == 0 {
+				t.Errorf("%s seed %d: empty cost accounting: %+v", proto, seed, res.Cost)
+			}
+		}
+	}
+}
+
+// The Messenger implementations through the same harness path.
+func TestMsgrCleanRuns(t *testing.T) {
+	for _, proto := range Protocols {
+		res, err := Run(RunConfig{
+			Protocol: proto, Impl: ImplMessengers, Engine: EngineSim,
+			Nemesis: NemesisNone, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if res.Failed() {
+			t.Fatalf("%s failed: decided=%v err=%q violations=%+v",
+				proto, res.Decided, res.Err, res.Violations)
+		}
+		if res.Cost.Hops == 0 || res.Cost.NetMsgs == 0 {
+			t.Errorf("%s: empty cost accounting: %+v", proto, res.Cost)
+		}
+	}
+}

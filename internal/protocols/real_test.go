@@ -1,0 +1,34 @@
+package protocols
+
+import (
+	"testing"
+)
+
+// Real-engine smoke: each protocol once per implementation on the real
+// runtime (TCP daemons for Messengers, goroutine tasks for PVM), clean and
+// under the drop nemesis. Wall-clock bound, so skipped in -short.
+
+func TestRealEngineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine runs take wall-clock time")
+	}
+	cases := []RunConfig{
+		{Protocol: ProtoPaxos, Impl: ImplMessengers, Engine: EngineReal, Nemesis: NemesisNone, Seed: 1},
+		{Protocol: ProtoTPC, Impl: ImplMessengers, Engine: EngineReal, Nemesis: NemesisDrop, Seed: 2},
+		{Protocol: ProtoTerm, Impl: ImplMessengers, Engine: EngineReal, Nemesis: NemesisNone, Seed: 3},
+		{Protocol: ProtoPaxos, Impl: ImplPVM, Engine: EngineReal, Nemesis: NemesisDrop, Seed: 1},
+		{Protocol: ProtoTPC, Impl: ImplPVM, Engine: EngineReal, Nemesis: NemesisNone, Seed: 2},
+		{Protocol: ProtoTerm, Impl: ImplPVM, Engine: EngineReal, Nemesis: NemesisDrop, Seed: 3},
+	}
+	for _, cfg := range cases {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s/%s: %v", cfg.Protocol, cfg.Impl, cfg.Nemesis, err)
+		}
+		if res.Failed() {
+			t.Errorf("%s/%s/%s seed %d: decided=%v (expected %v) err=%q violations=%+v",
+				cfg.Protocol, cfg.Impl, cfg.Nemesis, cfg.Seed,
+				res.Decided, res.Expected, res.Err, res.Violations)
+		}
+	}
+}

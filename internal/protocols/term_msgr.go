@@ -1,0 +1,150 @@
+package protocols
+
+import (
+	"fmt"
+
+	messengers "messengers"
+	"messengers/internal/core"
+	"messengers/internal/faults"
+	"messengers/internal/obs"
+	"messengers/internal/value"
+)
+
+// Distributed termination detection as Messengers (SNIPPETS.md snippet 2's
+// TLA model, executable): worker nodes w1..wN form a directed ring across
+// daemons 1..N; base-computation Messengers circulate the ring bumping
+// per-node sent/received counters, and a detector Messenger laps the same
+// ring summing them — Mattern's four-counter scheme: quiescence is declared
+// only when two consecutive laps read the same balanced totals
+// (S == R == S' == R'), which is safe because the counters are monotone
+// and the detector's laps are sequential.
+//
+// Daemon 0 hosts no ring state: it is the coordination leader (GVT pacer),
+// and the leader-crash nemesis targets it — protocol state must survive a
+// coordination-layer crash untouched. Worker daemons are never crashed:
+// node counters are the algorithm's stable storage, the same assumption
+// the TLA model makes.
+
+const termWorkers = 4
+
+const termBaseScript = `
+while (ttl > 0) {
+	node.sent = node.sent + 1;
+	tm_send();
+	hop(ll = "ring", ldir = +);
+	node.recv = node.recv + 1;
+	tm_recv();
+	ttl = ttl - 1;
+}
+`
+
+const termDetectScript = `
+lasts = -1;
+lastr = -1;
+while (1) {
+	s = 0;
+	r = 0;
+	i = 0;
+	while (i < n) {
+		s = s + node.sent;
+		r = r + node.recv;
+		hop(ll = "ring", ldir = +);
+		i = i + 1;
+	}
+	tm_pass(s, r);
+	if (s > 0 && s == r && s == lasts && r == lastr) {
+		tm_detect(s);
+		end;
+	}
+	lasts = s;
+	lastr = r;
+}
+`
+
+func termNet() core.NetSpec {
+	var spec core.NetSpec
+	for w := 1; w <= termWorkers; w++ {
+		spec.Nodes = append(spec.Nodes, core.NetNode{Name: fmt.Sprintf("w%d", w), Daemon: w})
+	}
+	for w := 1; w <= termWorkers; w++ {
+		next := w%termWorkers + 1
+		spec.Links = append(spec.Links, core.NetLink{
+			A: fmt.Sprintf("w%d", w), B: fmt.Sprintf("w%d", next), Name: "ring", Dir: 1,
+		})
+	}
+	return spec
+}
+
+// termLoad derives the seed's base workload: which workers start a
+// circulating Messenger and for how many hops. Shared by both
+// implementations so a seed's computation is comparable across them.
+func termLoad(seed uint64) []struct{ Start, TTL int } {
+	z := seed
+	next := func(mod int) int {
+		z += 0x9e3779b97f4a7c15
+		m := z
+		m = (m ^ (m >> 30)) * 0xbf58476d1ce4e5b9
+		m = (m ^ (m >> 27)) * 0x94d049bb133111eb
+		m ^= m >> 31
+		return int(m % uint64(mod))
+	}
+	n := 2 + next(3) // 2..4 circulating Messengers
+	out := make([]struct{ Start, TTL int }, n)
+	for i := range out {
+		out[i].Start = 1 + next(termWorkers)
+		out[i].TTL = 2 + next(5) // 2..6 hops each
+	}
+	return out
+}
+
+func registerTermNatives(sys *messengers.System, rec *Recorder) {
+	sys.RegisterNative("tm_send", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvSend, roleIndex(ctx.NodeName()), 0, "")
+		return value.Nil(), nil
+	})
+	sys.RegisterNative("tm_recv", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvRecv, roleIndex(ctx.NodeName()), 0, "")
+		return value.Nil(), nil
+	})
+	sys.RegisterNative("tm_pass", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvRound, roleIndex(ctx.NodeName()), args[0].AsInt(), "")
+		return value.Nil(), nil
+	})
+	sys.RegisterNative("tm_detect", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvDetect, roleIndex(ctx.NodeName()), args[0].AsInt(), "")
+		return value.Nil(), nil
+	})
+}
+
+func runTermMessengers(engine string, seed uint64, plan *faults.Plan, rec *Recorder, m *obs.Metrics) error {
+	sys, err := newMsgrSystem(engine, 1+termWorkers, plan, m)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	registerTermNatives(sys, rec)
+	if err := sys.CompileAndRegister("term_base", termBaseScript); err != nil {
+		return err
+	}
+	if err := sys.CompileAndRegister("term_detect", termDetectScript); err != nil {
+		return err
+	}
+	if err := sys.BuildNetwork(termNet()); err != nil {
+		return err
+	}
+	for _, ld := range termLoad(seed) {
+		err := sys.InjectAt(ld.Start, "term_base", fmt.Sprintf("w%d", ld.Start), map[string]value.Value{
+			"ttl": value.Int(int64(ld.TTL)),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	err = sys.InjectAt(1, "term_detect", "w1", map[string]value.Value{
+		"n": value.Int(termWorkers),
+	})
+	if err != nil {
+		return err
+	}
+	return runMsgrSystem(sys)
+}

@@ -1,0 +1,145 @@
+package protocols
+
+import (
+	"fmt"
+
+	"messengers/internal/faults"
+	"messengers/internal/obs"
+	"messengers/internal/pvm"
+)
+
+// Termination detection as stationary PVM tasks — the message-passing
+// baseline for term_msgr.go. Worker tasks on hosts 1..4 pass ttl-counted
+// tokens around a ring; a detector task (co-located with worker 1, like
+// the Messenger detector injected at w1) laps the ring with query/reply
+// probes summing each worker's monotone sent/received counters, declaring
+// termination only after two consecutive identical balanced laps. Host 0
+// carries an idle leader task — the PVM stand-in for the Messenger
+// version's GVT-pacing daemon 0 — so the leader-crash nemesis has the same
+// target with the same (absent) protocol state.
+const (
+	tkToken = 1 // [kind, ttl]
+	tkQuery = 2 // [kind]
+	tkReply = 3 // [kind, sent, recv]
+	tkStop  = 4 // [kind]
+)
+
+func termPVMWorker(idx int, next *pvm.TID, initial []int64, env *pvmEnv) func(p *pvm.Proc, r *rt) {
+	return func(p *pvm.Proc, r *rt) {
+		budget := env.budget()
+		var sent, recv int64
+		for _, ttl := range initial {
+			sent++
+			env.rec.Record(EvSend, idx+1, 0, "")
+			r.send(*next, tkToken, ttl)
+		}
+		for {
+			msg := r.recv(&budget)
+			if msg == nil {
+				break
+			}
+			switch msg.Vals[0] {
+			case tkToken:
+				recv++
+				env.rec.Record(EvRecv, idx+1, 0, "")
+				if ttl := msg.Vals[1] - 1; ttl > 0 {
+					sent++
+					env.rec.Record(EvSend, idx+1, 0, "")
+					r.send(*next, tkToken, ttl)
+				}
+			case tkQuery:
+				r.send(msg.Src, tkReply, sent, recv)
+			case tkStop:
+				r.flush(&budget)
+				return
+			}
+		}
+		r.flush(&budget)
+	}
+}
+
+func termPVMDetector(workers []pvm.TID, leader pvm.TID, env *pvmEnv) func(p *pvm.Proc, r *rt) {
+	return func(p *pvm.Proc, r *rt) {
+		budget := env.budget()
+		lastS, lastR := int64(-1), int64(-1)
+		for budget > 0 {
+			var s, r64 int64
+			complete := true
+			for _, w := range workers {
+				r.send(w, tkQuery)
+				replied := false
+				for !replied {
+					msg := r.recv(&budget)
+					if msg == nil {
+						complete = false
+						break
+					}
+					if msg.Src == w && msg.Vals[0] == tkReply {
+						s += msg.Vals[1]
+						r64 += msg.Vals[2]
+						replied = true
+					}
+				}
+				if !complete {
+					break
+				}
+			}
+			if !complete {
+				break
+			}
+			env.rec.Record(EvRound, 1, s, "")
+			if s > 0 && s == r64 && s == lastS && r64 == lastR {
+				env.rec.Record(EvDetect, 1, s, "")
+				for _, w := range workers {
+					r.send(w, tkStop)
+				}
+				r.send(leader, tkStop)
+				r.flush(&budget)
+				return
+			}
+			lastS, lastR = s, r64
+		}
+		r.flush(&budget)
+	}
+}
+
+// termPVMLeader idles until stopped or killed: it exists to be crashed.
+func termPVMLeader(env *pvmEnv) func(p *pvm.Proc, r *rt) {
+	return func(p *pvm.Proc, r *rt) {
+		budget := env.budget()
+		for {
+			msg := r.recv(&budget)
+			if msg == nil || msg.Vals[0] == tkStop {
+				return
+			}
+		}
+	}
+}
+
+func runTermPVM(engine string, seed uint64, plan *faults.Plan, rec *Recorder, m *obs.Metrics) error {
+	env, err := newPVMEnv(engine, 1+termWorkers, plan, rec, m)
+	if err != nil {
+		return err
+	}
+	// Workers need their successor's TID before any token flows; spawn
+	// first, fill the ring table after (tasks hold off until env.run).
+	load := termLoad(seed)
+	nexts := make([]pvm.TID, termWorkers)
+	workers := make([]pvm.TID, termWorkers)
+	for i := 0; i < termWorkers; i++ {
+		var initial []int64
+		for _, ld := range load {
+			if ld.Start == i+1 {
+				initial = append(initial, int64(ld.TTL))
+			}
+		}
+		workers[i] = env.spawn(fmt.Sprintf("w%d", i+1), 1+i, termPVMWorker(i, &nexts[i], initial, env))
+	}
+	for i := range workers {
+		nexts[i] = workers[(i+1)%termWorkers]
+	}
+	leader := env.spawn("leader", 0, termPVMLeader(env))
+	env.spawn("detector", 1, termPVMDetector(workers, leader, env))
+	schedulePlanKills(env, plan, leader)
+	return env.run()
+}

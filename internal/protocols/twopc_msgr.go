@@ -1,0 +1,123 @@
+package protocols
+
+import (
+	"fmt"
+	"strconv"
+
+	messengers "messengers"
+	"messengers/internal/core"
+	"messengers/internal/faults"
+	"messengers/internal/obs"
+	"messengers/internal/value"
+)
+
+// Two-phase commit as a single Messenger (SNIPPETS.md snippet 3's TLA
+// model, executable): the coordinator Messenger replicates along the "p"
+// links to every participant (prepare), each replica records the
+// participant's vote in a participant node variable (idempotent: a
+// respawned replica re-reads the recorded vote rather than re-rolling it),
+// returns along $last, and the replica completing the vote count fixes the
+// decision at the coordinator node and replicates again to deliver it.
+//
+// The coordinator node's variables are the commit point. A coordinator
+// crash between vote collection and decision delivery loses them — the
+// classic 2PC blocking window — so under the leader-crash nemesis the run
+// may legitimately end with no decision; what may never happen is a mixed
+// or vote-contradicting outcome, which is exactly what TPCChecker asserts.
+
+const tpcParticipants = 3
+
+const tpcScript = `
+node.votes = 0;
+node.acks = 0;
+tp_round();
+hop(ll = "p");
+// Prepare, at a participant: vote once, durably, in a node variable.
+if (node.vote == nil) {
+	node.vote = tp_vote();
+}
+v = node.vote;
+hop(ll = $last);
+// Collect, at the coordinator node (critical section between hops).
+node.votes = node.votes + 1;
+if (v == 0) { node.nack = 1; }
+took = node.votes;
+if (took != nparts) { end; }
+d = 1;
+if (node.nack == 1) { d = 0; }
+node.decision = d;
+tp_dec(d);
+hop(ll = "p");
+// Apply, at a participant. Idempotent: re-applying the same decision
+// after a crash respawn is harmless and the checker tolerates it.
+node.applied = d;
+tp_apply(d);
+hop(ll = $last);
+node.acks = node.acks + 1;
+`
+
+func tpcNet() core.NetSpec {
+	spec := core.NetSpec{Nodes: []core.NetNode{{Name: "coord", Daemon: 0}}}
+	for p := 0; p < tpcParticipants; p++ {
+		spec.Nodes = append(spec.Nodes, core.NetNode{Name: fmt.Sprintf("part%d", p), Daemon: 1 + p})
+		spec.Links = append(spec.Links, core.NetLink{A: "coord", B: fmt.Sprintf("part%d", p), Name: "p"})
+	}
+	return spec
+}
+
+// tpcVote is the deterministic per-seed vote: participant part of a seeded
+// run votes abort with probability 1/4. Both implementations share it so a
+// seed's transaction outcome is comparable across Messenger and PVM runs.
+func tpcVote(seed uint64, part int) int64 {
+	z := seed ^ (uint64(part)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z%4 == 0 {
+		return 0
+	}
+	return 1
+}
+
+func registerTPCNatives(sys *messengers.System, rec *Recorder, seed uint64) {
+	sys.RegisterNative("tp_round", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvRound, 0, 0, "")
+		return value.Nil(), nil
+	})
+	sys.RegisterNative("tp_vote", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		part := roleIndex(ctx.NodeName())
+		v := tpcVote(seed, part)
+		rec.Record(EvVote, part, 0, strconv.FormatInt(v, 10))
+		return value.Int(v), nil
+	})
+	sys.RegisterNative("tp_dec", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvDecide, 0, 0, strconv.FormatInt(args[0].AsInt(), 10))
+		return value.Nil(), nil
+	})
+	sys.RegisterNative("tp_apply", func(ctx *core.NativeCtx, args []value.Value) (value.Value, error) {
+		rec.Record(EvApply, roleIndex(ctx.NodeName()), 0, strconv.FormatInt(args[0].AsInt(), 10))
+		return value.Nil(), nil
+	})
+}
+
+func runTPCMessengers(engine string, seed uint64, plan *faults.Plan, rec *Recorder, m *obs.Metrics) error {
+	sys, err := newMsgrSystem(engine, 1+tpcParticipants, plan, m)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	registerTPCNatives(sys, rec, seed)
+	if err := sys.CompileAndRegister("tpc_run", tpcScript); err != nil {
+		return err
+	}
+	if err := sys.BuildNetwork(tpcNet()); err != nil {
+		return err
+	}
+	err = sys.InjectAt(0, "tpc_run", "coord", map[string]value.Value{
+		"nparts": value.Int(tpcParticipants),
+	})
+	if err != nil {
+		return err
+	}
+	return runMsgrSystem(sys)
+}

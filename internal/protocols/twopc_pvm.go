@@ -1,0 +1,116 @@
+package protocols
+
+import (
+	"fmt"
+	"strconv"
+
+	"messengers/internal/faults"
+	"messengers/internal/obs"
+	"messengers/internal/pvm"
+)
+
+// Two-phase commit as stationary PVM tasks — the message-passing baseline
+// for twopc_msgr.go. Coordinator task on host 0, participant tasks on
+// hosts 1..3; the same seeded vote function decides each participant's
+// vote, so a seed's transaction is comparable across implementations. The
+// coordinator's local variables are the commit point: killing the task in
+// the window between vote collection and decision delivery blocks the
+// participants, 2PC's textbook failure — they time out undecided, which
+// the checker accepts; a mixed decision it would not.
+const (
+	tpPrepare  = 1 // [kind]
+	tpVoteMsg  = 2 // [kind, vote]
+	tpDecision = 3 // [kind, decision]
+	tpAck      = 4 // [kind]
+)
+
+func tpcPVMParticipant(idx int, seed uint64, env *pvmEnv) func(p *pvm.Proc, r *rt) {
+	return func(p *pvm.Proc, r *rt) {
+		budget := env.budget()
+		voted := false
+		for {
+			msg := r.recv(&budget)
+			if msg == nil {
+				break // coordinator crashed: blocked, legitimately undecided
+			}
+			switch msg.Vals[0] {
+			case tpPrepare:
+				if !voted {
+					voted = true
+					v := tpcVote(seed, idx)
+					env.rec.Record(EvVote, idx, 0, strconv.FormatInt(v, 10))
+					r.send(msg.Src, tpVoteMsg, v)
+				}
+			case tpDecision:
+				d := msg.Vals[1]
+				env.rec.Record(EvApply, idx, 0, strconv.FormatInt(d, 10))
+				r.send(msg.Src, tpAck)
+				r.flush(&budget)
+				return
+			}
+		}
+		r.flush(&budget)
+	}
+}
+
+func tpcPVMCoordinator(parts []pvm.TID, env *pvmEnv) func(p *pvm.Proc, r *rt) {
+	return func(p *pvm.Proc, r *rt) {
+		budget := env.budget()
+		env.rec.Record(EvRound, 0, 0, "")
+		for _, pt := range parts {
+			r.send(pt, tpPrepare)
+		}
+		votes, nack := 0, false
+		for votes < len(parts) {
+			msg := r.recv(&budget)
+			if msg == nil {
+				break
+			}
+			if msg.Vals[0] != tpVoteMsg {
+				continue
+			}
+			votes++
+			if msg.Vals[1] == 0 {
+				nack = true
+			}
+		}
+		if votes < len(parts) {
+			// A participant never voted within budget: abort is the only
+			// safe unilateral decision.
+			nack = true
+		}
+		d := int64(1)
+		if nack {
+			d = 0
+		}
+		env.rec.Record(EvDecide, 0, 0, strconv.FormatInt(d, 10))
+		for _, pt := range parts {
+			r.send(pt, tpDecision, d)
+		}
+		acks := 0
+		for acks < len(parts) {
+			msg := r.recv(&budget)
+			if msg == nil {
+				break
+			}
+			if msg.Vals[0] == tpAck {
+				acks++
+			}
+		}
+		r.flush(&budget)
+	}
+}
+
+func runTPCPVM(engine string, seed uint64, plan *faults.Plan, rec *Recorder, m *obs.Metrics) error {
+	env, err := newPVMEnv(engine, 1+tpcParticipants, plan, rec, m)
+	if err != nil {
+		return err
+	}
+	parts := make([]pvm.TID, tpcParticipants)
+	for i := 0; i < tpcParticipants; i++ {
+		parts[i] = env.spawn(fmt.Sprintf("part%d", i), 1+i, tpcPVMParticipant(i, seed, env))
+	}
+	coord := env.spawn("coord", 0, tpcPVMCoordinator(parts, env))
+	schedulePlanKills(env, plan, coord)
+	return env.run()
+}

@@ -290,10 +290,18 @@ func (p *Proc) Exit() { panic(taskKilled{}) }
 
 // Kill terminates another task (pvm_kill). The victim unwinds at its next
 // blocking or packing call.
-func (p *Proc) Kill(victim TID) {
-	p.m.mu.Lock()
-	v, ok := p.m.tasks[victim]
-	p.m.mu.Unlock()
+func (p *Proc) Kill(victim TID) { p.m.Kill(victim) }
+
+// Kill terminates a task from outside any task context — fault injectors
+// and chaos harnesses crash "hosts" by killing their tasks on a schedule.
+// On a simulated machine the call must come from the kernel thread (an
+// event callback); on a real machine any goroutine may call it. The victim
+// unwinds at its next blocking or packing call; killing an unknown or
+// already-exited TID is a no-op, like pvm_kill on a stale task id.
+func (m *Machine) Kill(victim TID) {
+	m.mu.Lock()
+	v, ok := m.tasks[victim]
+	m.mu.Unlock()
 	if !ok {
 		return
 	}

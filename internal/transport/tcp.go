@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"messengers/internal/backoff"
 	"messengers/internal/core"
 	"messengers/internal/lan"
 	"messengers/internal/obs"
@@ -334,8 +335,8 @@ func (e *TCPEngine) writeFrame(src, dst int, frame []byte) {
 
 // conn returns the cached connection src->dst, dialing it if needed. A
 // dedicated connection per ordered pair preserves FIFO delivery. Failed
-// dials back off exponentially (50ms doubling to 2s) per pair; a successful
-// redial after failures counts as a reconnect.
+// dials back off exponentially with per-pair jitter (50ms doubling to 2s);
+// a successful redial after failures counts as a reconnect.
 func (e *TCPEngine) conn(src, dst int) (*peerConn, error) {
 	key := connKey{from: src, to: dst}
 	e.mu.Lock()
@@ -378,11 +379,11 @@ func (e *TCPEngine) conn(src, dst int) (*peerConn, error) {
 	defer e.mu.Unlock()
 	if err != nil {
 		ds.fails++
-		backoff := 50 * time.Millisecond << uint(ds.fails-1)
-		if backoff > 2*time.Second {
-			backoff = 2 * time.Second
-		}
-		ds.notBefore = time.Now().Add(backoff)
+		// Jittered per (pair, attempt): after a partition heals, every
+		// surviving pair would otherwise redial on the same doubling
+		// schedule and collide (see internal/backoff).
+		ds.notBefore = time.Now().Add(
+			backoff.Jittered(50*time.Millisecond, 2*time.Second, ds.fails, backoff.Key(src, dst, ds.fails, 0)))
 		return nil, fmt.Errorf("transport: dial daemon %d: %w", dst, err)
 	}
 	if other, ok := e.conns[key]; ok {
