@@ -27,6 +27,7 @@ var suite = []*analysis.Analyzer{
 	analyzers.ObsNames,
 	analyzers.LockHold,
 	analyzers.VMDispatch,
+	analyzers.KindSwitch,
 }
 
 func main() {

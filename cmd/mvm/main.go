@@ -1,10 +1,13 @@
 // Command mvm benchmarks the MSL virtual machine's dispatch modes against
 // each other: the classic switch loop, token-threaded dispatch over the
-// lowered instruction stream, and threaded dispatch with superinstruction
-// fusion (the default). It answers the question the lowering pass exists
-// for — how much of the interpreter's time is dispatch and operand decode —
-// and gates regressions: the run exits nonzero if threaded dispatch loses
-// to the switch loop on any workload.
+// lowered instruction stream, threaded dispatch with superinstruction
+// fusion, and fusion with kind-specialized handlers substituted wherever
+// the kind-flow verifier proved the operand kinds (the default). It
+// answers the question the lowering and specialization passes exist for —
+// how much of the interpreter's time is dispatch, operand decode, and
+// dynamic kind guards — and gates regressions: the run exits nonzero if
+// threaded dispatch loses to the switch loop or kind-specialized dispatch
+// loses to threaded on any workload.
 //
 // Workloads are the paper-aligned kernels the engine spends its cycles on:
 //
@@ -153,7 +156,7 @@ var workloads = []workload{
 }
 
 // modes swept, in the order they appear in the JSON.
-var modes = []vm.Dispatch{vm.DispatchSwitch, vm.DispatchThreaded, vm.DispatchFused}
+var modes = []vm.Dispatch{vm.DispatchSwitch, vm.DispatchThreaded, vm.DispatchFused, vm.DispatchSpecialized}
 
 // modeResult is one (workload, mode) measurement.
 type modeResult struct {
@@ -170,7 +173,10 @@ type workloadResult struct {
 	Modes           map[string]modeResult `json:"modes"`
 	SpeedupThreaded float64               `json:"speedup_threaded"`
 	SpeedupFused    float64               `json:"speedup_fused"`
-	FusedShare      float64               `json:"fused_share"`
+	// SpeedupSpecialized is fused dispatch plus the kind-specialized
+	// opcode swap (LowerKind), still normalized to the switch loop.
+	SpeedupSpecialized float64 `json:"speedup_kind_specialized"`
+	FusedShare         float64 `json:"fused_share"`
 }
 
 // check is one pass/fail gate recorded in the artifact.
@@ -398,12 +404,14 @@ func main() {
 		sw := wr.Modes[vm.DispatchSwitch.String()].NsPerOp
 		wr.SpeedupThreaded = sw / wr.Modes[vm.DispatchThreaded.String()].NsPerOp
 		wr.SpeedupFused = sw / wr.Modes[vm.DispatchFused.String()].NsPerOp
+		wr.SpeedupSpecialized = sw / wr.Modes[vm.DispatchSpecialized.String()].NsPerOp
 		rep.Workloads = append(rep.Workloads, wr)
 
-		fmt.Printf("%-8s steps/op=%-7d segs/op=%-3d fused=%4.1f%%  switch=%9.0fns  threaded=%9.0fns (%.2fx)  fused=%9.0fns (%.2fx)\n",
+		fmt.Printf("%-8s steps/op=%-7d segs/op=%-3d fused=%4.1f%%  switch=%9.0fns  threaded=%9.0fns (%.2fx)  fused=%9.0fns (%.2fx)  specialized=%9.0fns (%.2fx)\n",
 			w.name, steps, segments, 100*wr.FusedShare, sw,
 			wr.Modes[vm.DispatchThreaded.String()].NsPerOp, wr.SpeedupThreaded,
-			wr.Modes[vm.DispatchFused.String()].NsPerOp, wr.SpeedupFused)
+			wr.Modes[vm.DispatchFused.String()].NsPerOp, wr.SpeedupFused,
+			wr.Modes[vm.DispatchSpecialized.String()].NsPerOp, wr.SpeedupSpecialized)
 	}
 
 	// Gates. Threaded dispatch (with or without fusion) must not lose to
@@ -432,15 +440,57 @@ func main() {
 		}
 	}
 	for _, wr := range rep.Workloads {
-		for _, mode := range []string{"threaded", "fused"} {
+		for _, mode := range []string{"threaded", "fused", "specialized"} {
 			sp := wr.SpeedupThreaded
-			if mode == "fused" {
+			switch mode {
+			case "fused":
 				sp = wr.SpeedupFused
+			case "specialized":
+				sp = wr.SpeedupSpecialized
 			}
 			c := check{
 				Name:   fmt.Sprintf("%s_%s_no_loss", wr.Name, mode),
 				Pass:   sp >= grace,
 				Detail: fmt.Sprintf("%s dispatch is %.2fx the switch loop on %s", mode, sp, wr.Name),
+			}
+			rep.Checks = append(rep.Checks, c)
+			if !c.Pass {
+				rep.Pass = false
+			}
+		}
+		// Spending the kind proofs must never cost more than the generic
+		// fast path it replaces, on any workload, in every run mode.
+		c := check{
+			Name: fmt.Sprintf("%s_specialized_vs_threaded", wr.Name),
+			Pass: wr.SpeedupSpecialized >= wr.SpeedupThreaded*grace,
+			Detail: fmt.Sprintf("kind-specialized dispatch is %.2fx vs threaded %.2fx on %s",
+				wr.SpeedupSpecialized, wr.SpeedupThreaded, wr.Name),
+		}
+		rep.Checks = append(rep.Checks, c)
+		if !c.Pass {
+			rep.Pass = false
+		}
+	}
+	{
+		// And on the VM-bound compute kernels the specialization has to pay
+		// for itself beyond generic fusion: >5% over fused on at least one.
+		// Enforced on full runs; short CI runs record the number only.
+		computeWin, swept := 0.0, false
+		for _, wr := range rep.Workloads {
+			if wr.Name != "mandel" && wr.Name != "matmul" {
+				continue
+			}
+			swept = true
+			if win := wr.SpeedupSpecialized / wr.SpeedupFused; win > computeWin {
+				computeWin = win
+			}
+		}
+		if swept {
+			c := check{
+				Name: "kind_specialized_compute_win",
+				Pass: *short || computeWin >= 1.05,
+				Detail: fmt.Sprintf("best kind-specialized win over fused on a compute workload is %+.1f%% (target >5%% on full runs)",
+					100*(computeWin-1)),
 			}
 			rep.Checks = append(rep.Checks, c)
 			if !c.Pass {

@@ -39,6 +39,20 @@ func TestLockHold(t *testing.T) {
 		analyzers.LockHold)
 }
 
+func TestKindSwitch(t *testing.T) {
+	// Analyzed as internal/vm, inside the proof-chain scope: partial
+	// switches over value.Kind fire, defaults and suppressions do not.
+	analysistest.Run(t, "testdata/kindswitch", "messengers/internal/vm",
+		analyzers.KindSwitch)
+}
+
+func TestKindSwitchSkipsOutsidePackages(t *testing.T) {
+	// The same file under a transport path reports nothing: packages off
+	// the proof chain may dispatch on whatever subset they need.
+	analysistest.Run(t, "testdata/kindswitchskip", "messengers/internal/transport",
+		analyzers.KindSwitch)
+}
+
 func TestVMDispatchConfinement(t *testing.T) {
 	// Analyzed as a transport package, every lowered-API reference fires.
 	analysistest.Run(t, "testdata/vmdispatch", "messengers/internal/transport",

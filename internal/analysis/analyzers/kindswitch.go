@@ -1,0 +1,165 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"messengers/internal/analysis"
+)
+
+// valueKindPkg is the package defining the runtime value.Kind enum.
+const valueKindPkg = "messengers/internal/value"
+
+// kindSwitchScope lists the packages where a switch over value.Kind must
+// be exhaustive. These are the packages the kind-flow specialization
+// correctness argument runs through: the value representation itself, the
+// verifier that proves per-PC kinds, and the VM that spends those proofs.
+// A switch that silently falls through on a missing kind in one of them
+// turns an "impossible" case into wrong data instead of a loud fault —
+// exactly the failure mode the verifier is supposed to exclude.
+var kindSwitchScope = map[string]bool{
+	valueKindPkg:                   true,
+	"messengers/internal/vm":       true,
+	"messengers/internal/bytecode": true,
+}
+
+// KindSwitch flags tagged switch statements over value.Kind that neither
+// list every Kind constant nor provide a default clause, inside the
+// packages that carry the kind-specialization proof chain. Adding a new
+// kind to value must fail mlint at every dispatch point that has not
+// decided what to do with it.
+//
+// Switches whose case expressions are not all resolvable Kind constants
+// are skipped (the analyzer cannot judge their coverage). Suppress a
+// deliberate partial switch with //lint:kindswitch.
+var KindSwitch = &analysis.Analyzer{
+	Name: "kindswitch",
+	Doc:  "switches over value.Kind must be exhaustive or carry a default",
+	Run:  runKindSwitch,
+}
+
+func runKindSwitch(pass *analysis.Pass) error {
+	if !kindSwitchScope[pass.PkgPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			kindType := valueKindType(pass.TypeOf(sw.Tag))
+			if kindType == nil {
+				return true
+			}
+			all := kindConstants(kindType)
+			if len(all) == 0 {
+				return true
+			}
+			covered := map[string]bool{}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // default clause: coverage is total
+				}
+				for _, e := range cc.List {
+					c := kindConstName(pass, e)
+					if c == "" {
+						// A computed or aliased case: coverage is not
+						// decidable, stay silent rather than guess.
+						return true
+					}
+					covered[c] = true
+				}
+			}
+			var missing []string
+			for _, name := range all {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "kindswitch",
+					"switch over value.Kind misses %s; handle %s or add a default",
+					strings.Join(missing, ", "), plural(len(missing)))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// valueKindType returns t's named type when it is value.Kind, else nil.
+func valueKindType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn.Name() == "Kind" && tn.Pkg() != nil && tn.Pkg().Path() == valueKindPkg {
+		return named
+	}
+	return nil
+}
+
+// kindConstants enumerates the names of every constant of the Kind type
+// declared in its defining package, sorted by constant value so missing
+// kinds report in declaration order.
+func kindConstants(kind *types.Named) []string {
+	scope := kind.Obj().Pkg().Scope()
+	type kc struct {
+		name string
+		val  string
+	}
+	var consts []kc
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), kind) {
+			continue
+		}
+		consts = append(consts, kc{name, c.Val().ExactString()})
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		if len(consts[i].val) != len(consts[j].val) {
+			return len(consts[i].val) < len(consts[j].val)
+		}
+		return consts[i].val < consts[j].val
+	})
+	names := make([]string, len(consts))
+	for i, c := range consts {
+		names[i] = c.name
+	}
+	return names
+}
+
+// kindConstName resolves a case expression to the name of a Kind-typed
+// constant ("" when it is anything else).
+func kindConstName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	c, ok := pass.ObjectOf(id).(*types.Const)
+	if !ok || valueKindType(c.Type()) == nil {
+		return ""
+	}
+	return c.Name()
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "it"
+	}
+	return fmt.Sprintf("all %d", n)
+}

@@ -1,0 +1,103 @@
+// Package kindswitchtest is analyzed under messengers/internal/vm — one of
+// the packages carrying the kind-specialization proof chain — so every
+// tagged switch over value.Kind must be exhaustive or defaulted.
+package kindswitchtest
+
+import (
+	"messengers/internal/value"
+)
+
+// exhaustive lists every kind: nothing is flagged.
+func exhaustive(v value.Value) int {
+	switch v.Kind() {
+	case value.KindNil:
+		return 0
+	case value.KindInt, value.KindNum:
+		return 1
+	case value.KindStr, value.KindBytes:
+		return 2
+	case value.KindArr, value.KindMat:
+		return 3
+	}
+	return -1
+}
+
+// defaulted decides the leftover kinds explicitly: nothing is flagged.
+func defaulted(k value.Kind) bool {
+	switch k {
+	case value.KindInt, value.KindNum:
+		return true
+	default:
+		return false
+	}
+}
+
+// partial silently ignores the aggregate kinds.
+func partial(v value.Value) int {
+	switch v.Kind() { // want "switch over value.Kind misses KindBytes, KindArr, KindMat"
+	case value.KindNil:
+		return 0
+	case value.KindInt, value.KindNum, value.KindStr:
+		return 1
+	}
+	return -1
+}
+
+// missesOne drops exactly one kind, the likeliest real slip.
+func missesOne(k value.Kind) int {
+	switch k { // want "switch over value.Kind misses KindMat; handle it or add a default"
+	case value.KindNil, value.KindInt, value.KindNum:
+		return 0
+	case value.KindStr, value.KindBytes, value.KindArr:
+		return 1
+	}
+	return -1
+}
+
+// computedCase uses a non-constant case, so coverage is undecidable and
+// the analyzer stays silent.
+func computedCase(k, boundary value.Kind) int {
+	switch k {
+	case boundary:
+		return 0
+	case value.KindNil:
+		return 1
+	}
+	return -1
+}
+
+// otherEnum switches over an unrelated local enum: never flagged.
+type mode int
+
+const (
+	modeA mode = iota
+	modeB
+)
+
+func otherEnum(m mode) bool {
+	switch m {
+	case modeA:
+		return true
+	}
+	return false
+}
+
+// untagged switches (kind comparisons in boolean clauses) are out of
+// scope: the exhaustiveness contract is about dispatch tables.
+func untagged(k value.Kind) int {
+	switch {
+	case k == value.KindInt:
+		return 1
+	}
+	return 0
+}
+
+// suppressed shows the escape hatch for a deliberate partial dispatch.
+func suppressed(k value.Kind) bool {
+	//lint:kindswitch scalar fast path, aggregates take the slow path by design
+	switch k {
+	case value.KindInt, value.KindNum:
+		return true
+	}
+	return false
+}

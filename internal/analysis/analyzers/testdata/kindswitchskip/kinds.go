@@ -1,0 +1,16 @@
+// Package kindswitchskip is analyzed under a transport path, outside the
+// kind-specialization proof chain: partial switches over value.Kind are
+// not this analyzer's business there, so no // want expectations fire.
+package kindswitchskip
+
+import (
+	"messengers/internal/value"
+)
+
+func partialOutside(k value.Kind) bool {
+	switch k {
+	case value.KindInt:
+		return true
+	}
+	return false
+}

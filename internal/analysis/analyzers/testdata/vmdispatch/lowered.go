@@ -24,7 +24,7 @@ func leakType(p *bytecode.Program) []bytecode.DInstr { // want "lowered-instruct
 
 // leakMethod calls the lowering entry point.
 func leakMethod(p *bytecode.Program) {
-	low := p.Lowered(true) // want "lowered-instruction internal bytecode.Lowered"
+	low := p.Lowered(1) // want "lowered-instruction internal bytecode.Lowered"
 	_ = low
 }
 

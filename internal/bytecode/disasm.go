@@ -8,7 +8,7 @@ import (
 // Disassemble renders the program as readable assembly, one function per
 // section, for the msl tool and debugging.
 func (p *Program) Disassemble() string {
-	return p.disassemble(false)
+	return p.disassemble(false, false)
 }
 
 // DisassembleDepths renders the assembly with the verifier's inferred
@@ -16,10 +16,19 @@ func (p *Program) Disassemble() string {
 // unreachable code) and each function's maximum depth in its header. The
 // program must be Verified; unverified programs render like Disassemble.
 func (p *Program) DisassembleDepths() string {
-	return p.disassemble(true)
+	return p.disassemble(true, false)
 }
 
-func (p *Program) disassemble(depths bool) string {
+// DisassembleKinds renders the assembly with both verifier columns: the
+// per-PC stack depth and the kind-flow proof for every live operand stack
+// slot on entry to the instruction, bottom to top ("any" marks a slot the
+// analysis could not narrow — the VM keeps its dynamic guards there).
+// This is what msl vet prints.
+func (p *Program) DisassembleKinds() string {
+	return p.disassemble(true, true)
+}
+
+func (p *Program) disassemble(depths, kinds bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "program %q  hash=%s\n", p.Name, p.Hash())
 	for i, c := range p.Consts {
@@ -43,9 +52,17 @@ func (p *Program) disassemble(depths bool) string {
 		for pc, ins := range f.Code {
 			if depths {
 				if d := p.StackDepth(fi, pc); d >= 0 {
-					fmt.Fprintf(&b, "  %4d [%3d]  %s", pc, d, p.instrString(ins))
+					fmt.Fprintf(&b, "  %4d [%3d]", pc, d)
+					if kinds {
+						fmt.Fprintf(&b, " %-18s", p.kindColumn(fi, pc, d))
+					}
+					fmt.Fprintf(&b, "  %s", p.instrString(ins))
 				} else {
-					fmt.Fprintf(&b, "  %4d [  -]  %s", pc, p.instrString(ins))
+					fmt.Fprintf(&b, "  %4d [  -]", pc)
+					if kinds {
+						fmt.Fprintf(&b, " %-18s", "")
+					}
+					fmt.Fprintf(&b, "  %s", p.instrString(ins))
 				}
 			} else {
 				fmt.Fprintf(&b, "  %4d  %s", pc, p.instrString(ins))
@@ -53,6 +70,21 @@ func (p *Program) disassemble(depths bool) string {
 			b.WriteByte('\n')
 		}
 	}
+	return b.String()
+}
+
+// kindColumn renders the proven kinds of the d live stack slots on entry
+// to Funcs[fi].Code[pc], bottom to top.
+func (p *Program) kindColumn(fi, pc, d int) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for j := 0; j < d; j++ {
+		if j > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p.SlotKind(fi, pc, j).String())
+	}
+	b.WriteByte(')')
 	return b.String()
 }
 

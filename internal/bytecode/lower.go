@@ -165,8 +165,157 @@ const (
 	DFLCDivStoreL
 	DFLCModStoreL
 
+	// Kind-specialized variants. Emitted only under LowerKind, at source
+	// PCs where the kind-flow verifier (kinds.go) proved the operand kinds;
+	// their handlers read value payloads directly with no dynamic kind
+	// guard — Restore re-checks every snapshot-injected value against the
+	// same proofs, so the guard is spent once at admission instead of per
+	// dispatch. The suffix names the proven kinds in stack order: II
+	// int/int, NN num/num, IN int/num, NI num/int. Stream shape (fusion,
+	// S2D, Src, N, operands) is identical to LowerFused — only opcodes
+	// change — so snapshots, meters, and profiles are unaffected.
+
+	// Plain arithmetic over proven kinds. Div/Mod II keep the runtime
+	// zero check (the divisor's value stays dynamic even when its kind is
+	// proven); every other variant is guard- and branch-free.
+	DAddII
+	DSubII
+	DMulII
+	DDivII
+	DModII
+	DAddNN
+	DSubNN
+	DMulNN
+	DDivNN
+	DModNN
+	DAddIN
+	DSubIN
+	DMulIN
+	DDivIN
+	DModIN
+	DAddNI
+	DSubNI
+	DMulNI
+	DDivNI
+	DModNI
+	// Const-arith pairs. The constant's value is static too, so the II
+	// div/mod variants are emitted only for a nonzero constant and skip
+	// even the zero check.
+	DFConstAddII
+	DFConstSubII
+	DFConstMulII
+	DFConstDivII
+	DFConstModII
+	DFConstAddNN
+	DFConstSubNN
+	DFConstMulNN
+	DFConstDivNN
+	DFConstModNN
+	// Compare-and-branch pairs over proven ints. Eq/Ne compare int64
+	// exactly; the ordered forms promote through float64 like the oracle.
+	DFEqJzII
+	DFNeJzII
+	DFLtJzII
+	DFLeJzII
+	DFGtJzII
+	DFGeJzII
+	// Arith-store pairs (M block then L block, matching the generic order).
+	DFAddStoreMII
+	DFSubStoreMII
+	DFMulStoreMII
+	DFDivStoreMII
+	DFModStoreMII
+	DFAddStoreLII
+	DFSubStoreLII
+	DFMulStoreLII
+	DFDivStoreLII
+	DFModStoreLII
+	DFAddStoreMNN
+	DFSubStoreMNN
+	DFMulStoreMNN
+	DFDivStoreMNN
+	DFModStoreMNN
+	DFAddStoreLNN
+	DFSubStoreLNN
+	DFMulStoreLNN
+	DFDivStoreLNN
+	DFModStoreLNN
+	// Quad loop heads over proven ints — the fully guard-free form of the
+	// hottest dispatch in every counting loop.
+	DFMMLtJzII
+	DFMMLeJzII
+	DFMMGtJzII
+	DFMMGeJzII
+	DFMCLtJzII
+	DFMCLeJzII
+	DFMCGtJzII
+	DFMCGeJzII
+	DFLLLtJzII
+	DFLLLeJzII
+	DFLLGtJzII
+	DFLLGeJzII
+	DFLCLtJzII
+	DFLCLeJzII
+	DFLCGtJzII
+	DFLCGeJzII
+	// Quad increments over proven ints (div/mod only when the constant is
+	// a nonzero int, so no zero check survives).
+	DFMCAddStoreMII
+	DFMCSubStoreMII
+	DFMCMulStoreMII
+	DFMCDivStoreMII
+	DFMCModStoreMII
+	DFLCAddStoreLII
+	DFLCSubStoreLII
+	DFLCMulStoreLII
+	DFLCDivStoreLII
+	DFLCModStoreLII
+
 	NumDOps
 )
+
+// Generic returns the unspecialized opcode a kind-specialized opcode was
+// derived from, or o itself for unspecialized opcodes. Specialized opcodes
+// share their generic counterpart's constituents, step weight, and stream
+// position — only the handler differs.
+func (o DOp) Generic() DOp {
+	switch {
+	case o < DAddII:
+		return o
+	case o <= DModNI:
+		return DAdd + (o-DAddII)%5
+	case o <= DFConstModNN:
+		return DFConstAdd + (o-DFConstAddII)%5
+	case o <= DFGeJzII:
+		return DFEqJz + (o - DFEqJzII)
+	case o <= DFModStoreLNN:
+		return DFAddStoreM + (o-DFAddStoreMII)%10
+	case o <= DFLCGeJzII:
+		return DFMMLtJz + (o - DFMMLtJzII)
+	default:
+		return DFMCAddStoreM + (o - DFMCAddStoreMII)
+	}
+}
+
+// specSuffix is the kind annotation a specialized opcode appends to its
+// generic mnemonic.
+func specSuffix(o DOp) string {
+	switch {
+	case o < DAddII:
+		return ""
+	case o <= DModNI:
+		return [4]string{".ii", ".nn", ".in", ".ni"}[(o-DAddII)/5]
+	case o <= DFConstModNN:
+		if o <= DFConstModII {
+			return ".ii"
+		}
+		return ".nn"
+	case o <= DFModStoreLNN && o >= DFAddStoreMNN:
+		return ".nn"
+	default:
+		return ".ii"
+	}
+}
 
 var dopNames = [NumDOps]string{
 	DNop: "nop", DConst: "const", DConstClone: "const*", DLoadM: "loadm",
@@ -272,11 +421,24 @@ var dopN = func() [NumDOps]uint8 {
 	for o := DFConstAdd; o <= DFModStoreL; o++ {
 		n[o] = 2
 	}
-	for o := DFMMLtJz; o < NumDOps; o++ {
+	for o := DFMMLtJz; o <= DFLCModStoreL; o++ {
 		n[o] = 4
+	}
+	for o := DAddII; o < NumDOps; o++ {
+		n[o] = n[o.Generic()]
 	}
 	return n
 }()
+
+// Specialized opcodes inherit their generic counterpart's constituents and
+// mnemonic (with the kind suffix) instead of repeating 82 table rows.
+func init() {
+	for o := DAddII; o < NumDOps; o++ {
+		g := o.Generic()
+		dopSrc[o] = dopSrc[g]
+		dopNames[o] = dopNames[g] + specSuffix(o)
+	}
+}
 
 // Constituents returns the source opcodes a direct opcode executes (the
 // first n entries) and how many source instructions it covers (1, 2, or 4).
@@ -320,23 +482,37 @@ type Lowered struct {
 	Fused int
 }
 
-// Lowered returns the program's direct form, with or without
-// superinstruction fusion, building and caching it on first use. It
-// returns nil for unverified programs — lowering leans on the verifier's
-// guarantees (in-range jumps, no fall-through, balanced stacks), so the
-// interpreter's fast path and the verifier gate are the same gate.
-func (p *Program) Lowered(fuse bool) *Lowered {
-	if !p.verified {
+// LowerMode selects how far the lowering pass optimizes beyond operand
+// pre-decoding.
+type LowerMode uint8
+
+const (
+	// LowerPlain translates one-to-one: pre-decoded operands, no fusion.
+	LowerPlain LowerMode = iota
+	// LowerFused adds superinstruction fusion.
+	LowerFused
+	// LowerKind adds kind specialization on top of fusion: wherever the
+	// kind-flow verifier proved the operand kinds at a source PC, the
+	// instruction is swapped for its guard-free specialized variant. The
+	// stream shape is identical to LowerFused — only opcodes differ.
+	LowerKind
+	numLowerModes
+)
+
+// Lowered returns the program's direct form for the given mode, building
+// and caching it on first use. It returns nil for unverified programs —
+// lowering leans on the verifier's guarantees (in-range jumps, no
+// fall-through, balanced stacks, proven kinds), so the interpreter's fast
+// path and the verifier gate are the same gate.
+func (p *Program) Lowered(mode LowerMode) *Lowered {
+	if !p.verified || mode >= numLowerModes {
 		return nil
 	}
-	slot := &p.lowerPlain
-	if fuse {
-		slot = &p.lowerFused
-	}
+	slot := &p.lowered[mode]
 	if low := slot.Load(); low != nil {
 		return low
 	}
-	low := p.buildLowered(fuse)
+	low := p.buildLowered(mode)
 	// Concurrent builders produce equivalent streams; first store wins.
 	if !slot.CompareAndSwap(nil, low) {
 		return slot.Load()
@@ -347,13 +523,13 @@ func (p *Program) Lowered(fuse bool) *Lowered {
 // lowerCaches is embedded in Program (see bytecode.go); Validate resets it
 // so a mutated-and-revalidated program cannot serve a stale stream.
 type lowerCaches struct {
-	lowerPlain atomic.Pointer[Lowered]
-	lowerFused atomic.Pointer[Lowered]
+	lowered [numLowerModes]atomic.Pointer[Lowered]
 }
 
 func (c *lowerCaches) resetLowered() {
-	c.lowerPlain.Store(nil)
-	c.lowerFused.Store(nil)
+	for i := range c.lowered {
+		c.lowered[i].Store(nil)
+	}
 }
 
 // fusePair returns the superinstruction for the adjacent pair (a, b), or
@@ -485,10 +661,90 @@ func constImmutable(v value.Value) bool {
 	}
 }
 
+// specializeOp returns the kind-specialized variant of an emitted direct
+// instruction, or d.Op unchanged when the verifier could not prove the
+// operand kinds. The deciding constituent is the arithmetic or comparison
+// in the instruction's source window; its two operands are the top two
+// stack slots of the verifier's state at that PC (loads and const pushes
+// earlier in a fused window have already deposited their kinds there, so
+// one rule covers plain ops, pairs, and quads alike).
+func (p *Program) specializeOp(fi int, d *DInstr) DOp {
+	op := d.Op
+	pc := int(d.Src)
+	switch {
+	case op >= DAdd && op <= DMod:
+	case op >= DFConstAdd && op <= DFConstMod:
+		pc++ // const push, then the arithmetic
+	case op >= DFEqJz && op <= DFGeJz:
+	case op >= DFAddStoreM && op <= DFModStoreL:
+	case op >= DFMMLtJz && op <= DFLCGeJz:
+		pc += 2 // two loads, then the comparison
+	case op >= DFMCAddStoreM && op <= DFLCModStoreL:
+		pc += 2 // load and const, then the arithmetic
+	default:
+		return op
+	}
+	depth := p.StackDepth(fi, pc)
+	if depth < 2 {
+		return op
+	}
+	a := p.SlotKind(fi, pc, depth-2)
+	b := p.SlotKind(fi, pc, depth-1)
+	ii := a == KindInt && b == KindInt
+	nn := a == KindNum && b == KindNum
+	switch {
+	case op >= DAdd && op <= DMod:
+		off := op - DAdd
+		switch {
+		case ii:
+			return DAddII + off
+		case nn:
+			return DAddNN + off
+		case a == KindInt && b == KindNum:
+			return DAddIN + off
+		case a == KindNum && b == KindInt:
+			return DAddNI + off
+		}
+	case op >= DFConstAdd && op <= DFConstMod:
+		divisive := op == DFConstDiv || op == DFConstMod
+		if ii && !(divisive && d.Val.AsInt() == 0) {
+			return DFConstAddII + (op - DFConstAdd)
+		}
+		if nn {
+			return DFConstAddNN + (op - DFConstAdd)
+		}
+	case op >= DFEqJz && op <= DFGeJz:
+		if ii {
+			return DFEqJzII + (op - DFEqJz)
+		}
+	case op >= DFAddStoreM && op <= DFModStoreL:
+		off := op - DFAddStoreM
+		if ii {
+			return DFAddStoreMII + off
+		}
+		if nn {
+			return DFAddStoreMNN + off
+		}
+	case op >= DFMMLtJz && op <= DFLCGeJz:
+		if ii {
+			return DFMMLtJzII + (op - DFMMLtJz)
+		}
+	default: // quad increments
+		off := op - DFMCAddStoreM
+		divisive := off%5 >= 3 // div, mod
+		if ii && !(divisive && d.Val.AsInt() == 0) {
+			return DFMCAddStoreMII + off
+		}
+	}
+	return op
+}
+
 // buildLowered translates every function. Two passes per function: decide
 // fusion boundaries and build the PC map, then emit with jump targets
-// resolved through that map.
-func (p *Program) buildLowered(fuse bool) *Lowered {
+// resolved through that map; LowerKind runs a third pass swapping opcodes
+// for kind-specialized variants where the verifier's proofs allow.
+func (p *Program) buildLowered(mode LowerMode) *Lowered {
+	fuse := mode != LowerPlain
 	low := &Lowered{Funcs: make([]DFunc, len(p.Funcs))}
 	slots := map[string]int32{}
 	slotOf := func(nameIdx int32) int32 {
@@ -677,6 +933,11 @@ func (p *Program) buildLowered(fuse bool) *Lowered {
 			}
 			out = append(out, d)
 			pc++
+		}
+		if mode == LowerKind {
+			for i := range out {
+				out[i].Op = p.specializeOp(fi, &out[i])
+			}
 		}
 		low.Funcs[fi] = DFunc{Code: out, S2D: s2d}
 	}

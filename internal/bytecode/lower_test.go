@@ -43,14 +43,14 @@ func TestLoweredNilForUnverified(t *testing.T) {
 	if err := p.Validate(); err == nil {
 		t.Fatal("corrupt program verified")
 	}
-	if p.Lowered(true) != nil || p.Lowered(false) != nil {
+	if p.Lowered(LowerFused) != nil || p.Lowered(LowerPlain) != nil {
 		t.Fatal("Lowered must be nil for unverified programs")
 	}
 }
 
 func TestLoweredPlainIsOneToOne(t *testing.T) {
 	p := loopProgram(t)
-	low := p.Lowered(false)
+	low := p.Lowered(LowerPlain)
 	if low == nil {
 		t.Fatal("nil Lowered for verified program")
 	}
@@ -82,7 +82,7 @@ func TestLoweredPlainIsOneToOne(t *testing.T) {
 
 func TestLoweredFusion(t *testing.T) {
 	p := loopProgram(t)
-	low := p.Lowered(true)
+	low := p.Lowered(LowerFused)
 	code := low.Funcs[0].Code
 	// Expected stream: the loop head (loadm i, const 10, lt, jz) and the
 	// increment (loadm i, const 1, add, storem i) each collapse into one
@@ -160,7 +160,7 @@ func TestLoweredPairFallback(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
-	low := p.Lowered(true)
+	low := p.Lowered(LowerFused)
 	code := low.Funcs[0].Code
 	// 2..5 is the loop-head quad (loadm, const, lt, jz) — still a quad.
 	// 6..9 (const, loadm, add, storem) is not an idiom: (const,loadm) is
@@ -202,7 +202,7 @@ func TestLoweredNoFusionAcrossJumpTarget(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
-	low := p.Lowered(true)
+	low := p.Lowered(LowerFused)
 	code := low.Funcs[0].Code
 	s2d := low.Funcs[0].S2D
 	if s2d[3] == -1 {
@@ -237,7 +237,7 @@ func TestLoweredAggregateConstNeedsClone(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
-	code := p.Lowered(true).Funcs[0].Code
+	code := p.Lowered(LowerFused).Funcs[0].Code
 	if code[0].Op != DLoadM {
 		t.Errorf("loadm fused with aggregate const: %v", code[0].Op)
 	}
@@ -246,19 +246,144 @@ func TestLoweredAggregateConstNeedsClone(t *testing.T) {
 	}
 }
 
+// TestLoweredKindSpecialization pins the LowerKind stream for the counting
+// loop: the verifier proves i is an int everywhere, so the loop-head and
+// increment quads swap to their guard-free .ii variants while the stream
+// shape (Src, N, operands, S2D) stays byte-for-byte the fused stream's.
+func TestLoweredKindSpecialization(t *testing.T) {
+	p := loopProgram(t)
+	low := p.Lowered(LowerKind)
+	code := low.Funcs[0].Code
+	want := []DOp{DConst, DStoreM, DFMCLtJzII, DFMCAddStoreMII, DJmp, DEnd}
+	if len(code) != len(want) {
+		t.Fatalf("kind stream length %d want %d: %v", len(code), len(want), code)
+	}
+	for i, op := range want {
+		if code[i].Op != op {
+			t.Fatalf("instr %d: %v want %v (stream %v)", i, code[i].Op, op, code)
+		}
+	}
+	fused := p.Lowered(LowerFused).Funcs[0]
+	if len(fused.Code) != len(code) {
+		t.Fatalf("kind stream length %d, fused %d", len(code), len(fused.Code))
+	}
+	for i := range code {
+		k, f := code[i], fused.Code[i]
+		if k.Op.Generic() != f.Op {
+			t.Errorf("instr %d: %v does not specialize %v", i, k.Op, f.Op)
+		}
+		if k.N != f.N || k.Src != f.Src || k.A != f.A || k.B != f.B || k.C != f.C {
+			t.Errorf("instr %d: specialization changed operands: %+v vs %+v", i, k, f)
+		}
+	}
+	for pc := range low.Funcs[0].S2D {
+		if low.Funcs[0].S2D[pc] != fused.S2D[pc] {
+			t.Errorf("S2D[%d] diverged: %d vs %d", pc, low.Funcs[0].S2D[pc], fused.S2D[pc])
+		}
+	}
+}
+
+// TestLoweredKindSpecializationRequiresProof: a Messenger variable that is
+// never stored stays ⊤ (the daemon may inject anything), so its loop head
+// keeps the generic guarded quad.
+func TestLoweredKindSpecializationRequiresProof(t *testing.T) {
+	p := &Program{
+		Name:   "top",
+		Consts: []value.Value{value.Int(10), value.Int(1)},
+		Names:  []string{"i", "s"},
+		Funcs: []FuncInfo{{Name: "<main>", Code: []Instr{
+			{Op: OpLoadM, A: 0},  // 0: loadm i   <- never stored: ⊤
+			{Op: OpConst, A: 0},  // 1: const 10
+			{Op: OpLt},           // 2: lt
+			{Op: OpJz, A: 9},     // 3: jz end
+			{Op: OpLoadM, A: 1},  // 4: loadm s
+			{Op: OpConst, A: 1},  // 5: const 1
+			{Op: OpAdd},          // 6: add
+			{Op: OpStoreM, A: 1}, // 7: storem s
+			{Op: OpJmp, A: 0},    // 8
+			{Op: OpEnd},          // 9
+		}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	code := p.Lowered(LowerKind).Funcs[0].Code
+	if code[0].Op != DFMCLtJz {
+		t.Errorf("loop head over ⊤ variable specialized: %v", code[0].Op)
+	}
+	// s is also ⊤ at the increment: its kind joins Int (after the first
+	// store) with the injectable entry state across the back edge.
+	if code[1].Op != DFMCAddStoreM {
+		t.Errorf("increment over ⊤ variable specialized: %v", code[1].Op)
+	}
+}
+
+// TestLoweredKindNoSpecializedDivByConstZero: x / 0 has a proven-int
+// divisor whose value is statically zero; the guard-free .ii divide must
+// not be emitted (the generic handler reports the runtime error).
+func TestLoweredKindNoSpecializedDivByConstZero(t *testing.T) {
+	p := &Program{
+		Name:   "divz",
+		Consts: []value.Value{value.Int(4), value.Int(0)},
+		Names:  []string{"x"},
+		Funcs: []FuncInfo{{Name: "<main>", Code: []Instr{
+			{Op: OpConst, A: 0},  // const 4
+			{Op: OpConst, A: 1},  // const 0
+			{Op: OpDiv},          // fused into const+div
+			{Op: OpStoreM, A: 0}, // storem x
+			{Op: OpEnd},
+		}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	code := p.Lowered(LowerKind).Funcs[0].Code
+	for _, d := range code {
+		if d.Op == DFConstDivII {
+			t.Fatalf("specialized divide by constant zero emitted: %v", code)
+		}
+	}
+}
+
+// TestDOpGenericRoundTrip: every specialized opcode names a generic
+// counterpart with identical constituents and width, and carries a kind
+// suffix in its mnemonic.
+func TestDOpGenericRoundTrip(t *testing.T) {
+	for o := DOp(0); o < NumDOps; o++ {
+		g := o.Generic()
+		if o < DAddII {
+			if g != o {
+				t.Errorf("%v: Generic()=%v want itself", o, g)
+			}
+			continue
+		}
+		if g >= DAddII {
+			t.Errorf("%v: Generic()=%v is itself specialized", o, g)
+		}
+		so, sn := o.Constituents()
+		go_, gn := g.Constituents()
+		if so != go_ || sn != gn {
+			t.Errorf("%v: constituents (%v,%d) differ from generic %v (%v,%d)", o, so, sn, g, go_, gn)
+		}
+		if suf := specSuffix(o); len(o.String()) <= len(suf) || o.String()[:len(o.String())-len(suf)] != g.String() {
+			t.Errorf("%v: name %q does not extend generic %q with %q", o, o.String(), g.String(), suf)
+		}
+	}
+}
+
 func TestLoweredCacheResetOnValidate(t *testing.T) {
 	p := loopProgram(t)
-	l1 := p.Lowered(true)
+	l1 := p.Lowered(LowerFused)
 	if l1 == nil {
 		t.Fatal("nil lowered")
 	}
-	if p.Lowered(true) != l1 {
+	if p.Lowered(LowerFused) != l1 {
 		t.Error("Lowered not cached")
 	}
 	if err := p.Validate(); err != nil {
 		t.Fatalf("revalidate: %v", err)
 	}
-	if p.Lowered(true) == l1 {
+	if p.Lowered(LowerFused) == l1 {
 		t.Error("Lowered cache survived Validate")
 	}
 }
@@ -279,7 +404,7 @@ func TestLoweredMVarSlots(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
-	low := p.Lowered(false)
+	low := p.Lowered(LowerPlain)
 	if len(low.MVars) != 2 || low.MVars[0] != "y" || low.MVars[1] != "x" {
 		t.Fatalf("MVars=%v want [y x] (first-use order)", low.MVars)
 	}

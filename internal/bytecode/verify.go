@@ -30,6 +30,14 @@ const unreachable = -1
 type funcMeta struct {
 	depth []int32
 	max   int32
+	// kinds holds the kind-flow analysis result (see kinds.go): the
+	// abstract kind state on entry to every PC. nil when the analysis
+	// degraded under its footprint cap — consumers then read every
+	// reachable slot as ⊤. reached marks PCs the kind fixpoint visited
+	// (equivalent to depth[pc] != unreachable; kept as bools for the
+	// rejection and bound passes).
+	kinds   []kstate
+	reached []bool
 }
 
 // Verified reports whether this program has passed Validate since it was
@@ -104,6 +112,16 @@ func (p *Program) Validate() error {
 		meta[fi] = m
 	}
 	p.meta = meta
+	// With stack depths proven, run the kind-flow analysis (kinds.go):
+	// per-PC value kinds for every stack slot, local, and Messenger
+	// variable, and rejection of programs that provably kind-fault.
+	p.collectMVars()
+	for fi := range p.Funcs {
+		if err := p.analyzeKinds(fi); err != nil {
+			p.meta = nil
+			return err
+		}
+	}
 	p.verified = true
 	return nil
 }

@@ -113,6 +113,17 @@ func TestRejectTaxonomy(t *testing.T) {
 	if _, _, err := srv.Submit(serve.Submission{Tenant: "a", Name: "bad", Source: "hop(("}); rejectCode(t, err) != serve.RejectVerify {
 		t.Errorf("unparsable program: got %v", err)
 	}
+	// Kind-faulting program: parses and compiles, but the kind-flow
+	// verifier proves it faults — a distinct 400 from RejectVerify.
+	_, _, illErr := srv.Submit(serve.Submission{Tenant: "a", Name: "ill", Source: `x = "a" - "b";`})
+	if rejectCode(t, illErr) != serve.RejectIllTyped {
+		t.Errorf("ill-typed program: got %v", illErr)
+	}
+	var illRej *serve.Reject
+	errors.As(illErr, &illRej)
+	if illRej.HTTPStatus() != 400 {
+		t.Errorf("ill-typed status = %d, want 400", illRej.HTTPStatus())
+	}
 	if _, _, err := srv.Submit(serve.Submission{Tenant: "a", Name: "big",
 		Source: "x = 1; " + strings.Repeat("x = x + 1; ", 64)}); rejectCode(t, err) != serve.RejectTooLarge {
 		t.Errorf("oversized program: got %v", err)
@@ -217,9 +228,12 @@ func TestHopRateEviction(t *testing.T) {
 }
 
 // TestMemCapEviction: a Messenger carrying more serialized state than the
-// tenant's cap is evicted at the first nav boundary.
+// tenant's cap is evicted at the first nav boundary. The program carries
+// an aggregate so the kind verifier derives no static state bound — this
+// must take the dynamic CheckMem path, not the admission pre-check.
 func TestMemCapEviction(t *testing.T) {
 	sub := walkerSub("a", 5, 0)
+	sub.Source = "pad = array(2); " + walker
 	sub.Vars["ballast"] = messengers.StrValue(strings.Repeat("m", 4096))
 	comp, _, _ := evictionRun(t, serve.Quota{MemBudget: 512}, sub)
 	if !comp.Evicted {
@@ -227,6 +241,70 @@ func TestMemCapEviction(t *testing.T) {
 	}
 	if !strings.Contains(comp.Reason, "exceeds cap") {
 		t.Errorf("reason = %q", comp.Reason)
+	}
+}
+
+// TestStateBoundRejection: when the kind verifier proves every value the
+// Messenger can carry at a nav pause is a scalar, the worst-case snapshot
+// size is static — a submission whose bound (program state plus injected
+// ballast) already exceeds the memory cap is refused at admission, before
+// a single VM step, instead of being launched and evicted at its first
+// hop.
+func TestStateBoundRejection(t *testing.T) {
+	_, srv := simService(t, 2, messengers.Config{}, serve.Config{
+		Tenants: []serve.TenantConfig{{ID: "a", Quota: serve.Quota{MemBudget: 512}}},
+	})
+	sub := walkerSub("a", 5, 0) // all-scalar walker: statically boundable
+	sub.Vars["ballast"] = messengers.StrValue(strings.Repeat("m", 4096))
+	_, _, err := srv.Submit(sub)
+	if rejectCode(t, err) != serve.RejectStateBound {
+		t.Fatalf("over-bound submission: got %v", err)
+	}
+	var rej *serve.Reject
+	errors.As(err, &rej)
+	if rej.HTTPStatus() != 413 {
+		t.Errorf("state-bound status = %d, want 413", rej.HTTPStatus())
+	}
+	ts := srv.Stats()[0]
+	if ts.Admitted != 0 || ts.Live != 0 || ts.Steps != 0 {
+		t.Errorf("rejected submission left traces: %+v", ts)
+	}
+	// The same program under the cap (no ballast) is admitted: the bound
+	// itself is small.
+	if _, _, err := srv.Submit(walkerSub("a", 1, 0)); err != nil {
+		t.Errorf("under-bound submission rejected: %v", err)
+	}
+}
+
+// TestIllTypedRejectionChargesNoSteps: a kind-faulting program must be
+// refused by the verifier at admission — no session is created, no VM
+// step is metered, and the per-tenant ill-typed counter (surfaced via
+// /v1/stats) records the refusal.
+func TestIllTypedRejectionChargesNoSteps(t *testing.T) {
+	_, srv := simService(t, 2, messengers.Config{}, serve.Config{
+		Tenants: []serve.TenantConfig{{ID: "a", Quota: serve.Quota{StepBudget: 4096}}},
+	})
+	_, _, err := srv.Submit(serve.Submission{
+		Tenant: "a", Name: "ill",
+		// Both branches leave m a proven Str (the join keeps the kind
+		// exact), so subtracting from it faults on every execution.
+		Source: `if (n > 0) { m = "big"; } else { m = "small"; } x = m - 1;`,
+	})
+	if rejectCode(t, err) != serve.RejectIllTyped {
+		t.Fatalf("ill-typed program: got %v", err)
+	}
+	if !strings.Contains(err.Error(), "ill-typed") {
+		t.Errorf("rejection does not carry the proof: %v", err)
+	}
+	ts := srv.Stats()[0]
+	if ts.IllTyped != 1 || ts.Rejected != 1 {
+		t.Errorf("ill_typed=%d rejected=%d, want 1/1", ts.IllTyped, ts.Rejected)
+	}
+	if ts.Steps != 0 || ts.Admitted != 0 || ts.Live != 0 {
+		t.Errorf("ill-typed program touched the VM: %+v", ts)
+	}
+	if srv.LiveSessions() != 0 {
+		t.Error("rejected submission left a live session")
 	}
 }
 

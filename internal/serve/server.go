@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -51,6 +52,15 @@ const (
 	RejectBackpressure
 	// RejectDraining: the server is shutting down.
 	RejectDraining
+	// RejectIllTyped: the kind-flow verifier proved the program faults on
+	// every execution (a distinct 400 from RejectVerify so tenants can tell
+	// a type proof from a parse error, and so stats count it separately).
+	RejectIllTyped
+	// RejectStateBound: the verifier derived a static bound on the
+	// Messenger's serialized state and it already exceeds the tenant's
+	// memory cap — the session would be evicted at its first nav boundary,
+	// so it is refused before a single VM step.
+	RejectStateBound
 )
 
 func (r *Reject) Error() string { return fmt.Sprintf("serve: %s (%d)", r.Msg, r.HTTPStatus()) }
@@ -60,9 +70,9 @@ func (r *Reject) HTTPStatus() int {
 	switch r.Code {
 	case RejectUnknownTenant:
 		return 403
-	case RejectVerify:
+	case RejectVerify, RejectIllTyped:
 		return 400
-	case RejectTooLarge:
+	case RejectTooLarge, RejectStateBound:
 		return 413
 	case RejectBackpressure:
 		return 429
@@ -134,6 +144,7 @@ type serverObs struct {
 	admitted, queued, completed, evicted *obs.Counter
 	rejVerify, rejTenant, rejTooLarge    *obs.Counter
 	rejBackpressure, rejDraining         *obs.Counter
+	rejIllTyped, rejStateBound           *obs.Counter
 	unknown                              *obs.Counter
 	queueDepth, liveSessions             *obs.Gauge
 }
@@ -149,6 +160,8 @@ func newServerObs(m *obs.Metrics) *serverObs {
 		rejTooLarge:     m.Counter("serve.reject.toolarge"),
 		rejBackpressure: m.Counter("serve.reject.backpressure"),
 		rejDraining:     m.Counter("serve.reject.draining"),
+		rejIllTyped:     m.Counter("serve.reject.illtyped"),
+		rejStateBound:   m.Counter("serve.reject.statebound"),
 		unknown:         m.Counter("serve.sessions.unknown"),
 		queueDepth:      m.Gauge("serve.queue.depth"),
 		liveSessions:    m.Gauge("serve.sessions.live"),
@@ -402,24 +415,72 @@ func (s *Server) admitProgramLocked(a *account, sub Submission) (*bytecode.Progr
 		return nil, &Reject{RejectTooLarge, fmt.Sprintf("program %dB exceeds tenant cap %dB", len(content), mp)}
 	}
 	key := progKey{a.id, sub.Name, content}
-	if p, ok := s.progCache[key]; ok {
-		return p, nil
+	p, cached := s.progCache[key]
+	if !cached {
+		var err error
+		if len(sub.Bytecode) > 0 {
+			p, err = bytecode.Decode(sub.Bytecode)
+		} else {
+			p, err = compile.Compile(a.id+"/"+sub.Name, sub.Source)
+		}
+		if err != nil {
+			// The kind-flow verifier proved the program faults on every
+			// execution: a distinct refusal from parse/verify errors so the
+			// tenant (and the stats) can tell a type proof from a typo.
+			if errors.Is(err, bytecode.ErrIllTyped) {
+				return nil, &Reject{RejectIllTyped, err.Error()}
+			}
+			return nil, &Reject{RejectVerify, err.Error()}
+		}
+		s.sys.Register(p)
+		s.progCache[key] = p
 	}
-	var (
-		p   *bytecode.Program
-		err error
-	)
-	if len(sub.Bytecode) > 0 {
-		p, err = bytecode.Decode(sub.Bytecode)
-	} else {
-		p, err = compile.Compile(a.id+"/"+sub.Name, sub.Source)
+	// The bound depends on the submitted variables, so cached programs are
+	// re-checked per submission.
+	if rej := stateBoundReject(a, p, sub.Vars); rej != nil {
+		return nil, rej
 	}
-	if err != nil {
-		return nil, &Reject{RejectVerify, err.Error()}
-	}
-	s.sys.Register(p)
-	s.progCache[key] = p
 	return p, nil
+}
+
+// stateBoundReject pre-checks the verifier's static state-size bound
+// against the tenant's memory cap. When every value the program can hold
+// at a nav pause is a proven scalar, the worst-case snapshot size is
+// base + the submitted values that ride along — if that already exceeds
+// MemBudget the session's first hop is guaranteed to evict it, so it is
+// refused before a single VM step runs. Programs without a derivable
+// bound (aggregates, calls, out-of-line natives) fall through to the
+// dynamic CheckMem at nav boundaries.
+func stateBoundReject(a *account, p *bytecode.Program, vars map[string]value.Value) *Reject {
+	mb := a.q.MemBudget
+	if mb <= 0 {
+		return nil
+	}
+	base, inherited, ok := p.StateBound()
+	if !ok {
+		return nil
+	}
+	bound := base
+	for _, name := range inherited {
+		// Absent names read as the zero (nil) Value, matching injection.
+		bound += int64(vars[name].WireSize())
+	}
+	tracked := make(map[string]bool, len(inherited))
+	for _, name := range inherited {
+		tracked[name] = true
+	}
+	for name, v := range vars {
+		if !tracked[name] {
+			// Unreferenced injected variables ride along in the env
+			// untouched; base has no entry for them.
+			bound += int64(4 + len(name) + v.WireSize())
+		}
+	}
+	if bound > int64(mb) {
+		return &Reject{RejectStateBound, fmt.Sprintf(
+			"proven state bound %dB exceeds tenant memory cap %dB", bound, mb)}
+	}
+	return nil
 }
 
 // admitNowLocked checks the live cap and debits the admission bucket.
@@ -553,6 +614,9 @@ func (s *Server) rejected(a *account, r *Reject) error {
 	if a != nil {
 		a.rejected.Add(1)
 		a.om.rejected.Inc()
+		if r.Code == RejectIllTyped {
+			a.illTyped.Add(1)
+		}
 	}
 	switch r.Code {
 	case RejectUnknownTenant:
@@ -565,6 +629,10 @@ func (s *Server) rejected(a *account, r *Reject) error {
 		s.som.rejBackpressure.Inc()
 	case RejectDraining:
 		s.som.rejDraining.Inc()
+	case RejectIllTyped:
+		s.som.rejIllTyped.Inc()
+	case RejectStateBound:
+		s.som.rejStateBound.Inc()
 	}
 	return r
 }
@@ -605,13 +673,16 @@ func (s *Server) WaitIdle() {
 
 // TenantStats is a point-in-time snapshot of one account.
 type TenantStats struct {
-	ID        string `json:"id"`
-	Admitted  int64  `json:"admitted"`
-	Rejected  int64  `json:"rejected"`
-	Evicted   int64  `json:"evicted"`
-	Completed int64  `json:"completed"`
-	Steps     int64  `json:"steps"`
-	Hops      int64  `json:"hops"`
+	ID       string `json:"id"`
+	Admitted int64  `json:"admitted"`
+	Rejected int64  `json:"rejected"`
+	// IllTyped counts rejections where the kind-flow verifier proved the
+	// submitted program faults (a subset of Rejected).
+	IllTyped  int64 `json:"ill_typed"`
+	Evicted   int64 `json:"evicted"`
+	Completed int64 `json:"completed"`
+	Steps     int64 `json:"steps"`
+	Hops      int64 `json:"hops"`
 	// MaxSessionSteps is the largest metered step count any single session
 	// of this tenant consumed — the quota-violation witness: it must never
 	// exceed the tenant's StepBudget.
@@ -637,6 +708,7 @@ func (s *Server) Stats() []TenantStats {
 			ID:              a.id,
 			Admitted:        a.admitted.Load(),
 			Rejected:        a.rejected.Load(),
+			IllTyped:        a.illTyped.Load(),
 			Evicted:         a.evicted.Load(),
 			Completed:       a.completed.Load(),
 			Steps:           a.steps.Load(),

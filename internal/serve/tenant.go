@@ -142,6 +142,7 @@ type account struct {
 	live            atomic.Int64
 	admitted        atomic.Int64
 	rejected        atomic.Int64
+	illTyped        atomic.Int64
 	evicted         atomic.Int64
 	completed       atomic.Int64
 	steps           atomic.Int64

@@ -47,6 +47,15 @@ func (v *Value) SetBool(b bool) {
 	}
 }
 
+// IntRaw returns the int payload without inspecting the kind tag. Only for
+// callers holding a static proof that v is an Int (the bytecode kind-flow
+// verifier plus the VM's snapshot admission checks); on any other kind the
+// result is a stale payload field.
+func (v *Value) IntRaw() int64 { return v.i }
+
+// NumRaw is IntRaw for the float payload: proof-carrying callers only.
+func (v *Value) NumRaw() float64 { return v.n }
+
 // FastBinary computes op(a, b) into *out when both operands are strictly
 // numeric, returning false (out untouched) for anything the general arith
 // path must handle: nil coercion, strings, non-numeric kinds, and integer

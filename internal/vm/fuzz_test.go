@@ -16,12 +16,18 @@ import (
 //   - any accepted program runs on the VM without panicking — in
 //     particular the shared operand stack never underflows even though
 //     Run skips the dynamic PC bounds check for verified programs;
-//   - the threaded and fused engines reproduce the switch loop's complete
-//     observable behavior (results, pause states, step-meter charges,
-//     snapshot bytes) on every accepted program, metered and unmetered.
+//   - the threaded, fused, and kind-specialized engines reproduce the
+//     switch loop's complete observable behavior (results, pause states,
+//     step-meter charges, snapshot bytes) on every accepted program,
+//     metered and unmetered. This is the kind-soundness differential: if
+//     the verifier ever accepted a program whose proven kinds were wrong,
+//     a specialized handler would read a raw payload of the wrong kind
+//     and its trace would diverge from the oracle here.
 //
-// Runtime errors (type mismatches, unknown natives, budget exhaustion)
-// are fine; those are dynamic properties the verifier does not claim.
+// Runtime errors (type mismatches on honest-top operands, unknown
+// natives, budget exhaustion) are fine; those are dynamic properties the
+// verifier does not claim. Provable kind faults never reach this harness:
+// Decode rejects them with ErrIllTyped.
 func FuzzProgramValidate(f *testing.F) {
 	seeds := []string{
 		`x = 1;`,
@@ -41,6 +47,24 @@ func FuzzProgramValidate(f *testing.F) {
 		`for (i = 0; i < 9; i++) { s = s + i * i; }`,
 		`func f(n) { t = 1; for (k = 0; k < n; k++) { t = t * 2; } return t; }
 		r = f(8); z = 0; q = r / z;`,
+		// Kind-rich seeds for the specialization differential: proven
+		// num/num and int/num quad loops lower to .nn/.in specialized
+		// handlers, so mutations probe the raw-payload fast paths against
+		// the switch oracle's promotion ladder.
+		`x = 0.0; acc = 1.0;
+		for (i = 0; i < 12; i++) { x = x + 0.25; acc = acc * x; }
+		mix = acc + i;`,
+		// Proven-kind faults laundered through an array load: the operand
+		// is honestly top to the verifier, so the program is accepted and
+		// the fault stays a runtime error every engine must report alike.
+		`s = ["abc"][0]; t = 2;
+		for (k = 0; k < 3; k++) { t = t * t; }
+		bad = s - t;`,
+		// Mixed scalar arithmetic crossing int/num at a join: the kind
+		// lattice widens m to top, so specialized handlers must coexist
+		// with generic ones in a single lowered stream.
+		`if (n > 0) { m = 1; } else { m = 1.5; }
+		u = m * 3; v = u / 2.0; w = v < 4;`,
 	}
 	for _, src := range seeds {
 		prog, err := compile.Compile("fuzzseed", src)

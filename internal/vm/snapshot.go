@@ -169,32 +169,63 @@ func Restore(prog *bytecode.Program, buf []byte) (*VM, error) {
 // an interior frame sits one instruction past the OpCallFunc that entered
 // the next frame, and its pending return value has not been pushed yet, so
 // it contributes one less than the depth recorded after the call.
+//
+// Beyond depths, every restored value is checked against the kind-flow
+// proof for its resume point (stack slots and locals per frame, Messenger
+// variables against the executing frame). A snapshot taken at any hop
+// satisfies the proof by construction; a forged one that does not is
+// rejected here, which is what lets kind-specialized handlers skip their
+// dynamic guards (threaded.go) without trusting the network.
 func (m *VM) checkResumeState() error {
 	want := 0
 	for i := range m.frames {
 		f := &m.frames[i]
+		fname := m.prog.Funcs[f.fn].Name
 		code := m.prog.Funcs[f.fn].Code
 		if f.pc >= len(code) {
-			return fmt.Errorf("vm: snapshot resumes %q at pc %d past end of code", m.prog.Funcs[f.fn].Name, f.pc)
+			return fmt.Errorf("vm: snapshot resumes %q at pc %d past end of code", fname, f.pc)
 		}
 		d := m.prog.StackDepth(f.fn, f.pc)
 		if d < 0 {
-			return fmt.Errorf("vm: snapshot resumes %q at unreachable pc %d", m.prog.Funcs[f.fn].Name, f.pc)
+			return fmt.Errorf("vm: snapshot resumes %q at unreachable pc %d", fname, f.pc)
 		}
+		contrib := d
 		if i < len(m.frames)-1 {
 			call := f.pc - 1
 			if call < 0 || code[call].Op != bytecode.OpCallFunc || int(code[call].A) != m.frames[i+1].fn {
 				return fmt.Errorf("vm: snapshot frame %d of %q does not resume after a call into %q",
-					i, m.prog.Funcs[f.fn].Name, m.prog.Funcs[m.frames[i+1].fn].Name)
+					i, fname, m.prog.Funcs[m.frames[i+1].fn].Name)
 			}
-			want += d - 1
-		} else {
-			want += d
+			contrib = d - 1
 		}
+		if want+contrib > len(m.stack) {
+			return fmt.Errorf("vm: snapshot stack depth %d inconsistent with resume point (verifier proved at least %d)",
+				len(m.stack), want+contrib)
+		}
+		for j := 0; j < contrib; j++ {
+			if k := m.prog.SlotKind(f.fn, f.pc, j); !k.Matches(m.stack[want+j].Kind()) {
+				return fmt.Errorf("vm: snapshot stack slot %d of %q@%d is %v where the verifier proved %v",
+					j, fname, f.pc, m.stack[want+j].Kind(), k)
+			}
+		}
+		for j := range f.locals {
+			if k := m.prog.LocalKind(f.fn, f.pc, j); !k.Matches(f.locals[j].Kind()) {
+				return fmt.Errorf("vm: snapshot local %d of %q@%d is %v where the verifier proved %v",
+					j, fname, f.pc, f.locals[j].Kind(), k)
+			}
+		}
+		want += contrib
 	}
 	if len(m.stack) != want {
 		return fmt.Errorf("vm: snapshot stack depth %d inconsistent with resume point (verifier proved %d)",
 			len(m.stack), want)
+	}
+	top := m.top()
+	for _, name := range m.prog.TrackedVars() {
+		if k := m.prog.VarKind(top.fn, top.pc, name); !k.Matches(m.vars[name].Kind()) {
+			return fmt.Errorf("vm: snapshot variable %q is %v where the verifier proved %v at %q@%d",
+				name, m.vars[name].Kind(), k, m.prog.Funcs[top.fn].Name, top.pc)
+		}
 	}
 	return nil
 }

@@ -40,8 +40,8 @@ import (
 // Dispatch selects the interpreter loop for a VM.
 type Dispatch uint8
 
-// Dispatch modes. Auto resolves to Fused for verified programs; unverified
-// programs always take the switch loop regardless of mode.
+// Dispatch modes. Auto resolves to Specialized for verified programs;
+// unverified programs always take the switch loop regardless of mode.
 const (
 	DispatchAuto Dispatch = iota
 	// DispatchSwitch forces the classic switch interpreter (the oracle).
@@ -51,6 +51,11 @@ const (
 	// DispatchFused uses token-threaded dispatch over the superinstruction
 	// stream.
 	DispatchFused
+	// DispatchSpecialized runs the fused stream with kind-specialized
+	// opcodes substituted wherever the bytecode verifier's kind-flow proofs
+	// allow (specialized.go); handlers there skip the dynamic value.Kind()
+	// guards the proof covers.
+	DispatchSpecialized
 )
 
 // String names the mode (benchmark labels, BENCH_vm.json).
@@ -64,6 +69,8 @@ func (d Dispatch) String() string {
 		return "threaded"
 	case DispatchFused:
 		return "fused"
+	case DispatchSpecialized:
+		return "specialized"
 	default:
 		return fmt.Sprintf("dispatch(%d)", uint8(d))
 	}
@@ -80,14 +87,16 @@ func ParseDispatch(s string) (Dispatch, error) {
 		return DispatchThreaded, nil
 	case "fused":
 		return DispatchFused, nil
+	case "specialized":
+		return DispatchSpecialized, nil
 	default:
 		return DispatchAuto, fmt.Errorf("vm: unknown dispatch mode %q", s)
 	}
 }
 
 // SetDispatch pins the interpreter loop. The zero value (DispatchAuto)
-// runs verified programs threaded+fused; tests and benchmarks pin modes
-// explicitly.
+// runs verified programs threaded+fused+kind-specialized; tests and
+// benchmarks pin modes explicitly.
 func (m *VM) SetDispatch(d Dispatch) { m.dispatch = d }
 
 // texec is the threaded loop's flattened execution state: the top frame's
@@ -649,6 +658,8 @@ func init() {
 		h[bytecode.DFMCAddStoreM+bytecode.DOp(i)] = slotArithStoreHandler(op, false)
 		h[bytecode.DFLCAddStoreL+bytecode.DOp(i)] = slotArithStoreHandler(op, true)
 	}
+
+	registerSpecialized(h)
 
 	for op := bytecode.DOp(0); op < bytecode.NumDOps; op++ {
 		if dhandlers[op] == nil {

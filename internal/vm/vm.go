@@ -339,7 +339,14 @@ func (m *VM) Run(host Host, maxSteps int64) (Result, error) {
 		defer func() { m.meter.Charge(steps) }()
 	}
 	if mode := m.dispatch; mode != DispatchSwitch && m.prog.Verified() {
-		if low := m.prog.Lowered(mode == DispatchFused || mode == DispatchAuto); low != nil {
+		lm := bytecode.LowerPlain
+		switch mode {
+		case DispatchFused:
+			lm = bytecode.LowerFused
+		case DispatchSpecialized, DispatchAuto:
+			lm = bytecode.LowerKind
+		}
+		if low := m.prog.Lowered(lm); low != nil {
 			res, err, done := m.runThreaded(host, low, limit, &steps)
 			if done {
 				return res, err

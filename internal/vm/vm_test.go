@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -433,21 +434,24 @@ func TestReturnInMainTerminates(t *testing.T) {
 }
 
 func TestRuntimeErrors(t *testing.T) {
+	// Kind faults the verifier can prove never compile anymore (see
+	// TestStaticKindErrors); here each faulting operand is laundered
+	// through an array index — ⊤ to the kind analysis — so the dynamic
+	// guards stay covered.
 	cases := map[string]string{
-		`x = 1 / 0;`:              "division by zero",
-		`x = 1 % 0;`:              "modulo by zero",
-		`x = "a" - "b";`:          "operator not defined on strings",
-		`x = [1] + 1;`:            "arithmetic on",
-		`x = -"s";`:               "cannot negate",
-		`x = [1, 2][5];`:          "out of range",
-		`x = [1]["a"];`:           "index must be numeric",
-		`x = 1 < "s";`:            "cannot compare",
-		`x = $bogus;`:             "unknown network variable",
-		`x = len();`:              "want 1 arguments",
-		`x = matget(1, 0, 0);`:    "want a matrix",
-		`x = int("zz");`:          "cannot parse",
-		`x = sqrt("s");`:          "sqrt of",
-		`x = substr("ab", 3, 9);`: "out of range",
+		`x = 1 / 0;`:                      "division by zero",
+		`x = 1 % 0;`:                      "modulo by zero",
+		`a = ["a"][0]; x = a - ["b"][0];`: "operator not defined on strings",
+		`x = [[1]][0] + 1;`:               "arithmetic on",
+		`x = -["s"][0];`:                  "cannot negate",
+		`x = [1, 2][5];`:                  "out of range",
+		`x = [1][["a"][0]];`:              "index must be numeric",
+		`x = 1 < ["s"][0];`:               "cannot compare",
+		`x = $bogus;`:                     "unknown network variable",
+		`x = matget([1][0], 0, 0);`:       "want a matrix",
+		`x = int("zz");`:                  "cannot parse",
+		`x = sqrt(["s"][0]);`:             "sqrt of",
+		`x = substr("ab", 3, 9);`:         "out of range",
 	}
 	for src, want := range cases {
 		prog, err := compile.Compile("err", src)
@@ -463,6 +467,35 @@ func TestRuntimeErrors(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("Run(%q) error = %q, want substring %q", src, err, want)
+		}
+	}
+}
+
+// TestStaticKindErrors pins the compile-time half of the split above: the
+// same faults with statically proven operand kinds are rejected by the
+// kind-flow verifier before a VM ever exists, tagged ErrIllTyped.
+func TestStaticKindErrors(t *testing.T) {
+	cases := map[string]string{
+		`x = "a" - "b";`:       "operator not defined on strings",
+		`x = [1] + 1;`:         "arithmetic on",
+		`x = -"s";`:            "cannot negate",
+		`x = [1]["a"];`:        "index must be numeric",
+		`x = 1 < "s";`:         "cannot compare",
+		`x = len();`:           "want 1 arguments",
+		`x = matget(1, 0, 0);`: "want a matrix",
+		`x = sqrt("s");`:       "proven str",
+	}
+	for src, want := range cases {
+		_, err := compile.Compile("err", src)
+		if err == nil {
+			t.Errorf("compile(%q) should fail statically", src)
+			continue
+		}
+		if !errors.Is(err, bytecode.ErrIllTyped) {
+			t.Errorf("compile(%q) error %q is not ErrIllTyped", src, err)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("compile(%q) error = %q, want substring %q", src, err, want)
 		}
 	}
 }
